@@ -1,0 +1,96 @@
+/// Ablation of the performance-model mechanisms DESIGN.md calls out, at the
+/// paper's headline configuration (Dane, 32 nodes): each row disables one
+/// mechanism and reports how the Figure-10 orderings move. This documents
+/// WHICH modelled effect produces WHICH published result:
+///
+///   * rendezvous NIC penalty  -> Locality-Aware beating Node-Aware at 4 KiB
+///                                (Figure 8's largest-size win)
+///   * cache-blended intra copy-> the gather funnel dominating the
+///                                hierarchical breakdown at >= 256 B (Fig 13)
+///   * queue-search cost       -> nonblocking's overheads at scale
+///   * vendor factor           -> System MPI's competitiveness (Figs 17/18)
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+
+namespace {
+
+struct Ablation {
+  const char* name;
+  void (*mutate)(model::NetParams&);
+};
+
+double measure(const model::NetParams& net, coll::Algo algo, int group,
+               std::size_t block) {
+  bench::RunSpec spec;
+  spec.machine = topo::dane(32).desc();
+  spec.net = net;
+  spec.algo = algo;
+  spec.group_size = group;
+  spec.block = block;
+  return bench::run_sim(spec).seconds;
+}
+
+void register_row(bench::Figure& fig, const Ablation& ab) {
+  const std::string bname = std::string("ablation/") + ab.name;
+  benchmark::RegisterBenchmark(
+      bname.c_str(),
+      [&fig, ab](benchmark::State& state) {
+        model::NetParams net = model::omni_path();
+        ab.mutate(net);
+        double total = 0.0;
+        for (auto _ : state) {
+          // The three headline observables.
+          const double na_large = measure(net, coll::Algo::kNodeAware, 0, 4096);
+          const double la_large =
+              measure(net, coll::Algo::kLocalityAware, 4, 4096);
+          const double mlna_small =
+              measure(net, coll::Algo::kMultileaderNodeAware, 4, 4);
+          const double sys_small = measure(net, coll::Algo::kSystemMpi, 0, 4);
+          const double sys_mid = measure(net, coll::Algo::kSystemMpi, 0, 256);
+          const double na_mid = measure(net, coll::Algo::kNodeAware, 0, 256);
+          total = na_large + la_large + mlna_small + sys_small;
+          state.SetIterationTime(total);
+          const double x = 0;  // single column of observables
+          (void)x;
+          fig.add(std::string(ab.name) + ": LA/NA @4KiB", 0,
+                  la_large / na_large);
+          fig.add(std::string(ab.name) + ": MLNA/System @4B", 1,
+                  mlna_small / sys_small);
+          fig.add(std::string(ab.name) + ": NA/System @256B", 2,
+                  na_mid / sys_mid);
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Figure fig(
+      "ablation",
+      "Model ablation: ratios (< 1 means the paper's winner still wins)",
+      "observable");
+  static const Ablation kAblations[] = {
+      {"full model", [](model::NetParams&) {}},
+      {"no rendezvous penalty",
+       [](model::NetParams& n) { n.rendezvous_nic_factor = 1.0; }},
+      {"no cache blend",
+       [](model::NetParams& n) {
+         n.cpu_copy_beta_intra_cached = n.cpu_copy_beta_intra;
+         n.intra_cache_bytes = 0;
+       }},
+      {"no queue-search cost",
+       [](model::NetParams& n) { n.match_per_item = 0.0; }},
+      {"no vendor tuning", [](model::NetParams& n) { n.vendor_factor = 1.0; }},
+      {"no NIC message overhead",
+       [](model::NetParams& n) { n.nic_msg_overhead = 0.0; }},
+  };
+  for (const Ablation& ab : kAblations) {
+    register_row(fig, ab);
+  }
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,71 @@
+/// Related-work study [16]: the batched all-to-all's window parameter
+/// interpolates between pairwise exchange (window 1: synchronized, no
+/// queue pressure) and fully nonblocking (window p: maximal overlap,
+/// maximal queue-search and contention). Sweeps the window on 32 nodes of
+/// Dane at a small and a large message size.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "runtime/collectives.hpp"
+#include "sim/cluster.hpp"
+
+using namespace mca2a;
+
+namespace {
+
+void register_point(bench::Figure& fig, const std::string& series, int window,
+                    std::size_t block) {
+  bench::RunSpec spec;
+  spec.machine = topo::dane(32).desc();
+  spec.net = model::omni_path();
+  spec.algo = coll::Algo::kBatchedDirect;
+  spec.block = block;
+  bench::apply_env(spec);
+  const std::string bname =
+      "batched/" + series + "/w" + std::to_string(window);
+  benchmark::RegisterBenchmark(
+      bname.c_str(),
+      [&fig, series, window, spec](benchmark::State& state) mutable {
+        double t = 0.0;
+        for (auto _ : state) {
+          sim::ClusterConfig cfg;
+          cfg.machine = spec.machine;
+          cfg.net = spec.net;
+          cfg.carry_data = false;
+          sim::Cluster cluster(cfg);
+          const int p = cluster.machine().total_ranks();
+          std::vector<double> start(p), end(p);
+          cluster.run([&](rt::Comm& c) -> rt::Task<void> {
+            rt::Buffer s = c.alloc_buffer(spec.block * c.size());
+            rt::Buffer r = c.alloc_buffer(spec.block * c.size());
+            co_await rt::barrier(c);
+            start[c.rank()] = c.now();
+            co_await coll::alltoall_batched(c, s.view(), r.view(), spec.block,
+                                            window);
+            end[c.rank()] = c.now();
+          });
+          t = *std::max_element(end.begin(), end.end()) -
+              *std::min_element(start.begin(), start.end());
+          state.SetIterationTime(t);
+        }
+        fig.add(series, window, t);
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Figure fig("batched_window",
+                    "Batched all-to-all window sweep (Dane, 32 nodes)",
+                    "Window (outstanding pairs)");
+  for (int window : {1, 4, 16, 64, 256, 1024, 3583}) {
+    register_point(fig, "4 B", window, 4);
+    register_point(fig, "512 B", window, 512);
+  }
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,155 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+namespace mca2a::benchx {
+
+std::vector<std::size_t> default_sizes() {
+  if (std::getenv("A2A_FAST") != nullptr) {
+    return {4, 64, 1024, 4096};
+  }
+  return {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+}
+
+std::vector<int> default_nodes() {
+  if (std::getenv("A2A_FAST") != nullptr) {
+    return {2, 8, 32};
+  }
+  return {2, 4, 8, 16, 32};
+}
+
+namespace {
+
+bench::RunSpec make_spec(const topo::MachineDesc& machine,
+                         const model::NetParams& net, const Series& s,
+                         std::size_t block, bool trace) {
+  bench::RunSpec spec;
+  spec.machine = machine;
+  spec.net = net;
+  spec.algo = s.algo;
+  spec.inner = s.inner;
+  spec.group_size = s.group_size;
+  spec.block = block;
+  spec.collect_trace = trace;
+  bench::apply_env(spec);
+  return spec;
+}
+
+void register_point(bench::Figure& fig, const std::string& series_name,
+                    double x, const bench::RunSpec& spec) {
+  const std::string bname =
+      fig.id() + "/" + series_name + "/" + std::to_string(static_cast<long>(x));
+  benchmark::RegisterBenchmark(
+      bname.c_str(),
+      [&fig, series_name, x, spec](benchmark::State& state) {
+        double seconds = 0.0;
+        for (auto _ : state) {
+          const bench::RunResult r = bench::run_sim(spec);
+          seconds = r.seconds;
+          state.SetIterationTime(r.seconds);
+        }
+        state.counters["sim_s"] = seconds;
+        fig.add(series_name, x, seconds);
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+void register_phase_point(bench::Figure& fig,
+                          const std::vector<PhaseSeries>& phases, double x,
+                          const bench::RunSpec& spec) {
+  const std::string bname = fig.id() + "/breakdown/" +
+                            std::to_string(static_cast<long>(x));
+  benchmark::RegisterBenchmark(
+      bname.c_str(),
+      [&fig, phases, x, spec](benchmark::State& state) {
+        bench::RunResult r;
+        for (auto _ : state) {
+          r = bench::run_sim(spec);
+          state.SetIterationTime(r.seconds);
+        }
+        for (const PhaseSeries& ps : phases) {
+          fig.add(ps.name, x, r.phase_seconds[static_cast<int>(ps.phase)]);
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+void register_size_sweep(bench::Figure& fig, const topo::Machine& machine,
+                         const model::NetParams& net,
+                         const std::vector<Series>& series,
+                         const std::vector<std::size_t>& sizes) {
+  for (const Series& s : series) {
+    for (std::size_t block : sizes) {
+      register_point(fig, s.name, static_cast<double>(block),
+                     make_spec(machine.desc(), net, s, block, false));
+    }
+  }
+}
+
+void register_node_sweep(bench::Figure& fig, const std::string& machine_name,
+                         const model::NetParams& net,
+                         const std::vector<Series>& series,
+                         const std::vector<int>& nodes, std::size_t block) {
+  for (const Series& s : series) {
+    for (int n : nodes) {
+      const topo::Machine machine = topo::by_name(machine_name, n);
+      register_point(fig, s.name, static_cast<double>(n),
+                     make_spec(machine.desc(), net, s, block, false));
+    }
+  }
+}
+
+void register_breakdown_sweep(bench::Figure& fig, const topo::Machine& machine,
+                              const model::NetParams& net, const Series& algo,
+                              const std::vector<PhaseSeries>& phases,
+                              const std::vector<std::size_t>& sizes) {
+  for (std::size_t block : sizes) {
+    register_phase_point(fig, phases, static_cast<double>(block),
+                         make_spec(machine.desc(), net, algo, block, true));
+  }
+}
+
+void register_breakdown_node_sweep(bench::Figure& fig,
+                                   const std::string& machine_name,
+                                   const model::NetParams& net,
+                                   const Series& algo,
+                                   const std::vector<PhaseSeries>& phases,
+                                   const std::vector<int>& nodes,
+                                   std::size_t block) {
+  for (int n : nodes) {
+    const topo::Machine machine = topo::by_name(machine_name, n);
+    register_phase_point(fig, phases, static_cast<double>(n),
+                         make_spec(machine.desc(), net, algo, block, true));
+  }
+}
+
+void register_breakdown_point(bench::Figure& fig, const topo::Machine& machine,
+                              const model::NetParams& net, const Series& algo,
+                              const std::vector<PhaseSeries>& phases, double x,
+                              std::size_t block) {
+  register_phase_point(fig, phases, x,
+                       make_spec(machine.desc(), net, algo, block, true));
+}
+
+int figure_main(int argc, char** argv, bench::Figure& fig) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fig.print(std::cout);
+  const std::string csv = fig.write_csv_env();
+  if (!csv.empty()) {
+    std::cout << "(csv written to " << csv << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace mca2a::benchx

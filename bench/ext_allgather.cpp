@@ -1,0 +1,93 @@
+/// Extension study (paper §5 future work): allgather algorithm comparison
+/// on 32 nodes of Dane, mirroring the all-to-all methodology. Expected
+/// shape, per the locality-aware allgather literature the paper cites [1]:
+/// locality-aware aggregation beats the flat ring at small blocks (latency)
+/// and the hierarchical funnel at large blocks.
+
+#include <optional>
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "sim/cluster.hpp"
+#include "coll_ext/allgather.hpp"
+#include "runtime/collectives.hpp"
+
+using namespace mca2a;
+
+namespace {
+
+enum class Variant { kRing, kBruck, kHierarchical, kLocalityAware };
+
+double run_allgather(Variant v, int group_size, std::size_t block) {
+  sim::ClusterConfig cfg;
+  cfg.machine = topo::dane(32).desc();
+  cfg.net = model::omni_path();
+  cfg.carry_data = false;
+  sim::Cluster cluster(cfg);
+  const topo::Machine& machine = cluster.machine();
+  std::vector<double> start(machine.total_ranks()), end(machine.total_ranks());
+  cluster.run([&](rt::Comm& c) -> rt::Task<void> {
+    std::optional<rt::LocalityComms> lc;
+    if (v == Variant::kHierarchical || v == Variant::kLocalityAware) {
+      lc.emplace(rt::build_locality_comms(c, machine, group_size, false));
+    }
+    rt::Buffer send = c.alloc_buffer(block);
+    rt::Buffer recv = c.alloc_buffer(block * c.size());
+    co_await rt::barrier(c);
+    start[c.rank()] = c.now();
+    switch (v) {
+      case Variant::kRing:
+        co_await coll::allgather_ring(c, send.view(), recv.view());
+        break;
+      case Variant::kBruck:
+        co_await coll::allgather_bruck(c, send.view(), recv.view());
+        break;
+      case Variant::kHierarchical:
+        co_await coll::allgather_hierarchical(*lc, send.view(), recv.view());
+        break;
+      case Variant::kLocalityAware:
+        co_await coll::allgather_locality_aware(*lc, send.view(), recv.view());
+        break;
+    }
+    end[c.rank()] = c.now();
+  });
+  return *std::max_element(end.begin(), end.end()) -
+         *std::min_element(start.begin(), start.end());
+}
+
+void register_series(bench::Figure& fig, const std::string& name, Variant v,
+                     int group_size) {
+  for (std::size_t block : benchx::default_sizes()) {
+    const std::string bname =
+        "ext_allgather/" + name + "/" + std::to_string(block);
+    benchmark::RegisterBenchmark(
+        bname.c_str(),
+        [&fig, name, v, group_size, block](benchmark::State& state) {
+          double t = 0.0;
+          for (auto _ : state) {
+            t = run_allgather(v, group_size, block);
+            state.SetIterationTime(t);
+          }
+          fig.add(name, static_cast<double>(block), t);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Figure fig("ext_allgather",
+                    "Extension: allgather algorithms (Dane, 32 nodes)",
+                    "Block Size (bytes)");
+  register_series(fig, "Ring", Variant::kRing, 0);
+  register_series(fig, "Bruck", Variant::kBruck, 0);
+  register_series(fig, "Hierarchical", Variant::kHierarchical, 112);
+  register_series(fig, "Node-Aware", Variant::kLocalityAware, 112);
+  register_series(fig, "Locality-Aware (4 ppg)", Variant::kLocalityAware, 4);
+  return benchx::figure_main(argc, argv, fig);
+}

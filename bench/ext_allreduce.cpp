@@ -1,0 +1,97 @@
+/// Extension study (paper §5 future work): allreduce algorithm comparison
+/// on 32 nodes of Dane across vector sizes. Expected shape: recursive
+/// doubling wins small vectors (log p latency), Rabenseifner wins large
+/// (bandwidth-optimal), node-aware aggregation reduces inter-node traffic
+/// by ppn like the all-to-all algorithms do.
+
+#include <optional>
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "sim/cluster.hpp"
+#include "coll_ext/allreduce.hpp"
+#include "runtime/collectives.hpp"
+
+using namespace mca2a;
+
+namespace {
+
+enum class Variant { kRecursiveDoubling, kRabenseifner, kNodeAware,
+                     kLocalityAware };
+
+double run_allreduce(Variant v, std::size_t bytes) {
+  sim::ClusterConfig cfg;
+  cfg.machine = topo::dane(32).desc();
+  cfg.net = model::omni_path();
+  cfg.carry_data = false;
+  sim::Cluster cluster(cfg);
+  const topo::Machine& machine = cluster.machine();
+  std::vector<double> start(machine.total_ranks()), end(machine.total_ranks());
+  cluster.run([&](rt::Comm& c) -> rt::Task<void> {
+    std::optional<rt::LocalityComms> lc;
+    if (v == Variant::kNodeAware || v == Variant::kLocalityAware) {
+      lc.emplace(rt::build_locality_comms(
+          c, machine, v == Variant::kNodeAware ? 112 : 4, false));
+    }
+    rt::Buffer data = c.alloc_buffer(bytes);
+    const coll::Combiner op = coll::sum_combiner<double>();
+    co_await rt::barrier(c);
+    start[c.rank()] = c.now();
+    switch (v) {
+      case Variant::kRecursiveDoubling:
+        co_await coll::allreduce_recursive_doubling(c, data.view(), op);
+        break;
+      case Variant::kRabenseifner:
+        co_await coll::allreduce_rabenseifner(c, data.view(), op);
+        break;
+      case Variant::kNodeAware:
+      case Variant::kLocalityAware:
+        co_await coll::allreduce_node_aware(*lc, data.view(), op);
+        break;
+    }
+    end[c.rank()] = c.now();
+  });
+  return *std::max_element(end.begin(), end.end()) -
+         *std::min_element(start.begin(), start.end());
+}
+
+void register_series(bench::Figure& fig, const std::string& name, Variant v) {
+  // Vector sizes: 32 B to 4 MiB of doubles.
+  for (std::size_t bytes :
+       {std::size_t{32}, std::size_t{512}, std::size_t{8192},
+        std::size_t{131072}, std::size_t{1} << 21, std::size_t{1} << 22}) {
+    if (v == Variant::kRabenseifner && bytes / sizeof(double) < 3584) {
+      continue;  // needs >= one element per rank
+    }
+    const std::string bname =
+        "ext_allreduce/" + name + "/" + std::to_string(bytes);
+    benchmark::RegisterBenchmark(
+        bname.c_str(),
+        [&fig, name, v, bytes](benchmark::State& state) {
+          double t = 0.0;
+          for (auto _ : state) {
+            t = run_allreduce(v, bytes);
+            state.SetIterationTime(t);
+          }
+          fig.add(name, static_cast<double>(bytes), t);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Figure fig("ext_allreduce",
+                    "Extension: allreduce algorithms (Dane, 32 nodes)",
+                    "Vector Size (bytes)");
+  register_series(fig, "Recursive Doubling", Variant::kRecursiveDoubling);
+  register_series(fig, "Rabenseifner", Variant::kRabenseifner);
+  register_series(fig, "Node-Aware", Variant::kNodeAware);
+  register_series(fig, "Locality-Aware (4 ppg)", Variant::kLocalityAware);
+  return benchx::figure_main(argc, argv, fig);
+}

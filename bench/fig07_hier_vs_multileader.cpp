@@ -1,0 +1,38 @@
+/// Figure 7: Hierarchical vs Multileader (Algorithm 3), 32 nodes of Dane.
+/// Series: System MPI, Hierarchical (one leader), multi-leader with 4/8/16
+/// processes per leader. Solid lines in the paper use pairwise exchange for
+/// the internal all-to-all; dashed use nonblocking — both are emitted here
+/// as "(pairwise)" / "(nonblocking)" series.
+///
+/// Paper shape: more leaders win at large sizes (smaller gather/scatter
+/// funnels); at small sizes multi-leader still beats hierarchical but with
+/// fewer leaders (28 processes per leader = 4 leaders best).
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig07", "Figure 7: Hierarchical vs Multileader (Dane, 32 nodes)",
+                    "Message Size (bytes)");
+  const topo::Machine machine = topo::dane(32);
+  const model::NetParams net = model::omni_path();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"Hierarchical (pairwise)", Algo::kHierarchical, Inner::kPairwise, 0},
+      {"Hierarchical (nonblocking)", Algo::kHierarchical, Inner::kNonblocking, 0},
+      {"4 Processes Per Leader (pairwise)", Algo::kMultileader, Inner::kPairwise, 4},
+      {"4 Processes Per Leader (nonblocking)", Algo::kMultileader, Inner::kNonblocking, 4},
+      {"8 Processes Per Leader (pairwise)", Algo::kMultileader, Inner::kPairwise, 8},
+      {"8 Processes Per Leader (nonblocking)", Algo::kMultileader, Inner::kNonblocking, 8},
+      {"16 Processes Per Leader (pairwise)", Algo::kMultileader, Inner::kPairwise, 16},
+      {"16 Processes Per Leader (nonblocking)", Algo::kMultileader, Inner::kNonblocking, 16},
+  };
+  benchx::register_size_sweep(fig, machine, net, series,
+                              benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,37 @@
+/// Figure 8: Node-Aware vs Locality-Aware (Algorithm 4), 32 nodes of Dane.
+/// Series: System MPI, locality-aware with 4/8/16 processes per group,
+/// node-aware (one group per node).
+///
+/// Paper shape: node-aware best for most sizes; locality-aware overtakes at
+/// the largest tested size (4096 B), where the node-aware messages cross the
+/// rendezvous threshold and the full-node redistribution is at its most
+/// expensive.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig08", "Figure 8: Node-Aware vs Locality-Aware (Dane, 32 nodes)",
+                    "Message Size (bytes)");
+  const topo::Machine machine = topo::dane(32);
+  const model::NetParams net = model::omni_path();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"4 Processes Per Group (pairwise)", Algo::kLocalityAware, Inner::kPairwise, 4},
+      {"4 Processes Per Group (nonblocking)", Algo::kLocalityAware, Inner::kNonblocking, 4},
+      {"8 Processes Per Group (pairwise)", Algo::kLocalityAware, Inner::kPairwise, 8},
+      {"8 Processes Per Group (nonblocking)", Algo::kLocalityAware, Inner::kNonblocking, 8},
+      {"16 Processes Per Group (pairwise)", Algo::kLocalityAware, Inner::kPairwise, 16},
+      {"16 Processes Per Group (nonblocking)", Algo::kLocalityAware, Inner::kNonblocking, 16},
+      {"Node-Aware (pairwise)", Algo::kNodeAware, Inner::kPairwise, 0},
+      {"Node-Aware (nonblocking)", Algo::kNodeAware, Inner::kNonblocking, 0},
+  };
+  benchx::register_size_sweep(fig, machine, net, series,
+                              benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,38 @@
+/// Figure 9: leader-count sweep for the novel Multileader + Node-Aware
+/// algorithm (Algorithm 5), 32 nodes of Dane. One leader reduces to
+/// hierarchical; every-rank-a-leader reduces to node-aware, so both bounds
+/// are plotted alongside 4/8/16 processes per leader.
+///
+/// Paper shape: small sizes best with many-but-not-all leaders (~20-28).
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig09",
+                    "Figure 9: Multileader + Node-Aware leader sweep (Dane, 32 nodes)",
+                    "Message Size (bytes)");
+  const topo::Machine machine = topo::dane(32);
+  const model::NetParams net = model::omni_path();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"Hierarchical (pairwise)", Algo::kHierarchical, Inner::kPairwise, 0},
+      {"Hierarchical (nonblocking)", Algo::kHierarchical, Inner::kNonblocking, 0},
+      {"4 Processes Per Leader (pairwise)", Algo::kMultileaderNodeAware, Inner::kPairwise, 4},
+      {"4 Processes Per Leader (nonblocking)", Algo::kMultileaderNodeAware, Inner::kNonblocking, 4},
+      {"8 Processes Per Leader (pairwise)", Algo::kMultileaderNodeAware, Inner::kPairwise, 8},
+      {"8 Processes Per Leader (nonblocking)", Algo::kMultileaderNodeAware, Inner::kNonblocking, 8},
+      {"16 Processes Per Leader (pairwise)", Algo::kMultileaderNodeAware, Inner::kPairwise, 16},
+      {"16 Processes Per Leader (nonblocking)", Algo::kMultileaderNodeAware, Inner::kNonblocking, 16},
+      {"Node-Aware (pairwise)", Algo::kNodeAware, Inner::kPairwise, 0},
+      {"Node-Aware (nonblocking)", Algo::kNodeAware, Inner::kNonblocking, 0},
+  };
+  benchx::register_size_sweep(fig, machine, net, series,
+                              benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,33 @@
+/// Figure 10: every algorithm across message sizes, 32 nodes of Dane.
+/// Multi-leader / locality-aware variants use 4 processes per leader/group
+/// (28 leaders per node), the best configuration from Figures 7-9.
+///
+/// Paper shape: Multileader + Node-Aware best for small sizes (notably
+/// beating System MPI's Bruck); Node-Aware best for large; Locality-Aware
+/// best at the largest size; Hierarchical worst at large sizes.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig10", "Figure 10: All algorithms (Dane, 32 nodes)",
+                    "Message Size (bytes)");
+  const topo::Machine machine = topo::dane(32);
+  const model::NetParams net = model::omni_path();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"Hierarchical", Algo::kHierarchical, Inner::kPairwise, 0},
+      {"Node-Aware", Algo::kNodeAware, Inner::kPairwise, 0},
+      {"Multileader", Algo::kMultileader, Inner::kPairwise, 4},
+      {"Locality-Aware", Algo::kLocalityAware, Inner::kPairwise, 4},
+      {"Multileader + Locality", Algo::kMultileaderNodeAware, Inner::kPairwise, 4},
+  };
+  benchx::register_size_sweep(fig, machine, net, series,
+                              benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

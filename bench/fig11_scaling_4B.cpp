@@ -1,0 +1,27 @@
+/// Figure 11: node scaling at 4-byte per-process messages on Dane.
+/// Paper shape: Multileader + Node-Aware fastest across node counts at this
+/// latency-bound size.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig11", "Figure 11: node scaling at 4 B (Dane)", "Nodes");
+  const model::NetParams net = model::omni_path();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"Hierarchical", Algo::kHierarchical, Inner::kPairwise, 0},
+      {"Node-Aware", Algo::kNodeAware, Inner::kPairwise, 0},
+      {"Multileader", Algo::kMultileader, Inner::kPairwise, 4},
+      {"Locality-Aware", Algo::kLocalityAware, Inner::kPairwise, 4},
+      {"Multileader + Locality", Algo::kMultileaderNodeAware, Inner::kPairwise, 4},
+  };
+  benchx::register_node_sweep(fig, "dane", net, series,
+                              benchx::default_nodes(), /*block=*/4);
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,28 @@
+/// Figure 12: node scaling at 4096-byte per-process messages on Dane.
+/// Paper shape: Node-Aware and Locality-Aware fastest across node counts at
+/// this bandwidth-bound size; Hierarchical worst.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig12", "Figure 12: node scaling at 4096 B (Dane)",
+                    "Nodes");
+  const model::NetParams net = model::omni_path();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"Hierarchical", Algo::kHierarchical, Inner::kPairwise, 0},
+      {"Node-Aware", Algo::kNodeAware, Inner::kPairwise, 0},
+      {"Multileader", Algo::kMultileader, Inner::kPairwise, 4},
+      {"Locality-Aware", Algo::kLocalityAware, Inner::kPairwise, 4},
+      {"Multileader + Locality", Algo::kMultileaderNodeAware, Inner::kPairwise, 4},
+  };
+  benchx::register_node_sweep(fig, "dane", net, series,
+                              benchx::default_nodes(), /*block=*/4096);
+  return benchx::figure_main(argc, argv, fig);
+}

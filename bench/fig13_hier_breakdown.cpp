@@ -1,0 +1,39 @@
+/// Figure 13: phase breakdown of the hierarchical algorithm, 32 nodes of
+/// Dane. Series: MPI Gather, MPI Scatter, and the inter-leader all-to-all
+/// with pairwise and nonblocking inner exchanges.
+///
+/// Paper shape: the inter-node all-to-all dominates below ~256 B; the
+/// gather (the single leader's intra-node funnel) dominates at and above
+/// ~256 B; nonblocking beats pairwise until ~2048 B.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::PhaseSeries;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+using coll::Phase;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig13",
+                    "Figure 13: Hierarchical timing breakdown (Dane, 32 nodes)",
+                    "Per-Message Size (bytes)");
+  const topo::Machine machine = topo::dane(32);
+  const model::NetParams net = model::omni_path();
+
+  const Series pairwise{"hier-pw", Algo::kHierarchical, Inner::kPairwise, 0};
+  const Series nonblocking{"hier-nb", Algo::kHierarchical, Inner::kNonblocking,
+                           0};
+  // Gather/scatter come from the pairwise run (identical in both).
+  benchx::register_breakdown_sweep(
+      fig, machine, net, pairwise,
+      {{"MPI Gather", Phase::kGather},
+       {"MPI Scatter", Phase::kScatter},
+       {"Alltoall (Pairwise)", Phase::kInterA2A}},
+      benchx::default_sizes());
+  benchx::register_breakdown_sweep(fig, machine, net, nonblocking,
+                                   {{"Alltoall (Nonblocking)", Phase::kInterA2A}},
+                                   benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

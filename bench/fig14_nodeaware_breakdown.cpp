@@ -1,0 +1,35 @@
+/// Figure 14: intra- vs inter-node breakdown of the node-aware algorithm,
+/// 32 nodes of Dane, pairwise and nonblocking inner exchanges.
+///
+/// Paper shape: inter-node communication dominates at every size; the
+/// intra-node redistribution scales with it but stays below.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::PhaseSeries;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+using coll::Phase;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig14",
+                    "Figure 14: Node-Aware timing breakdown (Dane, 32 nodes)",
+                    "Per-Message Size (bytes)");
+  const topo::Machine machine = topo::dane(32);
+  const model::NetParams net = model::omni_path();
+
+  const Series pairwise{"na-pw", Algo::kNodeAware, Inner::kPairwise, 0};
+  const Series nonblocking{"na-nb", Algo::kNodeAware, Inner::kNonblocking, 0};
+  benchx::register_breakdown_sweep(fig, machine, net, pairwise,
+                                   {{"Intra-Node (Pairwise)", Phase::kIntraA2A},
+                                    {"Inter-Node (Pairwise)", Phase::kInterA2A}},
+                                   benchx::default_sizes());
+  benchx::register_breakdown_sweep(
+      fig, machine, net, nonblocking,
+      {{"Intra-Node (Nonblocking)", Phase::kIntraA2A},
+       {"Inter-Node (Nonblocking)", Phase::kInterA2A}},
+      benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

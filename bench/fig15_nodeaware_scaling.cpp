@@ -1,0 +1,26 @@
+/// Figure 15: node-aware intra/inter breakdown vs node count at a constant
+/// 4096-byte message size (1024 integers), pairwise inner exchange, Dane.
+///
+/// Paper shape: inter-node communication dominates at every node count.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+using coll::Phase;
+
+int main(int argc, char** argv) {
+  bench::Figure fig(
+      "fig15", "Figure 15: Node-Aware breakdown, 4096 B, 2-32 nodes (Dane)",
+      "Nodes");
+  const model::NetParams net = model::omni_path();
+  const Series pairwise{"na-pw", Algo::kNodeAware, Inner::kPairwise, 0};
+  benchx::register_breakdown_node_sweep(
+      fig, "dane", net, pairwise,
+      {{"Intra-Node Alltoall", Phase::kIntraA2A},
+       {"Inter-Node Alltoall", Phase::kInterA2A}},
+      benchx::default_nodes(), /*block=*/4096);
+  return benchx::figure_main(argc, argv, fig);
+}

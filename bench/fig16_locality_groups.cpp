@@ -1,0 +1,49 @@
+/// Figure 16: locality-aware intra/inter breakdown vs group size at 4096 B
+/// (1024 integers), 32 nodes of Dane, pairwise inner exchange. Group sizes:
+/// node-aware (one group of 112), then 16, 8 and 4 processes per group
+/// (7, 14, 28 leaders).
+///
+/// Paper shape: inter-node dominates everywhere; group size is NOT
+/// single-modal — 16 and 4 processes per group show slightly better
+/// inter-node time than 8.
+///
+/// The x axis is the group size in ranks (112 = node-aware).
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+using coll::Phase;
+
+int main(int argc, char** argv) {
+  bench::Figure fig(
+      "fig16",
+      "Figure 16: Locality-Aware breakdown vs processes-per-group "
+      "(Dane, 32 nodes, 4096 B)",
+      "Processes per group");
+  const topo::Machine machine = topo::dane(32);
+  const model::NetParams net = model::omni_path();
+
+  struct Config {
+    int group_size;
+    Algo algo;
+  };
+  const std::vector<Config> configs = {{112, Algo::kNodeAware},
+                                       {16, Algo::kLocalityAware},
+                                       {8, Algo::kLocalityAware},
+                                       {4, Algo::kLocalityAware}};
+  for (const Config& c : configs) {
+    const Series s{"la-g" + std::to_string(c.group_size), c.algo,
+                   Inner::kPairwise,
+                   c.algo == Algo::kNodeAware ? 0 : c.group_size};
+    // One x position per group size; series are the two phases.
+    benchx::register_breakdown_point(
+        fig, machine, net, s,
+        {{"Intra-Node Alltoall", Phase::kIntraA2A},
+         {"Inter-Node Alltoall", Phase::kInterA2A}},
+        static_cast<double>(c.group_size), /*block=*/4096);
+  }
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,29 @@
+/// Figure 17: best algorithms vs System MPI on 32 nodes of Amber (same
+/// Sapphire Rapids / Omni-Path architecture as Dane, slightly different
+/// software stack).
+///
+/// Paper shape: mirrors Dane — Multileader + Node-Aware best small,
+/// Node-Aware best large.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig17", "Figure 17: Amber, 32 nodes", "Msg Size (bytes)");
+  const topo::Machine machine = topo::amber(32);
+  const model::NetParams net = model::omni_path();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"Node-Aware", Algo::kNodeAware, Inner::kPairwise, 0},
+      {"Locality-Aware", Algo::kLocalityAware, Inner::kPairwise, 4},
+      {"Multileader + Locality", Algo::kMultileaderNodeAware, Inner::kPairwise, 4},
+  };
+  benchx::register_size_sweep(fig, machine, net, series,
+                              benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

@@ -1,0 +1,29 @@
+/// Figure 18: best algorithms vs System MPI on 32 nodes of Tuolomne
+/// (MI300A + Slingshot-11 + Cray MPICH).
+///
+/// Paper shape: Node-Aware best at small sizes with System MPI close
+/// behind; at large sizes the heavily vendor-tuned Cray MPICH wins.
+
+#include "bench_common.hpp"
+
+using namespace mca2a;
+using benchx::Series;
+using coll::Algo;
+using coll::Inner;
+
+int main(int argc, char** argv) {
+  bench::Figure fig("fig18", "Figure 18: Tuolomne, 32 nodes",
+                    "Message Size (bytes)");
+  const topo::Machine machine = topo::tuolomne(32);
+  const model::NetParams net = model::slingshot();
+
+  std::vector<Series> series = {
+      {"System MPI", Algo::kSystemMpi, Inner::kPairwise, 0},
+      {"Node-Aware", Algo::kNodeAware, Inner::kPairwise, 0},
+      {"Locality-Aware", Algo::kLocalityAware, Inner::kPairwise, 4},
+      {"Multileader + Locality", Algo::kMultileaderNodeAware, Inner::kPairwise, 4},
+  };
+  benchx::register_size_sweep(fig, machine, net, series,
+                              benchx::default_sizes());
+  return benchx::figure_main(argc, argv, fig);
+}

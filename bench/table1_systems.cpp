@@ -1,0 +1,63 @@
+/// Table 1: the three system architectures, as modelled by the topo and
+/// model presets. Printed as a table mirroring the paper's columns plus the
+/// key performance-model parameters each preset implies.
+
+#include <iostream>
+#include <sstream>
+
+#include "harness/table.hpp"
+#include "model/presets.hpp"
+#include "topo/presets.hpp"
+
+using namespace mca2a;
+
+namespace {
+
+std::string row_fmt(double v, const char* unit) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v << ' ' << unit;
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Table 1: System Architectures (modelled) ==\n";
+  std::vector<std::string> headers = {
+      "Name",      "CPU",        "Cores/node", "Sockets", "NUMA/socket",
+      "Network",   "alpha(net)", "BW/NIC",     "Eager limit"};
+  std::vector<std::vector<std::string>> rows;
+
+  struct Sys {
+    const char* name;
+    const char* cpu;
+    const char* network;
+  };
+  const Sys systems[] = {
+      {"dane", "Intel Sapphire Rapids", "Cornelis Omni-Path"},
+      {"amber", "Intel Sapphire Rapids", "Cornelis Omni-Path"},
+      {"tuolomne", "AMD Instinct MI300A", "Slingshot-11"},
+  };
+  for (const Sys& s : systems) {
+    const topo::Machine m = topo::by_name(s.name, 32);
+    const model::NetParams net = model::for_machine(s.name);
+    rows.push_back({
+        s.name,
+        s.cpu,
+        std::to_string(m.ppn()),
+        std::to_string(m.desc().sockets_per_node),
+        std::to_string(m.desc().numa_per_socket),
+        s.network,
+        row_fmt(net.at(topo::Level::kNetwork).alpha * 1e6, "us"),
+        row_fmt(1.0 / net.nic_inject_beta / 1e9, "GB/s"),
+        row_fmt(static_cast<double>(net.eager_threshold) / 1024.0, "KiB"),
+    });
+  }
+  bench::print_table(std::cout, headers, rows);
+  std::cout << "\n(paper Table 1 reports: Dane/Amber OpenMPI 4.1.x + "
+               "libfabric 2.x on Omni-Path; Tuolomne Cray MPICH 8.1.32 on "
+               "Slingshot-11; the model captures their topology and fabric "
+               "parameters, not software versions)\n";
+  return 0;
+}

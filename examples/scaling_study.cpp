@@ -1,0 +1,76 @@
+/// \file scaling_study.cpp
+/// Capability-scale projection (the paper's §5: "develop a model to
+/// evaluate these impacts at capability-scale"). Uses the discrete-event
+/// simulator to sweep an algorithm portfolio on a machine you describe on
+/// the command line — no cluster required.
+///
+///   ./build/examples/scaling_study [machine] [nodes] [bytes-per-pair]
+///   machine: dane | amber | tuolomne (default dane)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/figure.hpp"
+#include "harness/sweep.hpp"
+#include "model/presets.hpp"
+#include "topo/presets.hpp"
+
+using namespace mca2a;
+
+int main(int argc, char** argv) {
+  const std::string machine_name = argc > 1 ? argv[1] : "dane";
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::size_t block =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1024;
+
+  const topo::Machine machine = topo::by_name(machine_name, nodes);
+  const model::NetParams net = model::for_machine(machine_name);
+  std::printf("scaling_study: %s, %d nodes x %d ranks, %zu B per pair\n",
+              machine_name.c_str(), nodes, machine.ppn(), block);
+
+  struct Entry {
+    const char* label;
+    coll::Algo algo;
+    int group_size;
+  };
+  const Entry entries[] = {
+      {"System MPI", coll::Algo::kSystemMpi, 0},
+      {"Hierarchical", coll::Algo::kHierarchical, 0},
+      {"Multileader (4 ppl)", coll::Algo::kMultileader, 4},
+      {"Node-Aware", coll::Algo::kNodeAware, 0},
+      {"Locality-Aware (4 ppg)", coll::Algo::kLocalityAware, 4},
+      {"Multileader + Locality (4 ppl)", coll::Algo::kMultileaderNodeAware, 4},
+  };
+
+  std::printf("\n%-32s %14s %14s %12s\n", "algorithm", "simulated time",
+              "vs best", "messages");
+  double best = 0.0;
+  struct Row {
+    const char* label;
+    double seconds;
+    std::uint64_t messages;
+  };
+  std::vector<Row> rows;
+  for (const Entry& e : entries) {
+    bench::RunSpec spec;
+    spec.machine = machine.desc();
+    spec.net = net;
+    spec.algo = e.algo;
+    spec.group_size = e.group_size;
+    spec.block = block;
+    bench::apply_env(spec);
+    const bench::RunResult r = bench::run_sim(spec);
+    rows.push_back(Row{e.label, r.seconds, r.messages});
+    if (best == 0.0 || r.seconds < best) {
+      best = r.seconds;
+    }
+  }
+  for (const Row& r : rows) {
+    std::printf("%-32s %14s %13.2fx %12llu\n", r.label,
+                bench::format_time(r.seconds).c_str(), r.seconds / best,
+                static_cast<unsigned long long>(r.messages));
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// \file tuner_demo.cpp
+/// Dynamic algorithm selection (paper §5 future work): for each message
+/// size, the analytic model picks an (algorithm, group size); the simulator
+/// then measures the chosen algorithm against the fixed-algorithm
+/// portfolio, reporting how close the selection came to the true optimum.
+///
+///   ./build/examples/tuner_demo [machine] [nodes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "harness/figure.hpp"
+#include "harness/sweep.hpp"
+#include "model/presets.hpp"
+#include "topo/presets.hpp"
+
+using namespace mca2a;
+
+int main(int argc, char** argv) {
+  const std::string machine_name = argc > 1 ? argv[1] : "dane";
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 8;
+  const topo::Machine machine = topo::by_name(machine_name, nodes);
+  const model::NetParams net = model::for_machine(machine_name);
+
+  std::printf("tuner_demo: %s, %d nodes x %d ranks\n", machine_name.c_str(),
+              nodes, machine.ppn());
+  std::printf("%-10s %-34s %14s %14s\n", "size", "selected",
+              "selected time", "node-aware");
+
+  for (std::size_t block : {std::size_t{4}, std::size_t{64}, std::size_t{512},
+                            std::size_t{4096}}) {
+    const coll::Choice choice = coll::select_algorithm(machine, net, block);
+
+    auto measure = [&](coll::Algo algo, int g) {
+      bench::RunSpec spec;
+      spec.machine = machine.desc();
+      spec.net = net;
+      spec.algo = algo;
+      spec.group_size = g;
+      spec.block = block;
+      bench::apply_env(spec);
+      return bench::run_sim(spec).seconds;
+    };
+
+    const double chosen = measure(choice.algo, choice.group_size);
+    const double baseline = measure(coll::Algo::kNodeAware, 0);
+    std::printf("%-10zu %-24s (g=%-3d) %14s %14s\n", block,
+                std::string(coll::algo_name(choice.algo)).c_str(),
+                choice.group_size, bench::format_time(chosen).c_str(),
+                bench::format_time(baseline).c_str());
+  }
+  return 0;
+}

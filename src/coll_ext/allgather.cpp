@@ -1,0 +1,97 @@
+#include "coll_ext/allgather.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mca2a::coll {
+
+namespace {
+constexpr int kTag = rt::kInternalTagBase + 64;
+}
+
+rt::Task<void> allgather_ring(rt::Comm& comm, rt::ConstView send,
+                              rt::MutView recv) {
+  co_await rt::allgather(comm, send, recv);
+}
+
+rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
+                               rt::MutView recv) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t block = send.len;
+  if (recv.len < block * static_cast<std::size_t>(p)) {
+    throw std::invalid_argument("allgather_bruck: receive buffer too small");
+  }
+  // tmp block i holds the contribution of rank (me + i) mod p.
+  rt::Buffer tmp = comm.alloc_buffer(block * static_cast<std::size_t>(p));
+  comm.copy_and_charge(tmp.view(0, block), send);
+  int have = 1;
+  for (int pof2 = 1; have < p; pof2 <<= 1) {
+    const int dst = (me - pof2 + p) % p;
+    const int src = (me + pof2) % p;
+    const int chunk = std::min(have, p - have);
+    co_await comm.sendrecv(
+        rt::ConstView(tmp.view(0, static_cast<std::size_t>(chunk) * block)),
+        dst, kTag,
+        tmp.view(static_cast<std::size_t>(have) * block,
+                 static_cast<std::size_t>(chunk) * block),
+        src, kTag);
+    have += chunk;
+  }
+  // Rotate into rank order: contribution of rank r sits at (r - me) mod p.
+  for (int i = 0; i < p; ++i) {
+    comm.copy_and_charge(recv.sub(((me + i) % p) * block, block),
+                         rt::ConstView(tmp.view(i * block, block)));
+  }
+}
+
+rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
+                                      rt::ConstView send, rt::MutView recv) {
+  rt::Comm& world = *lc.world;
+  rt::Comm& local = *lc.local_comm;
+  const int g = lc.group_size;
+  const std::size_t block = send.len;
+  const std::size_t total = block * static_cast<std::size_t>(world.size());
+  if (recv.len < total) {
+    throw std::invalid_argument(
+        "allgather_hierarchical: receive buffer too small");
+  }
+
+  // Gather the group's blocks at the leader...
+  rt::Buffer agg;
+  if (lc.is_leader) {
+    agg = world.alloc_buffer(static_cast<std::size_t>(g) * block);
+  }
+  co_await rt::gather(local, send, agg.view(), /*root=*/0);
+
+  // ...leaders allgather aggregated blocks (leaders' group_cross covers all
+  // regions in region-major order, which equals world rank order)...
+  if (lc.is_leader) {
+    co_await rt::allgather(*lc.group_cross, rt::ConstView(agg.view()), recv);
+  }
+  // ...and every group broadcasts the full result.
+  co_await rt::bcast(local, recv, /*root=*/0);
+}
+
+rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
+                                        rt::ConstView send, rt::MutView recv) {
+  rt::Comm& world = *lc.world;
+  rt::Comm& local = *lc.local_comm;
+  const int g = lc.group_size;
+  const std::size_t block = send.len;
+  const std::size_t total = block * static_cast<std::size_t>(world.size());
+  if (recv.len < total) {
+    throw std::invalid_argument(
+        "allgather_locality_aware: receive buffer too small");
+  }
+
+  // Phase 1: everyone aggregates their group's blocks.
+  rt::Buffer agg = world.alloc_buffer(static_cast<std::size_t>(g) * block);
+  co_await rt::allgather(local, send, agg.view());
+
+  // Phase 2: exchange group aggregates across regions. Region j's blocks
+  // land at offset j*g*block, which is exactly world order.
+  co_await rt::allgather(*lc.group_cross, rt::ConstView(agg.view()), recv);
+}
+
+}  // namespace mca2a::coll

@@ -1,0 +1,48 @@
+#pragma once
+/// \file allgather.hpp
+/// Allgather algorithms — the paper's §5 future work ("we plan to extend
+/// this work by applying this approach on other HPC critical collectives
+/// (allgather, broadcast, ...)"), following the locality-aware allgather of
+/// Bienz, Gautam & Kharel (EuroMPI '22), the paper's reference [1].
+///
+/// Every rank contributes `send` (one block); `recv` must hold
+/// size() * send.len bytes and ends up identical everywhere, ordered by
+/// rank.
+///
+/// Variants:
+///   * ring          — p-1 neighbor steps, bandwidth-optimal.
+///   * bruck         — ceil(log2 p) doubling steps, latency-optimal.
+///   * hierarchical  — gather to group leaders, allgather among leaders,
+///                     broadcast within the group.
+///   * locality_aware— allgather within the group, then an inter-region
+///                     allgather of aggregated group blocks (region-major
+///                     regions tile the world, so the result lands in rank
+///                     order with no final shuffle).
+
+#include "runtime/collectives.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/comm_bundle.hpp"
+#include "runtime/task.hpp"
+
+namespace mca2a::coll {
+
+/// Ring allgather (alias of the runtime building block, re-exported here so
+/// the extension API is complete).
+rt::Task<void> allgather_ring(rt::Comm& comm, rt::ConstView send,
+                              rt::MutView recv);
+
+/// Bruck (recursive doubling) allgather: log2 p steps.
+rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
+                               rt::MutView recv);
+
+/// Hierarchical allgather over a locality bundle.
+rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
+                                      rt::ConstView send, rt::MutView recv);
+
+/// Locality-aware allgather: intra-group aggregation, then inter-region
+/// exchange among same-position ranks (every rank participates; no
+/// broadcast phase).
+rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
+                                        rt::ConstView send, rt::MutView recv);
+
+}  // namespace mca2a::coll

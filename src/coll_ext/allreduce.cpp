@@ -1,0 +1,169 @@
+#include "coll_ext/allreduce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace mca2a::coll {
+
+namespace {
+
+constexpr int kTag = rt::kInternalTagBase + 80;
+
+/// Fold `in` into `acc` when both are real; always charge the arithmetic
+/// (modelled at the packing rate — one pass over the data).
+void combine(rt::Comm& comm, rt::MutView acc, rt::ConstView in,
+             const Combiner& op) {
+  if (acc.len != in.len) {
+    throw std::invalid_argument("allreduce: combine length mismatch");
+  }
+  if (acc.ptr != nullptr && in.ptr != nullptr && acc.len > 0) {
+    op.fn(acc.ptr, in.ptr, acc.len / op.elem_size);
+  }
+  comm.charge_copy(acc.len);
+}
+
+}  // namespace
+
+rt::Task<void> reduce_binomial(rt::Comm& comm, rt::MutView data, Combiner op,
+                               int root) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  if (root < 0 || root >= n) {
+    throw std::out_of_range("reduce: root out of range");
+  }
+  const int vr = (me - root + n) % n;
+  rt::Buffer tmp = comm.alloc_buffer(data.len);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vr & mask) {
+      const int parent = ((vr - mask) + root) % n;
+      co_await comm.send(rt::ConstView(data), parent, kTag);
+      co_return;
+    }
+    const int child = vr + mask;
+    if (child < n) {
+      co_await comm.recv(tmp.view(0, data.len), (child + root) % n, kTag);
+      combine(comm, data, rt::ConstView(tmp.view(0, data.len)), op);
+    }
+  }
+}
+
+rt::Task<void> allreduce_recursive_doubling(rt::Comm& comm, rt::MutView data,
+                                            Combiner op) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  rt::Buffer tmp = comm.alloc_buffer(data.len);
+
+  // Fold the surplus beyond the largest power of two (MPICH scheme):
+  // of the first 2*rem ranks, evens park their data with the odd neighbor.
+  int pof2 = 1;
+  while (pof2 * 2 <= p) {
+    pof2 *= 2;
+  }
+  const int rem = p - pof2;
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      co_await comm.send(rt::ConstView(data), me + 1, kTag);
+      newrank = -1;  // idle during the doubling rounds
+    } else {
+      co_await comm.recv(tmp.view(0, data.len), me - 1, kTag);
+      combine(comm, data, rt::ConstView(tmp.view(0, data.len)), op);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  if (newrank != -1) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner =
+          partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+      co_await comm.sendrecv(rt::ConstView(data), partner, kTag,
+                             tmp.view(0, data.len), partner, kTag);
+      combine(comm, data, rt::ConstView(tmp.view(0, data.len)), op);
+    }
+  }
+
+  // Return results to the parked even ranks.
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      co_await comm.send(rt::ConstView(data), me - 1, kTag);
+    } else {
+      co_await comm.recv(data, me + 1, kTag);
+    }
+  }
+}
+
+rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
+                                      Combiner op) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t elems = data.len / op.elem_size;
+  if (elems * op.elem_size != data.len) {
+    throw std::invalid_argument(
+        "allreduce_rabenseifner: buffer not a whole number of elements");
+  }
+  if (static_cast<std::size_t>(p) > elems && p > 1) {
+    throw std::invalid_argument(
+        "allreduce_rabenseifner: fewer elements than ranks (use recursive "
+        "doubling)");
+  }
+  if (p == 1) {
+    co_return;
+  }
+
+  // Element ranges per chunk: base elements each, first `extra` get one more.
+  const std::size_t base = elems / p;
+  const std::size_t extra = elems % p;
+  auto chunk_begin = [&](int c) {
+    return static_cast<std::size_t>(c) * base +
+           std::min<std::size_t>(c, extra);
+  };
+  auto chunk_bytes = [&](int c) {
+    return (base + (static_cast<std::size_t>(c) < extra ? 1 : 0)) *
+           op.elem_size;
+  };
+  auto chunk_view = [&](int c) {
+    return data.sub(chunk_begin(c) * op.elem_size, chunk_bytes(c));
+  };
+
+  rt::Buffer tmp = comm.alloc_buffer((base + 1) * op.elem_size);
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+
+  // Ring reduce-scatter: after p-1 steps rank r owns chunk (r+1) mod p.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_c = (me - s + p) % p;
+    const int recv_c = (me - s - 1 + p) % p;
+    co_await comm.sendrecv(rt::ConstView(chunk_view(send_c)), right, kTag,
+                           tmp.view(0, chunk_bytes(recv_c)), left, kTag);
+    combine(comm, chunk_view(recv_c),
+            rt::ConstView(tmp.view(0, chunk_bytes(recv_c))), op);
+  }
+
+  // Ring allgather of the reduced chunks.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_c = (me + 1 - s + p) % p;
+    const int recv_c = (me - s + p) % p;
+    co_await comm.sendrecv(rt::ConstView(chunk_view(send_c)), right, kTag,
+                           chunk_view(recv_c), left, kTag);
+  }
+}
+
+rt::Task<void> allreduce_node_aware(const rt::LocalityComms& lc,
+                                    rt::MutView data, Combiner op) {
+  rt::Comm& local = *lc.local_comm;
+  // Reduce each group's contribution at its leader...
+  co_await reduce_binomial(local, data, op, /*root=*/0);
+  // ...combine across all region leaders (their group_cross covers every
+  // region, hence every rank's data)...
+  if (lc.is_leader) {
+    co_await allreduce_recursive_doubling(*lc.group_cross, data, op);
+  }
+  // ...and distribute the result within each group.
+  co_await rt::bcast(local, data, /*root=*/0);
+}
+
+}  // namespace mca2a::coll

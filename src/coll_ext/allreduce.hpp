@@ -1,0 +1,98 @@
+#pragma once
+/// \file allreduce.hpp
+/// Allreduce algorithms — the AI-critical collective of the paper's §5
+/// future work, with the node-aware structure of Bienz, Olson & Gropp
+/// (ExaMPI '19), the paper's reference [3].
+///
+/// Data is a typed contiguous vector reduced element-wise across all ranks;
+/// every rank ends with the full reduction. Reductions run through a
+/// type-erased Combiner so the exchange code is written once.
+///
+/// With virtual buffers (simulator at scale) the arithmetic is skipped but
+/// every exchange and combine is still charged to the clock, so timing
+/// studies work; the numerical result is only defined for real buffers.
+///
+/// Variants:
+///   * recursive_doubling — log2 p rounds on the full vector (small data).
+///   * reduce_scatter + allgather (Rabenseifner) — bandwidth-optimal for
+///     large vectors; requires the element count to be >= size().
+///   * node_aware — binomial reduce to the group leader, recursive doubling
+///     among leaders, broadcast back (reference [3]'s structure over the
+///     same locality bundle the all-to-all algorithms use).
+
+#include <cstdint>
+
+#include "runtime/collectives.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/comm_bundle.hpp"
+#include "runtime/task.hpp"
+
+namespace mca2a::coll {
+
+/// Type-erased element-wise reduction: fold `count` elements of `in` into
+/// `acc`. `elem_size` is carried alongside for block arithmetic.
+struct Combiner {
+  void (*fn)(std::byte* acc, const std::byte* in, std::size_t count) = nullptr;
+  std::size_t elem_size = 1;
+};
+
+namespace detail {
+template <typename T, typename Op>
+void combine_impl(std::byte* acc, const std::byte* in, std::size_t count) {
+  T* a = reinterpret_cast<T*>(acc);
+  const T* b = reinterpret_cast<const T*>(in);
+  Op op;
+  for (std::size_t i = 0; i < count; ++i) {
+    a[i] = op(a[i], b[i]);
+  }
+}
+template <typename T>
+struct SumOp {
+  T operator()(T a, T b) const { return a + b; }
+};
+template <typename T>
+struct MaxOp {
+  T operator()(T a, T b) const { return a > b ? a : b; }
+};
+template <typename T>
+struct MinOp {
+  T operator()(T a, T b) const { return a < b ? a : b; }
+};
+}  // namespace detail
+
+/// Element-wise sum / max / min combiners for arithmetic T.
+template <typename T>
+Combiner sum_combiner() {
+  return Combiner{&detail::combine_impl<T, detail::SumOp<T>>, sizeof(T)};
+}
+template <typename T>
+Combiner max_combiner() {
+  return Combiner{&detail::combine_impl<T, detail::MaxOp<T>>, sizeof(T)};
+}
+template <typename T>
+Combiner min_combiner() {
+  return Combiner{&detail::combine_impl<T, detail::MinOp<T>>, sizeof(T)};
+}
+
+/// Recursive doubling on the whole vector (`data` is input and output).
+rt::Task<void> allreduce_recursive_doubling(rt::Comm& comm, rt::MutView data,
+                                            Combiner op);
+
+/// Rabenseifner: ring reduce-scatter then ring allgather. Requires
+/// data.len / op.elem_size >= size().
+rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
+                                      Combiner op);
+
+/// Node-/locality-aware allreduce over a locality bundle: binomial reduce
+/// to each group leader, recursive doubling among leaders, binomial
+/// broadcast back.
+rt::Task<void> allreduce_node_aware(const rt::LocalityComms& lc,
+                                    rt::MutView data, Combiner op);
+
+/// Binomial-tree reduction to `root` (building block, also exposed for
+/// tests): after completion `data` at root holds the reduction; other
+/// ranks' buffers are clobbered with partial results.
+rt::Task<void> reduce_binomial(rt::Comm& comm, rt::MutView data, Combiner op,
+                               int root);
+
+}  // namespace mca2a::coll

@@ -1,0 +1,95 @@
+#include "coll_ext/alltoallv.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mca2a::coll {
+
+namespace {
+
+constexpr int kTag = rt::kInternalTagBase + 96;
+
+void check_args(const rt::Comm& comm, rt::ConstView send,
+                std::span<const std::size_t> send_counts,
+                std::span<const std::size_t> send_displs, rt::MutView recv,
+                std::span<const std::size_t> recv_counts,
+                std::span<const std::size_t> recv_displs) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  if (send_counts.size() != p || send_displs.size() != p ||
+      recv_counts.size() != p || recv_displs.size() != p) {
+    throw std::invalid_argument("alltoallv: counts/displs must have one "
+                                "entry per rank");
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    if (send_displs[r] + send_counts[r] > send.len) {
+      throw std::out_of_range("alltoallv: send block out of range");
+    }
+    if (recv_displs[r] + recv_counts[r] > recv.len) {
+      throw std::out_of_range("alltoallv: recv block out of range");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> displs_from_counts(
+    std::span<const std::size_t> counts) {
+  std::vector<std::size_t> displs(counts.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    displs[i] = off;
+    off += counts[i];
+  }
+  return displs;
+}
+
+rt::Task<void> alltoallv_pairwise(rt::Comm& comm, rt::ConstView send,
+                                  std::span<const std::size_t> send_counts,
+                                  std::span<const std::size_t> send_displs,
+                                  rt::MutView recv,
+                                  std::span<const std::size_t> recv_counts,
+                                  std::span<const std::size_t> recv_displs) {
+  check_args(comm, send, send_counts, send_displs, recv, recv_counts,
+             recv_displs);
+  const int p = comm.size();
+  const int me = comm.rank();
+  comm.copy_and_charge(recv.sub(recv_displs[me], recv_counts[me]),
+                       send.sub(send_displs[me], send_counts[me]));
+  for (int i = 1; i < p; ++i) {
+    const int dst = (me + i) % p;
+    const int src = (me - i + p) % p;
+    co_await comm.sendrecv(send.sub(send_displs[dst], send_counts[dst]), dst,
+                           kTag,
+                           recv.sub(recv_displs[src], recv_counts[src]), src,
+                           kTag);
+  }
+}
+
+rt::Task<void> alltoallv_nonblocking(rt::Comm& comm, rt::ConstView send,
+                                     std::span<const std::size_t> send_counts,
+                                     std::span<const std::size_t> send_displs,
+                                     rt::MutView recv,
+                                     std::span<const std::size_t> recv_counts,
+                                     std::span<const std::size_t> recv_displs) {
+  check_args(comm, send, send_counts, send_displs, recv, recv_counts,
+             recv_displs);
+  const int p = comm.size();
+  const int me = comm.rank();
+  comm.copy_and_charge(recv.sub(recv_displs[me], recv_counts[me]),
+                       send.sub(send_displs[me], send_counts[me]));
+  std::vector<rt::Request> reqs;
+  reqs.reserve(2 * (p - 1));
+  for (int i = 1; i < p; ++i) {
+    const int src = (me - i + p) % p;
+    reqs.push_back(
+        comm.irecv(recv.sub(recv_displs[src], recv_counts[src]), src, kTag));
+  }
+  for (int i = 1; i < p; ++i) {
+    const int dst = (me + i) % p;
+    reqs.push_back(
+        comm.isend(send.sub(send_displs[dst], send_counts[dst]), dst, kTag));
+  }
+  co_await comm.wait_all(reqs);
+}
+
+}  // namespace mca2a::coll

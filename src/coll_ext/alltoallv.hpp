@@ -1,0 +1,37 @@
+#pragma once
+/// \file alltoallv.hpp
+/// Variable-count all-to-all (MPI_Alltoallv), the irregular counterpart the
+/// paper's related-work section discusses ([12], [7]). Counts and
+/// displacements are in bytes; each rank may send a different amount to
+/// every peer. recv_counts must match the peers' send_counts (like MPI,
+/// this is the caller's contract; a mismatch surfaces as truncation or
+/// deadlock).
+
+#include <span>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "runtime/task.hpp"
+
+namespace mca2a::coll {
+
+/// Contiguous displacements for `counts` (exclusive prefix sum).
+std::vector<std::size_t> displs_from_counts(std::span<const std::size_t> counts);
+
+/// Pairwise-exchange alltoallv: p-1 synchronized sendrecv steps.
+rt::Task<void> alltoallv_pairwise(rt::Comm& comm, rt::ConstView send,
+                                  std::span<const std::size_t> send_counts,
+                                  std::span<const std::size_t> send_displs,
+                                  rt::MutView recv,
+                                  std::span<const std::size_t> recv_counts,
+                                  std::span<const std::size_t> recv_displs);
+
+/// Fully nonblocking alltoallv: post everything, wait once.
+rt::Task<void> alltoallv_nonblocking(rt::Comm& comm, rt::ConstView send,
+                                     std::span<const std::size_t> send_counts,
+                                     std::span<const std::size_t> send_displs,
+                                     rt::MutView recv,
+                                     std::span<const std::size_t> recv_counts,
+                                     std::span<const std::size_t> recv_displs);
+
+}  // namespace mca2a::coll

@@ -1,0 +1,70 @@
+/// \file bruck.cpp
+/// The Bruck all-to-all [Bruck et al., TPDS 1997]: ceil(log2 p) steps, each
+/// moving every block whose index has the step bit set. Latency-optimal
+/// (log p messages) at the cost of each byte traveling ~log p / 2 hops,
+/// which is why it wins only for small blocks.
+///
+/// Structure follows the MPICH implementation:
+///   phase 1: local rotation   tmp[i] = send[(rank + i) mod p]
+///   phase 2: for pof2 = 1,2,4,...: pack blocks with (i & pof2), send to
+///            rank + pof2, receive from rank - pof2 into the same slots
+///   phase 3: inverse rotation  recv[(rank - i) mod p] = tmp[i]
+
+#include <vector>
+
+#include "core/alltoall.hpp"
+
+namespace mca2a::coll {
+
+namespace {
+constexpr int kTag = rt::kInternalTagBase + 34;
+}
+
+rt::Task<void> alltoall_bruck(rt::Comm& comm, rt::ConstView send,
+                              rt::MutView recv, std::size_t block) {
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  rt::Buffer tmp = comm.alloc_buffer(static_cast<std::size_t>(p) * block);
+  // Phase 1: rotate so block i holds data destined for rank (me + i) mod p.
+  for (int i = 0; i < p; ++i) {
+    comm.copy_and_charge(tmp.view(i * block, block),
+                         send.sub(((me + i) % p) * block, block));
+  }
+
+  // Phase 2: exchange the blocks whose index has the current bit set.
+  const std::size_t half = (static_cast<std::size_t>(p) / 2 + 1) * block;
+  rt::Buffer pack = comm.alloc_buffer(half);
+  rt::Buffer unpack = comm.alloc_buffer(half);
+  std::vector<int> indices;
+  indices.reserve(p / 2 + 1);
+  for (int pof2 = 1; pof2 < p; pof2 <<= 1) {
+    const int dst = (me + pof2) % p;
+    const int src = (me - pof2 + p) % p;
+    indices.clear();
+    for (int i = pof2; i < p; ++i) {
+      if (i & pof2) {
+        indices.push_back(i);
+      }
+    }
+    const std::size_t bytes = indices.size() * block;
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      comm.copy_and_charge(pack.view(k * block, block),
+                           rt::ConstView(tmp.view(indices[k] * block, block)));
+    }
+    co_await comm.sendrecv(pack.view(0, bytes), dst, kTag,
+                           unpack.view(0, bytes), src, kTag);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      comm.copy_and_charge(tmp.view(indices[k] * block, block),
+                           rt::ConstView(unpack.view(k * block, block)));
+    }
+  }
+
+  // Phase 3: block i now holds the data originating at rank (me - i) mod p.
+  for (int i = 0; i < p; ++i) {
+    comm.copy_and_charge(recv.sub(((me - i + p) % p) * block, block),
+                         rt::ConstView(tmp.view(i * block, block)));
+  }
+}
+
+}  // namespace mca2a::coll

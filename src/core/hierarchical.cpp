@@ -1,0 +1,115 @@
+/// \file hierarchical.cpp
+/// Algorithm 3 of the paper: hierarchical / multi-leader all-to-all.
+///
+/// Each group of `g` consecutive node-local ranks gathers its members' full
+/// send buffers at the group leader; leaders perform an all-to-all among all
+/// n*G leaders (block g*g*s: my g members' data for the target region's g
+/// members); leaders scatter results back. With g == ppn this is the classic
+/// single-leader hierarchical algorithm; smaller g is the multi-leader
+/// variant (more leaders shrink the gather/scatter funnel but multiply
+/// inter-node message counts by L^2 per node pair).
+///
+/// Layouts (s = block, p = world size, region j covers world ranks
+/// [j*g, (j+1)*g)):
+///   gathered  G[i][w]        i = member, w = destination world rank
+///   leader send L[j][i][d]   j = region, d = destination position in j
+///   leader recv R[j][i'][m]  i' = source position in j, m = my member
+///   scatter   S[m][w']       w' = source world rank
+
+#include "core/alltoall.hpp"
+#include "runtime/collectives.hpp"
+
+namespace mca2a::coll {
+
+rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
+                                     rt::ConstView send, rt::MutView recv,
+                                     std::size_t block, const Options& opts) {
+  rt::Comm& world = *lc.world;
+  rt::Comm& local = *lc.local_comm;
+  const int p = world.size();
+  const int g = lc.group_size;
+  const int nreg = lc.regions();
+  const std::size_t s = block;
+  const std::size_t psz = static_cast<std::size_t>(p) * s;
+  // Phase timings are meaningful at the leaders (the ranks doing the work);
+  // a non-leader's "scatter" time would mostly measure waiting for its
+  // leader to get through the exchange.
+  Trace* trace = lc.is_leader ? opts.trace : nullptr;
+
+  // --- gather members' send buffers to the leader --------------------------
+  rt::Buffer gathered;
+  if (lc.is_leader) {
+    gathered = world.alloc_buffer(static_cast<std::size_t>(g) * psz);
+  }
+  double t0 = world.now();
+  co_await rt::gather(local, send, gathered.view(), /*root=*/0);
+  if (trace) trace->add(Phase::kGather, world.now() - t0);
+
+  if (!lc.is_leader) {
+    t0 = world.now();
+    co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0);
+    if (trace) trace->add(Phase::kScatter, world.now() - t0);
+    co_return;
+  }
+
+  // --- leader: repack into per-region blocks --------------------------------
+  const std::size_t gg = static_cast<std::size_t>(g) * g * s;  // region block
+  rt::Buffer lsend = world.alloc_buffer(static_cast<std::size_t>(nreg) * gg);
+  const bool real = lsend.data() != nullptr && gathered.data() != nullptr;
+  t0 = world.now();
+  std::size_t moved = 0;
+  for (int j = 0; j < nreg; ++j) {
+    for (int i = 0; i < g; ++i) {
+      const std::size_t run = static_cast<std::size_t>(g) * s;
+      if (real) {
+        rt::copy_bytes(
+            lsend.view(static_cast<std::size_t>(j) * gg + i * run, run),
+            gathered.view(static_cast<std::size_t>(i) * psz +
+                              static_cast<std::size_t>(j) * run,
+                          run));
+      }
+      moved += run;
+    }
+  }
+  world.charge_copy(moved);
+  if (trace) trace->add(Phase::kPack, world.now() - t0);
+
+  // --- all-to-all among leaders (leaders' group_cross spans all leaders) ----
+  rt::Buffer lrecv = world.alloc_buffer(static_cast<std::size_t>(nreg) * gg);
+  t0 = world.now();
+  co_await alltoall_inner(opts.inner, *lc.group_cross,
+                          rt::ConstView(lsend.view()), lrecv.view(), gg);
+  if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
+
+  // --- repack received region blocks into per-member scatter blocks ---------
+  rt::Buffer sc = world.alloc_buffer(static_cast<std::size_t>(g) * psz);
+  const bool real2 = sc.data() != nullptr && lrecv.data() != nullptr;
+  t0 = world.now();
+  moved = 0;
+  for (int j = 0; j < nreg; ++j) {
+    for (int i2 = 0; i2 < g; ++i2) {
+      const int src_world = j * g + i2;
+      for (int m = 0; m < g; ++m) {
+        if (real2) {
+          rt::copy_bytes(
+              sc.view(static_cast<std::size_t>(m) * psz +
+                          static_cast<std::size_t>(src_world) * s,
+                      s),
+              lrecv.view(static_cast<std::size_t>(j) * gg +
+                             (static_cast<std::size_t>(i2) * g + m) * s,
+                         s));
+        }
+        moved += s;
+      }
+    }
+  }
+  world.charge_copy(moved);
+  if (trace) trace->add(Phase::kPack, world.now() - t0);
+
+  // --- scatter per-member results -------------------------------------------
+  t0 = world.now();
+  co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0);
+  if (trace) trace->add(Phase::kScatter, world.now() - t0);
+}
+
+}  // namespace mca2a::coll

@@ -1,0 +1,30 @@
+/// \file pairwise.cpp
+/// Algorithm 1 of the paper: pairwise exchange. p-1 disjoint steps; at step
+/// i, rank r sends to r+i and receives from r-i via a combined sendrecv.
+/// One exchange in flight limits contention and queue-search overheads at
+/// the price of per-step synchronization with the partner.
+
+#include "core/alltoall.hpp"
+
+namespace mca2a::coll {
+
+namespace {
+constexpr int kTag = rt::kInternalTagBase + 32;
+}
+
+rt::Task<void> alltoall_pairwise(rt::Comm& comm, rt::ConstView send,
+                                 rt::MutView recv, std::size_t block) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  // Own block moves locally.
+  comm.copy_and_charge(recv.sub(me * block, block),
+                       send.sub(me * block, block));
+  for (int i = 1; i < p; ++i) {
+    const int dst = (me + i) % p;
+    const int src = (me - i + p) % p;
+    co_await comm.sendrecv(send.sub(dst * block, block), dst, kTag,
+                           recv.sub(src * block, block), src, kTag);
+  }
+}
+
+}  // namespace mca2a::coll

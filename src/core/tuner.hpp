@@ -1,0 +1,42 @@
+#pragma once
+/// \file tuner.hpp
+/// Dynamic algorithm selection (the paper's §5 future work: "explore how
+/// the optimal algorithm can be dynamically selected for a given computer,
+/// system MPI, process count, and data size").
+///
+/// predict_alltoall_seconds evaluates a closed-form critical-path estimate
+/// of each algorithm family from the same model::NetParams the simulator
+/// charges, so selection is consistent with simulated results; tests check
+/// that the prediction ranks algorithms the way full simulations do at the
+/// extremes (latency-bound small blocks, bandwidth-bound large blocks).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/alltoall.hpp"
+#include "model/params.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::coll {
+
+/// Closed-form time estimate for one algorithm at one block size.
+/// `group_size` is the leader/group width for the locality algorithms
+/// (ignored by the direct ones).
+double predict_alltoall_seconds(Algo algo, const topo::Machine& machine,
+                                const model::NetParams& net,
+                                std::size_t block, int group_size);
+
+struct Choice {
+  Algo algo = Algo::kNodeAware;
+  int group_size = 1;
+  double predicted_seconds = 0.0;
+};
+
+/// Pick the fastest (algorithm, group size) combination for `block` bytes
+/// per pair. Candidate group sizes default to {4, 8, 16, ppn} filtered to
+/// divisors of ppn.
+Choice select_algorithm(const topo::Machine& machine,
+                        const model::NetParams& net, std::size_t block,
+                        std::vector<int> candidate_group_sizes = {});
+
+}  // namespace mca2a::coll

@@ -1,0 +1,126 @@
+#include "harness/figure.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "harness/table.hpp"
+
+namespace mca2a::bench {
+
+std::string format_time(double seconds) {
+  const char* unit = "s";
+  double v = seconds;
+  if (seconds < 1e-6) {
+    v = seconds * 1e9;
+    unit = "ns";
+  } else if (seconds < 1e-3) {
+    v = seconds * 1e6;
+    unit = "us";
+  } else if (seconds < 1.0) {
+    v = seconds * 1e3;
+    unit = "ms";
+  }
+  std::ostringstream os;
+  os << std::setprecision(4) << v << ' ' << unit;
+  return os.str();
+}
+
+Figure::Figure(std::string id, std::string title, std::string xlabel)
+    : id_(std::move(id)), title_(std::move(title)), xlabel_(std::move(xlabel)) {}
+
+int Figure::series_index(const std::string& name) {
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  series_.push_back(name);
+  return static_cast<int>(series_.size() - 1);
+}
+
+void Figure::add(const std::string& series, double x, double seconds) {
+  const int si = series_index(series);
+  for (Point& p : points_) {
+    if (p.series == si && p.x == x) {
+      p.seconds = seconds;  // re-measurement overwrites
+      return;
+    }
+  }
+  points_.push_back(Point{si, x, seconds});
+}
+
+void Figure::print(std::ostream& os) const {
+  os << "\n== " << title_ << " ==\n";
+  std::map<double, std::vector<double>> rows;  // x -> per-series seconds
+  for (const Point& p : points_) {
+    auto& row = rows[p.x];
+    row.resize(series_.size(), -1.0);
+    row[p.series] = p.seconds;
+  }
+  for (auto& [x, row] : rows) {
+    row.resize(series_.size(), -1.0);
+  }
+
+  std::vector<std::string> headers;
+  headers.push_back(xlabel_);
+  for (const std::string& s : series_) {
+    headers.push_back(s);
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& [x, row] : rows) {
+    std::vector<std::string> line;
+    std::ostringstream xs;
+    xs << x;
+    line.push_back(xs.str());
+    for (double v : row) {
+      line.push_back(v < 0 ? "-" : format_time(v));
+    }
+    cells.push_back(std::move(line));
+  }
+  print_table(os, headers, cells);
+}
+
+void Figure::write_csv(std::ostream& os) const {
+  os << "x";
+  for (const std::string& s : series_) {
+    os << ',' << s;
+  }
+  os << '\n';
+  std::map<double, std::vector<double>> rows;
+  for (const Point& p : points_) {
+    auto& row = rows[p.x];
+    row.resize(series_.size(), -1.0);
+    row[p.series] = p.seconds;
+  }
+  os << std::setprecision(9);
+  for (const auto& [x, row] : rows) {
+    os << x;
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      os << ',';
+      if (i < row.size() && row[i] >= 0) {
+        os << row[i];
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::string Figure::write_csv_env() const {
+  const char* dir = std::getenv("A2A_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') {
+    return {};
+  }
+  const std::string path = std::string(dir) + "/" + id_ + ".csv";
+  std::ofstream f(path);
+  if (f) {
+    write_csv(f);
+  }
+  return path;
+}
+
+}  // namespace mca2a::bench

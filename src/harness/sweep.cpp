@@ -1,0 +1,112 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "runtime/collectives.hpp"
+#include "runtime/comm_bundle.hpp"
+#include "sim/cluster.hpp"
+#include "sim/sim_comm.hpp"
+
+namespace mca2a::bench {
+
+void apply_env(RunSpec& spec) {
+  if (const char* reps = std::getenv("A2A_BENCH_REPS")) {
+    spec.reps = std::max(1, std::atoi(reps));
+  }
+  if (const char* sigma = std::getenv("A2A_NOISE")) {
+    spec.net.noise_sigma = std::max(0.0, std::atof(sigma));
+  }
+}
+
+RunResult run_sim(const RunSpec& spec) {
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  sim::ClusterConfig cfg;
+  cfg.machine = spec.machine;
+  cfg.net = spec.net;
+  cfg.carry_data = spec.carry_data;
+  cfg.noise_seed = spec.seed;
+  sim::Cluster cluster(cfg);
+
+  const topo::Machine& machine = cluster.machine();
+  const int p = machine.total_ranks();
+  const int reps = std::max(1, spec.reps);
+  const int g = spec.group_size == 0 ? machine.ppn() : spec.group_size;
+
+  // Per-(rep, rank) observations filled by the rank coroutines.
+  std::vector<std::vector<double>> start(reps, std::vector<double>(p, 0.0));
+  std::vector<std::vector<double>> end(reps, std::vector<double>(p, 0.0));
+  std::vector<std::vector<coll::Trace>> traces;
+  if (spec.collect_trace) {
+    traces.assign(reps, std::vector<coll::Trace>(p));
+  }
+
+  auto rank_main = [&](rt::Comm& world) -> rt::Task<void> {
+    const int me = world.rank();
+    if (spec.algo == coll::Algo::kSystemMpi) {
+      if (auto* sc = dynamic_cast<sim::SimComm*>(&world)) {
+        sc->set_cost_scale(spec.net.vendor_factor);
+      }
+    }
+    std::optional<rt::LocalityComms> lc;
+    if (coll::needs_locality(spec.algo)) {
+      lc.emplace(rt::build_locality_comms(
+          world, machine, g, coll::needs_leader_comms(spec.algo)));
+    }
+    const std::size_t total = static_cast<std::size_t>(p) * spec.block;
+    rt::Buffer sbuf = world.alloc_buffer(total);
+    rt::Buffer rbuf = world.alloc_buffer(total);
+
+    coll::Options opts;
+    opts.inner = spec.inner;
+    for (int rep = 0; rep < reps; ++rep) {
+      coll::Trace trace;
+      opts.trace = spec.collect_trace ? &trace : nullptr;
+      co_await rt::barrier(world);
+      start[rep][me] = world.now();
+      co_await coll::run_alltoall(spec.algo, world,
+                                  lc ? &*lc : nullptr,
+                                  rt::ConstView(sbuf.view()), rbuf.view(),
+                                  spec.block, opts);
+      end[rep][me] = world.now();
+      if (spec.collect_trace) {
+        traces[rep][me] = trace;
+      }
+    }
+  };
+
+  cluster.run(rank_main);
+
+  RunResult res;
+  res.seconds = std::numeric_limits<double>::infinity();
+  res.phase_seconds.fill(std::numeric_limits<double>::infinity());
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = *std::min_element(start[rep].begin(), start[rep].end());
+    const double t1 = *std::max_element(end[rep].begin(), end[rep].end());
+    res.seconds = std::min(res.seconds, t1 - t0);
+    if (spec.collect_trace) {
+      for (int ph = 0; ph < coll::kNumPhases; ++ph) {
+        double mx = 0.0;
+        for (int r = 0; r < p; ++r) {
+          mx = std::max(mx, traces[rep][r].seconds[ph]);
+        }
+        res.phase_seconds[ph] = std::min(res.phase_seconds[ph], mx);
+      }
+    }
+  }
+  if (!spec.collect_trace) {
+    res.phase_seconds.fill(0.0);
+  }
+  res.messages = cluster.messages_sent();
+  res.sim_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  return res;
+}
+
+}  // namespace mca2a::bench

@@ -1,0 +1,55 @@
+#pragma once
+/// \file sweep.hpp
+/// Benchmark driver: runs one (machine, network, algorithm, block size)
+/// configuration in the discrete-event simulator and reports the paper's
+/// metric — the minimum over repetitions of the collective's elapsed time
+/// (max end over ranks minus min start over ranks, after a barrier).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/alltoall.hpp"
+#include "model/params.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::bench {
+
+struct RunSpec {
+  topo::MachineDesc machine;
+  model::NetParams net;
+  coll::Algo algo = coll::Algo::kNodeAware;
+  coll::Inner inner = coll::Inner::kPairwise;
+  /// Leader/group width for locality algorithms; 0 means ppn (one group or
+  /// leader per node).
+  int group_size = 0;
+  std::size_t block = 4;
+  /// Paper reports the minimum of 3 runs. The model is deterministic when
+  /// net.noise_sigma == 0, making one repetition equivalent; apply_env()
+  /// lets A2A_BENCH_REPS / A2A_NOISE restore the paper's exact protocol.
+  int reps = 1;
+  std::uint64_t seed = 1;
+  /// Move real payload bytes (only sensible at test scale).
+  bool carry_data = false;
+  /// Collect per-phase timings (Figures 13-16).
+  bool collect_trace = false;
+};
+
+struct RunResult {
+  /// min over reps of (max rank end - min rank start).
+  double seconds = 0.0;
+  /// Per-phase maxima over ranks, min over reps (breakdown figures).
+  std::array<double, coll::kNumPhases> phase_seconds{};
+  /// Messages injected during the whole run (all reps).
+  std::uint64_t messages = 0;
+  /// Host wall time spent simulating (diagnostics).
+  double sim_wall_seconds = 0.0;
+};
+
+/// Run the spec in a fresh simulated cluster.
+RunResult run_sim(const RunSpec& spec);
+
+/// Apply environment overrides: A2A_BENCH_REPS (int), A2A_NOISE (sigma).
+void apply_env(RunSpec& spec);
+
+}  // namespace mca2a::bench

@@ -1,0 +1,38 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mca2a::bench {
+
+void print_table(std::ostream& os, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    width[c] = headers[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers);
+  std::vector<std::string> rule;
+  rule.reserve(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    rule.push_back(std::string(width[c], '-'));
+  }
+  emit(rule);
+  for (const auto& row : rows) {
+    emit(row);
+  }
+}
+
+}  // namespace mca2a::bench

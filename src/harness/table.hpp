@@ -1,0 +1,16 @@
+#pragma once
+/// \file table.hpp
+/// Minimal aligned-column text table used by the figure printer and the
+/// Table 1 benchmark.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mca2a::bench {
+
+/// Print `rows` under `headers` with columns padded to the widest cell.
+void print_table(std::ostream& os, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mca2a::bench

@@ -1,0 +1,65 @@
+#include "model/cost.hpp"
+
+namespace mca2a::model {
+
+bool is_rendezvous(const NetParams& p, std::size_t bytes) {
+  return bytes > p.eager_threshold;
+}
+
+double wire_time(const NetParams& p, topo::Level level, std::size_t bytes) {
+  const LevelParams& l = p.at(level);
+  return l.alpha + static_cast<double>(bytes) * l.beta;
+}
+
+double nic_inject_time(const NetParams& p, std::size_t bytes) {
+  double t = p.nic_msg_overhead +
+             static_cast<double>(bytes) * p.nic_inject_beta;
+  if (is_rendezvous(p, bytes)) {
+    t *= p.rendezvous_nic_factor;
+  }
+  return t;
+}
+
+double nic_eject_time(const NetParams& p, std::size_t bytes) {
+  double t = p.nic_msg_overhead + static_cast<double>(bytes) * p.nic_eject_beta;
+  if (is_rendezvous(p, bytes)) {
+    t *= p.rendezvous_nic_factor;
+  }
+  return t;
+}
+
+double mem_channel_time(const NetParams& p, std::size_t bytes) {
+  return p.mem_msg_overhead + static_cast<double>(bytes) * p.mem_channel_beta;
+}
+
+double cpu_copy_time(const NetParams& p, topo::Level level,
+                     std::size_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (level == topo::Level::kNetwork) {
+    return b * p.cpu_copy_beta;
+  }
+  const double cached =
+      static_cast<double>(std::min(bytes, p.intra_cache_bytes));
+  return b * p.cpu_copy_beta_intra -
+         cached * (p.cpu_copy_beta_intra - p.cpu_copy_beta_intra_cached);
+}
+
+double send_cpu_time(const NetParams& p, topo::Level level,
+                     std::size_t bytes) {
+  return p.at(level).o_send + cpu_copy_time(p, level, bytes);
+}
+
+double recv_cpu_time(const NetParams& p, topo::Level level,
+                     std::size_t bytes) {
+  return p.at(level).o_recv + cpu_copy_time(p, level, bytes);
+}
+
+double match_time(const NetParams& p, std::size_t queue_len) {
+  return p.match_base + static_cast<double>(queue_len) * p.match_per_item;
+}
+
+double pack_time(const NetParams& p, std::size_t bytes) {
+  return static_cast<double>(bytes) * p.pack_beta;
+}
+
+}  // namespace mca2a::model

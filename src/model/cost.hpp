@@ -1,0 +1,46 @@
+#pragma once
+/// \file cost.hpp
+/// Closed-form per-message cost helpers shared by the simulator (which
+/// charges them against shared resources in virtual time) and the analytic
+/// algorithm-selection model in core/tuner (which sums them).
+
+#include <cstddef>
+
+#include "model/params.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::model {
+
+/// True if a message of `bytes` uses the rendezvous protocol.
+bool is_rendezvous(const NetParams& p, std::size_t bytes);
+
+/// Pure wire time: alpha(level) + bytes * beta(level).
+double wire_time(const NetParams& p, topo::Level level, std::size_t bytes);
+
+/// Time a message occupies a node's NIC on injection (includes the
+/// rendezvous factor when applicable).
+double nic_inject_time(const NetParams& p, std::size_t bytes);
+/// Time a message occupies a node's NIC on ejection.
+double nic_eject_time(const NetParams& p, std::size_t bytes);
+
+/// Time an intra-node message occupies its NUMA memory channel.
+double mem_channel_time(const NetParams& p, std::size_t bytes);
+
+/// CPU time to move a payload of `bytes` at `level`: linear at
+/// cpu_copy_beta for network messages; piecewise for intra-node messages
+/// (first intra_cache_bytes at the cached rate, remainder at DRAM rate).
+double cpu_copy_time(const NetParams& p, topo::Level level, std::size_t bytes);
+
+/// CPU time a rank spends per message on the send side (overhead + copy).
+double send_cpu_time(const NetParams& p, topo::Level level, std::size_t bytes);
+/// CPU time a rank spends per message on the receive side, excluding
+/// matching (overhead + copy).
+double recv_cpu_time(const NetParams& p, topo::Level level, std::size_t bytes);
+
+/// Matching (queue search) cost for scanning `queue_len` entries.
+double match_time(const NetParams& p, std::size_t queue_len);
+
+/// Cost of repacking `bytes` locally.
+double pack_time(const NetParams& p, std::size_t bytes);
+
+}  // namespace mca2a::model

@@ -1,0 +1,39 @@
+#include "model/params.hpp"
+
+#include <stdexcept>
+
+namespace mca2a::model {
+
+void validate(const NetParams& p) {
+  auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      throw std::invalid_argument(std::string("NetParams '") + p.name +
+                                  "': " + what);
+    }
+  };
+  for (const LevelParams& l : p.level) {
+    require(l.alpha >= 0.0, "alpha must be >= 0");
+    require(l.beta >= 0.0, "beta must be >= 0");
+    require(l.o_send >= 0.0 && l.o_recv >= 0.0, "overheads must be >= 0");
+  }
+  require(p.nic_inject_beta >= 0.0 && p.nic_eject_beta >= 0.0,
+          "NIC rates must be >= 0");
+  require(p.nic_msg_overhead >= 0.0, "NIC message overhead must be >= 0");
+  require(p.mem_channel_beta >= 0.0 && p.mem_msg_overhead >= 0.0,
+          "memory channel parameters must be >= 0");
+  require(p.cpu_copy_beta >= 0.0, "cpu_copy_beta must be >= 0");
+  require(p.cpu_copy_beta_intra >= 0.0, "cpu_copy_beta_intra must be >= 0");
+  require(p.cpu_copy_beta_intra_cached >= 0.0 &&
+              p.cpu_copy_beta_intra_cached <= p.cpu_copy_beta_intra ||
+              p.intra_cache_bytes == 0,
+          "cached intra copy rate must be in [0, cpu_copy_beta_intra]");
+  require(p.match_base >= 0.0 && p.match_per_item >= 0.0,
+          "matching costs must be >= 0");
+  require(p.pack_beta >= 0.0, "pack_beta must be >= 0");
+  require(p.rendezvous_nic_factor >= 1.0, "rendezvous factor must be >= 1");
+  require(p.noise_sigma >= 0.0, "noise sigma must be >= 0");
+  require(p.vendor_factor > 0.0 && p.vendor_factor <= 1.0,
+          "vendor factor must be in (0, 1]");
+}
+
+}  // namespace mca2a::model

@@ -1,0 +1,100 @@
+#pragma once
+/// \file params.hpp
+/// Parameters of the hierarchical communication performance model.
+///
+/// The model is LogGP-flavoured and charged per message:
+///
+///   sender:   o_send(level) + bytes * cpu_copy_beta     (rank clock)
+///   channel:  serialization on a shared resource (NIC injection/ejection
+///             for inter-node, per-NUMA memory channel for intra-node)
+///   wire:     alpha(level) + bytes * beta(level)
+///   receiver: matching cost (base + per-queue-item, the "queue search"
+///             overhead the paper attributes to nonblocking exchanges)
+///             + o_recv(level) + bytes * cpu_copy_beta   (rank clock)
+///
+/// Messages larger than `eager_threshold` use a rendezvous protocol: the
+/// payload cannot leave before the matching receive is posted and an
+/// RTS/CTS round-trip (2 * alpha) has completed, and — on onload networks
+/// such as Omni-Path — the NIC moves rendezvous traffic at a reduced rate
+/// (`rendezvous_nic_factor`). This is what separates few-large-message
+/// schedules from many-small-message schedules at the same total volume,
+/// a first-order effect in Figures 8 and 16 of the paper.
+///
+/// All times are seconds; rates are seconds per byte.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "topo/machine.hpp"
+
+namespace mca2a::model {
+
+/// Per-locality-level latency/bandwidth/overheads.
+struct LevelParams {
+  double alpha = 0.0;   ///< base latency (s)
+  double beta = 0.0;    ///< per-byte wire time (s/B)
+  double o_send = 0.0;  ///< sender CPU overhead per message (s)
+  double o_recv = 0.0;  ///< receiver CPU overhead per message (s)
+};
+
+/// Full parameter set for one machine/network combination.
+struct NetParams {
+  std::string name = "generic";
+
+  /// Indexed by topo::Level (kSelf..kNetwork).
+  std::array<LevelParams, topo::kNumLevels> level{};
+
+  // Shared-resource serialization.
+  double nic_inject_beta = 0.0;   ///< s/B through a node's NIC, sending
+  double nic_eject_beta = 0.0;    ///< s/B through a node's NIC, receiving
+  double nic_msg_overhead = 0.0;  ///< s per message through the NIC
+  double mem_channel_beta = 0.0;  ///< s/B through a NUMA domain's memory
+  double mem_msg_overhead = 0.0;  ///< s per intra-node message
+
+  /// Per-byte CPU time a rank spends moving an inter-node message payload
+  /// in or out of the transport. Small on offloaded (RDMA) fabrics.
+  double cpu_copy_beta = 0.0;
+  /// Per-byte CPU time for intra-node messages once the working set spills
+  /// out of cache (DRAM-rate shared-memory copies). This is the funnel cost
+  /// of leader-based algorithms: the gather root touches every byte.
+  double cpu_copy_beta_intra = 0.0;
+  /// Per-byte CPU time for the first `intra_cache_bytes` of an intra-node
+  /// message (cache-resident copy rate; <= cpu_copy_beta_intra).
+  double cpu_copy_beta_intra_cached = 0.0;
+  /// Bytes of an intra-node message copied at the cached rate.
+  std::size_t intra_cache_bytes = 0;
+
+  // Matching (queue search) cost: base + per_item * queue_length.
+  double match_base = 0.0;
+  double match_per_item = 0.0;
+
+  /// Local repacking rate (s/B) charged by Comm::charge_copy.
+  double pack_beta = 0.0;
+
+  /// Messages strictly larger than this use the rendezvous protocol.
+  std::size_t eager_threshold = SIZE_MAX;
+  /// NIC serialization multiplier for rendezvous-protocol messages
+  /// (>= 1; models CPU-mediated chunked injection on onload NICs).
+  double rendezvous_nic_factor = 1.0;
+
+  /// Log-normal sigma applied to alpha and overheads (0 = deterministic).
+  double noise_sigma = 0.0;
+
+  /// CPU-overhead multiplier applied to communicators flagged as
+  /// vendor-optimized (the System MPI surrogate); < 1 means the vendor's
+  /// tuned paths are faster than our portable ones.
+  double vendor_factor = 1.0;
+
+  const LevelParams& at(topo::Level l) const {
+    return level[static_cast<std::size_t>(l)];
+  }
+  LevelParams& at(topo::Level l) { return level[static_cast<std::size_t>(l)]; }
+};
+
+/// Throws std::invalid_argument if any parameter is negative or otherwise
+/// nonsensical (e.g. rendezvous factor < 1).
+void validate(const NetParams& p);
+
+}  // namespace mca2a::model

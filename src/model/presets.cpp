@@ -1,0 +1,101 @@
+#include "model/presets.hpp"
+
+#include <stdexcept>
+
+namespace mca2a::model {
+
+namespace {
+
+void set_level(NetParams& p, topo::Level l, double alpha, double beta,
+               double o_send, double o_recv) {
+  p.at(l) = LevelParams{alpha, beta, o_send, o_recv};
+}
+
+}  // namespace
+
+NetParams omni_path() {
+  NetParams p;
+  p.name = "omni-path";
+  // level          alpha    beta      o_send   o_recv
+  set_level(p, topo::Level::kSelf, 2.0e-8, 2.0e-12, 2.0e-8, 2.0e-8);
+  set_level(p, topo::Level::kNuma, 1.5e-7, 5.0e-12, 8.0e-8, 8.0e-8);
+  set_level(p, topo::Level::kSocket, 2.5e-7, 8.0e-12, 1.0e-7, 1.0e-7);
+  set_level(p, topo::Level::kNode, 4.0e-7, 1.2e-11, 1.2e-7, 1.2e-7);
+  set_level(p, topo::Level::kNetwork, 1.8e-6, 9.0e-11, 2.5e-7, 2.5e-7);
+  p.nic_inject_beta = 8.5e-11;  // ~11.7 GB/s node injection (OPA 100)
+  p.nic_eject_beta = 8.5e-11;
+  p.nic_msg_overhead = 1.0e-7;  // ~10M msgs/s through the NIC
+  p.mem_channel_beta = 2.5e-11;  // ~40 GB/s per NUMA-domain channel
+  p.mem_msg_overhead = 4.0e-8;
+  p.cpu_copy_beta = 2.0e-11;        // PSM2 moves network bytes mostly by DMA
+  p.cpu_copy_beta_intra = 3.0e-10;  // DRAM-rate shm copy: ~3.3 GB/s per core
+  p.cpu_copy_beta_intra_cached = 1.2e-10;  // cache-resident: ~8 GB/s
+  p.intra_cache_bytes = 64 * 1024;
+  p.match_base = 3.0e-8;
+  p.match_per_item = 2.0e-9;
+  p.pack_beta = 1.0e-10;
+  p.eager_threshold = 65536;  // PSM2-style eager limit
+  p.rendezvous_nic_factor = 1.15;
+  p.vendor_factor = 0.8;
+  return p;
+}
+
+NetParams slingshot() {
+  NetParams p;
+  p.name = "slingshot-11";
+  set_level(p, topo::Level::kSelf, 2.0e-8, 2.0e-12, 2.0e-8, 2.0e-8);
+  set_level(p, topo::Level::kNuma, 1.2e-7, 4.0e-12, 6.0e-8, 6.0e-8);
+  set_level(p, topo::Level::kSocket, 2.0e-7, 6.0e-12, 8.0e-8, 8.0e-8);
+  set_level(p, topo::Level::kNode, 2.5e-7, 8.0e-12, 1.0e-7, 1.0e-7);
+  set_level(p, topo::Level::kNetwork, 1.4e-6, 4.5e-11, 2.0e-7, 2.0e-7);
+  p.nic_inject_beta = 4.2e-11;  // ~24 GB/s node injection (SS-11 200G)
+  p.nic_eject_beta = 4.2e-11;
+  p.nic_msg_overhead = 2.5e-8;  // SS-11 sustains very high message rates
+  p.mem_channel_beta = 2.0e-11;
+  p.mem_msg_overhead = 3.0e-8;
+  p.cpu_copy_beta = 1.5e-11;        // offload RDMA: little CPU per byte
+  p.cpu_copy_beta_intra = 1.2e-10;  // HBM-backed shared memory
+  p.cpu_copy_beta_intra_cached = 6.0e-11;
+  p.intra_cache_bytes = 128 * 1024;
+  p.match_base = 3.0e-8;
+  p.match_per_item = 2.0e-9;
+  p.pack_beta = 8.0e-11;
+  p.eager_threshold = 16384;
+  p.rendezvous_nic_factor = 1.03;
+  p.vendor_factor = 0.55;  // Cray MPICH is strongly tuned for this fabric
+  return p;
+}
+
+NetParams test_params() {
+  NetParams p;
+  p.name = "test";
+  set_level(p, topo::Level::kSelf, 1.0e-7, 1.0e-9, 1.0e-7, 1.0e-7);
+  set_level(p, topo::Level::kNuma, 2.0e-7, 1.0e-9, 1.0e-7, 1.0e-7);
+  set_level(p, topo::Level::kSocket, 3.0e-7, 1.0e-9, 1.0e-7, 1.0e-7);
+  set_level(p, topo::Level::kNode, 4.0e-7, 1.0e-9, 1.0e-7, 1.0e-7);
+  set_level(p, topo::Level::kNetwork, 1.0e-6, 2.0e-9, 1.0e-7, 1.0e-7);
+  p.nic_inject_beta = 1.0e-9;
+  p.nic_eject_beta = 1.0e-9;
+  p.nic_msg_overhead = 1.0e-7;
+  p.mem_channel_beta = 5.0e-10;
+  p.mem_msg_overhead = 5.0e-8;
+  p.cpu_copy_beta = 1.0e-10;
+  p.cpu_copy_beta_intra = 1.0e-10;
+  p.cpu_copy_beta_intra_cached = 1.0e-10;  // linear: simplest test semantics
+  p.intra_cache_bytes = 0;
+  p.match_base = 1.0e-8;
+  p.match_per_item = 1.0e-9;
+  p.pack_beta = 1.0e-10;
+  p.eager_threshold = SIZE_MAX;  // always eager: simplest semantics
+  p.rendezvous_nic_factor = 1.0;
+  p.vendor_factor = 1.0;
+  return p;
+}
+
+NetParams for_machine(const std::string& machine_name) {
+  if (machine_name == "dane" || machine_name == "amber") return omni_path();
+  if (machine_name == "tuolomne") return slingshot();
+  throw std::invalid_argument("no network preset for machine: " + machine_name);
+}
+
+}  // namespace mca2a::model

@@ -1,0 +1,26 @@
+#pragma once
+/// \file presets.hpp
+/// Network-model presets for the three systems in Table 1.
+///
+/// Absolute values are plausible published-order-of-magnitude figures for
+/// Omni-Path 100 (Dane/Amber) and Slingshot-11 (Tuolomne) paired with
+/// Sapphire Rapids / MI300A memory systems; they are calibrated so the
+/// *shapes* of Figures 7-18 (winners per size, crossover locations) match
+/// the paper, not to reproduce absolute microseconds (see EXPERIMENTS.md).
+
+#include "model/params.hpp"
+
+namespace mca2a::model {
+
+/// Cornelis Omni-Path + Sapphire Rapids (Dane, Amber).
+NetParams omni_path();
+/// HPE Slingshot-11 + MI300A (Tuolomne). Higher bandwidth, lower latency,
+/// strongly vendor-tuned system MPI (Cray MPICH).
+NetParams slingshot();
+/// Small friendly parameters for unit tests (fast, deterministic).
+NetParams test_params();
+
+/// Preset matching a topo machine preset name ("dane", "amber", "tuolomne").
+NetParams for_machine(const std::string& machine_name);
+
+}  // namespace mca2a::model

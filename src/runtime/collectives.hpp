@@ -1,0 +1,54 @@
+#pragma once
+/// \file collectives.hpp
+/// Collective building blocks implemented over point-to-point operations,
+/// mirroring the classic MPICH algorithms. The paper's hierarchical
+/// all-to-all variants (Algorithms 3 and 5) call these for their intra-node
+/// gather/scatter phases.
+///
+/// All operations use equal-sized blocks expressed in bytes. Tags above
+/// rt::kInternalTagBase are reserved for these implementations; consecutive
+/// collectives on the same communicator are safe because matching is FIFO
+/// and delivery is non-overtaking per rank pair.
+
+#include <memory>
+
+#include "runtime/comm.hpp"
+#include "runtime/task.hpp"
+
+namespace mca2a::rt {
+
+/// Dissemination barrier: ceil(log2 n) rounds of zero-byte exchanges.
+Task<void> barrier(Comm& comm);
+
+/// Binomial-tree broadcast of `buf` from `root`.
+Task<void> bcast(Comm& comm, MutView buf, int root);
+
+/// Gather equal blocks to `root`. `send` is this rank's block; `recv` must
+/// hold size() * send.len bytes at the root (ignored elsewhere).
+/// The `_linear` variant receives every block directly at the root (large
+/// messages); `_binomial` combines up a tree (small messages); `gather`
+/// selects automatically like a production MPI would.
+Task<void> gather(Comm& comm, ConstView send, MutView recv, int root);
+Task<void> gather_linear(Comm& comm, ConstView send, MutView recv, int root);
+Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root);
+
+/// Scatter equal blocks from `root`. `send` must hold size() * recv.len
+/// bytes at the root (ignored elsewhere); `recv` is this rank's block.
+Task<void> scatter(Comm& comm, ConstView send, MutView recv, int root);
+Task<void> scatter_linear(Comm& comm, ConstView send, MutView recv, int root);
+Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv,
+                            int root);
+
+/// Ring allgather: every rank contributes `send`; `recv` (size() * send.len
+/// bytes) ends up identical everywhere, ordered by rank.
+Task<void> allgather(Comm& comm, ConstView send, MutView recv);
+
+/// MPI_Comm_split: ranks with equal `color` form a sub-communicator, ordered
+/// by (key, parent rank). Returns nullptr when color < 0 (undefined).
+/// Requires a data-carrying transport (always true on the threads backend;
+/// on the simulator only when carry_data is enabled) — the locality
+/// communicators used by the algorithms are instead built arithmetically in
+/// comm_bundle.hpp, which works in virtual-payload simulations too.
+Task<std::unique_ptr<Comm>> comm_split(Comm& comm, int color, int key);
+
+}  // namespace mca2a::rt

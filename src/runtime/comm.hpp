@@ -1,0 +1,170 @@
+#pragma once
+/// \file comm.hpp
+/// The abstract communicator: an MPI-flavoured endpoint every backend
+/// (shared-memory threads, discrete-event simulator) implements.
+///
+/// Semantics follow MPI-3 point-to-point matching:
+///  * a message is matched by (source, tag) within a communicator;
+///  * kAnySource / kAnyTag wildcards are honoured on the receive side;
+///  * messages between a fixed (sender, receiver) pair are non-overtaking;
+///  * receives match in post order (FIFO) among eligible candidates.
+///
+/// All blocking operations are expressed as awaitables so the same algorithm
+/// coroutine runs on both backends: the threads backend completes awaiters
+/// synchronously, the simulator suspends them until virtual time advances.
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/buffer.hpp"
+#include "runtime/task.hpp"
+
+namespace mca2a::rt {
+
+/// Wildcard source rank (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+/// Tags at or above this value are reserved for library-internal collectives.
+inline constexpr int kInternalTagBase = 1 << 20;
+
+/// Handle to an in-flight nonblocking operation. Backend-owned slot plus a
+/// serial number to catch use-after-completion bugs.
+struct Request {
+  std::uint32_t slot = UINT32_MAX;
+  std::uint32_t serial = 0;
+
+  bool valid() const noexcept { return slot != UINT32_MAX; }
+};
+
+class Comm;
+
+/// Awaiter for the completion of a set of requests.
+class WaitAwaiter {
+ public:
+  WaitAwaiter(Comm& comm, std::span<const Request> reqs) noexcept
+      : comm_(&comm), reqs_(reqs) {}
+
+  bool await_ready();
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  Comm* comm_;
+  std::span<const Request> reqs_;
+};
+
+/// Awaiter for a single request (owns the request storage).
+class WaitOneAwaiter {
+ public:
+  WaitOneAwaiter(Comm& comm, Request r) noexcept : comm_(&comm), req_{r} {}
+
+  bool await_ready();
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  Comm* comm_;
+  std::array<Request, 1> req_;
+};
+
+/// Abstract per-rank communicator endpoint.
+///
+/// A Comm object belongs to exactly one rank: rank() is *this* process's
+/// rank within the communicator. Sub-communicators are created with
+/// create_subcomm (collective-free, deterministic) or the comm_split
+/// collective in collectives.hpp.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  /// This rank's index within the communicator.
+  int rank() const noexcept { return rank_; }
+  /// Number of ranks in the communicator.
+  int size() const noexcept { return size_; }
+
+  // --- nonblocking point-to-point -----------------------------------------
+
+  /// Start a nonblocking send of `buf` to rank `dst` with tag `tag`.
+  virtual Request isend(ConstView buf, int dst, int tag) = 0;
+  /// Start a nonblocking receive into `buf` from `src` (or kAnySource) with
+  /// tag `tag` (or kAnyTag). `buf.len` must be >= the matched message size.
+  virtual Request irecv(MutView buf, int src, int tag) = 0;
+
+  // --- completion (used by the awaiters; rarely called directly) ----------
+
+  /// Try to complete all requests. The threads backend blocks until they are
+  /// complete and returns true; the simulator polls and returns whether all
+  /// are already complete. Completed requests are released.
+  virtual bool wait_try(std::span<const Request> reqs) = 0;
+  /// Simulator only: park `h` until all requests complete.
+  virtual void wait_suspend(std::span<const Request> reqs,
+                            std::coroutine_handle<> h) = 0;
+
+  // --- environment ---------------------------------------------------------
+
+  /// Current time in seconds: wall clock on the threads backend, virtual
+  /// time on the simulator.
+  virtual double now() const = 0;
+
+  /// Allocate a scratch buffer: real on the threads backend, virtual or real
+  /// on the simulator depending on its carry-data configuration.
+  virtual Buffer alloc_buffer(std::size_t bytes) const = 0;
+
+  /// Account for a local repack of `bytes` (advances the simulator's rank
+  /// clock by the model's packing cost; no-op on the threads backend).
+  virtual void charge_copy(std::size_t bytes) = 0;
+
+  /// Create a sub-communicator from `members`, a strictly increasing-free
+  /// ordered list of ranks *in this communicator* that must contain rank().
+  /// Every listed member must make an identical call; ranks not listed must
+  /// not call. The new communicator's ranks follow the order of `members`.
+  virtual std::unique_ptr<Comm> create_subcomm(std::span<const int> members) = 0;
+
+  // --- sugar (implemented once over the virtuals) --------------------------
+
+  /// Await completion of one request.
+  WaitOneAwaiter wait(Request r) noexcept { return WaitOneAwaiter(*this, r); }
+  /// Await completion of all requests (span must outlive the await).
+  WaitAwaiter wait_all(std::span<const Request> reqs) noexcept {
+    return WaitAwaiter(*this, reqs);
+  }
+
+  /// Blocking send (isend + wait).
+  Task<void> send(ConstView buf, int dst, int tag);
+  /// Blocking receive (irecv + wait).
+  Task<void> recv(MutView buf, int src, int tag);
+  /// Combined send+receive, the building block of pairwise exchange.
+  Task<void> sendrecv(ConstView sbuf, int dst, int stag, MutView rbuf, int src,
+                      int rtag);
+
+  /// Copy bytes and charge the packing cost to this rank.
+  void copy_and_charge(MutView dst, ConstView src) {
+    charge_copy(copy_bytes(dst, src));
+  }
+
+ protected:
+  Comm(int rank, int size) noexcept : rank_(rank), size_(size) {}
+
+  int rank_;
+  int size_;
+};
+
+inline bool WaitAwaiter::await_ready() { return comm_->wait_try(reqs_); }
+inline void WaitAwaiter::await_suspend(std::coroutine_handle<> h) {
+  comm_->wait_suspend(reqs_, h);
+}
+inline bool WaitOneAwaiter::await_ready() {
+  return comm_->wait_try(std::span<const Request>(req_.data(), 1));
+}
+inline void WaitOneAwaiter::await_suspend(std::coroutine_handle<> h) {
+  comm_->wait_suspend(std::span<const Request>(req_.data(), 1), h);
+}
+
+}  // namespace mca2a::rt

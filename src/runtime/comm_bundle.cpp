@@ -1,0 +1,76 @@
+#include "runtime/comm_bundle.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mca2a::rt {
+
+LocalityComms build_locality_comms(Comm& world, const topo::Machine& machine,
+                                   int group_size, bool build_leader_comms) {
+  if (world.size() != machine.total_ranks()) {
+    throw std::invalid_argument(
+        "build_locality_comms: world size does not match the machine");
+  }
+  const int g = group_size;
+  const int G = machine.groups_per_node(g);  // validates divisibility
+  const int ppn = machine.ppn();
+  const int n = machine.nodes();
+  const int me = world.rank();
+
+  LocalityComms lc;
+  lc.world = &world;
+  lc.machine = &machine;
+  lc.group_size = g;
+  lc.groups_per_node = G;
+  lc.my_node = machine.node_of(me);
+  lc.my_local = machine.local_rank(me);
+  lc.my_group = lc.my_local / g;
+  lc.my_pos = lc.my_local % g;
+  lc.my_region = lc.my_node * G + lc.my_group;
+  lc.is_leader = lc.my_pos == 0;
+
+  std::vector<int> members;
+
+  // node_comm: all ranks on my node, by local rank.
+  members.resize(ppn);
+  for (int l = 0; l < ppn; ++l) {
+    members[l] = machine.world_rank(lc.my_node, l);
+  }
+  lc.node_comm = world.create_subcomm(members);
+
+  // local_comm: my group, by in-group position.
+  members.resize(g);
+  for (int i = 0; i < g; ++i) {
+    members[i] = machine.world_rank(lc.my_node, lc.my_group * g + i);
+  }
+  lc.local_comm = world.create_subcomm(members);
+
+  // group_cross: position my_pos of every region, by region index.
+  members.resize(n * G);
+  for (int node = 0; node < n; ++node) {
+    for (int grp = 0; grp < G; ++grp) {
+      members[node * G + grp] =
+          machine.world_rank(node, grp * g + lc.my_pos);
+    }
+  }
+  lc.group_cross = world.create_subcomm(members);
+
+  if (build_leader_comms && lc.is_leader) {
+    // leader_cross: group-my_group leaders across nodes, by node.
+    members.resize(n);
+    for (int node = 0; node < n; ++node) {
+      members[node] = machine.world_rank(node, lc.my_group * g);
+    }
+    lc.leader_cross = world.create_subcomm(members);
+
+    // leaders_node: leaders within my node, by group.
+    members.resize(G);
+    for (int grp = 0; grp < G; ++grp) {
+      members[grp] = machine.world_rank(lc.my_node, grp * g);
+    }
+    lc.leaders_node = world.create_subcomm(members);
+  }
+  return lc;
+}
+
+}  // namespace mca2a::rt

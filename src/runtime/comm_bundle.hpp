@@ -1,0 +1,67 @@
+#pragma once
+/// \file comm_bundle.hpp
+/// Locality communicators used by the hierarchical / node-aware / leader
+/// all-to-all algorithms (Algorithms 3-5 of the paper).
+///
+/// Ranks on a node are partitioned into `groups_per_node` consecutive groups
+/// of `group_size` ranks (group_size must divide ppn). With g = group_size,
+/// G = ppn/g, n = nodes, regions are numbered node-major: region(j) lives on
+/// node j/G and is group j%G there; region j covers the g consecutive world
+/// ranks [j*g, (j+1)*g).
+///
+/// The bundle is built *arithmetically* from the machine description — no
+/// communication — so it works in virtual-payload simulations; it mirrors
+/// what production implementations do once at communicator-creation time.
+///
+/// Communicator orderings (algorithms rely on these):
+///  * node_comm:    by node-local rank.
+///  * local_comm:   my group, by in-group position.
+///  * group_cross:  all ranks sharing my in-group position, ordered by
+///                  region index (the "group_comm" of Algorithm 4; for
+///                  leaders, position 0, this is the all-leaders
+///                  communicator of Algorithm 3).
+///  * leader_cross: group-k leaders across nodes, ordered by node (the
+///                  inter-node communicator of Algorithm 5; leaders only).
+///  * leaders_node: leaders within my node, ordered by group (the
+///                  leader_group_comm of Algorithm 5; leaders only).
+
+#include <memory>
+
+#include "runtime/comm.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::rt {
+
+struct LocalityComms {
+  Comm* world = nullptr;
+  const topo::Machine* machine = nullptr;
+  int group_size = 1;       ///< g: processes per group/leader
+  int groups_per_node = 1;  ///< G
+
+  int my_node = 0;
+  int my_local = 0;        ///< node-local rank
+  int my_group = 0;        ///< group index within node
+  int my_pos = 0;          ///< position within group
+  int my_region = 0;       ///< node-major region index
+  bool is_leader = false;  ///< my_pos == 0
+
+  std::unique_ptr<Comm> node_comm;
+  std::unique_ptr<Comm> local_comm;
+  std::unique_ptr<Comm> group_cross;
+  std::unique_ptr<Comm> leader_cross;  ///< leaders only, else nullptr
+  std::unique_ptr<Comm> leaders_node;  ///< leaders only, else nullptr
+
+  int nodes() const { return machine->nodes(); }
+  int ppn() const { return machine->ppn(); }
+  int regions() const { return nodes() * groups_per_node; }
+};
+
+/// Build the bundle for the calling rank. Every rank of `world` must call
+/// with the same machine and group_size; world.size() must equal
+/// machine.total_ranks(). Set `build_leader_comms` when Algorithm 5 (or any
+/// leader-only exchange) will be used.
+LocalityComms build_locality_comms(Comm& world, const topo::Machine& machine,
+                                   int group_size,
+                                   bool build_leader_comms = true);
+
+}  // namespace mca2a::rt

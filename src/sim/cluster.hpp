@@ -1,0 +1,248 @@
+#pragma once
+/// \file cluster.hpp
+/// The simulated cluster: rank coroutines, message matching, shared-resource
+/// accounting and the virtual clock, all driven by the discrete-event engine.
+///
+/// One Cluster models one machine (topo::Machine) with one parameter set
+/// (model::NetParams). Cluster::run launches one coroutine per world rank;
+/// ranks communicate through sim::SimComm endpoints. Payload bytes are moved
+/// only when `carry_data` is enabled (tests); virtual-buffer runs produce
+/// bit-identical virtual times, which is itself verified by tests.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/cost.hpp"
+#include "model/params.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/task.hpp"
+#include "sim/engine.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::sim {
+
+class SimComm;
+
+/// Thrown when the event queue drains while rank coroutines are still
+/// suspended (a communication deadlock in the algorithm under test).
+class SimDeadlockError : public std::runtime_error {
+ public:
+  SimDeadlockError(std::string what, int stuck_ranks)
+      : std::runtime_error(std::move(what)), stuck_ranks_(stuck_ranks) {}
+  int stuck_ranks() const noexcept { return stuck_ranks_; }
+
+ private:
+  int stuck_ranks_;
+};
+
+struct ClusterConfig {
+  topo::MachineDesc machine;
+  model::NetParams net;
+  /// Move real payload bytes (tests); false = virtual buffers at scale.
+  bool carry_data = true;
+  /// Seed for the log-normal noise stream (used when net.noise_sigma > 0).
+  std::uint64_t noise_seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const topo::Machine& machine() const noexcept { return machine_; }
+  const model::NetParams& net() const noexcept { return cfg_.net; }
+  bool carry_data() const noexcept { return cfg_.carry_data; }
+
+  /// World communicator endpoint of `world_rank` (valid for the cluster's
+  /// lifetime).
+  rt::Comm& world(int world_rank);
+
+  /// Launch `rank_main(world(r))` for every rank r and drive the simulation
+  /// until all complete. Returns the maximum rank clock. Rethrows the first
+  /// rank exception; throws SimDeadlockError if ranks are stuck. May be
+  /// called repeatedly; virtual time keeps advancing.
+  double run(const std::function<rt::Task<void>(rt::Comm&)>& rank_main);
+
+  /// Virtual time at which rank `world_rank` last made progress.
+  double rank_clock(int world_rank) const;
+  /// Maximum rank clock (the usual "collective finished at" time).
+  double max_clock() const;
+  /// Engine time (last processed event).
+  double engine_now() const noexcept { return engine_.now(); }
+
+  /// Total messages injected so far (statistics for tests/benches).
+  std::uint64_t messages_sent() const noexcept { return stats_msgs_; }
+  /// Total payload bytes injected so far.
+  std::uint64_t bytes_sent() const noexcept { return stats_bytes_; }
+
+ private:
+  friend class SimComm;
+
+  static constexpr std::uint32_t kNil = UINT32_MAX;
+
+  struct OpRec {
+    enum class Kind : std::uint8_t { kSend, kRecv };
+    Kind kind = Kind::kSend;
+    bool complete = false;
+    bool in_posted = false;
+    std::uint32_t serial = 1;
+    int rank_world = -1;
+    double completion_time = 0.0;
+    std::uint32_t waiter = kNil;
+    // Receive-side matching state.
+    rt::MutView buf{};
+    int match_src = 0;  // rank in comm or rt::kAnySource
+    int tag = 0;
+    std::uint32_t comm = 0;
+    double post_time = 0.0;
+    std::uint64_t post_seq = 0;
+    std::uint32_t next = kNil;  // intrusive FIFO link
+  };
+
+  struct MsgRec {
+    std::uint32_t comm = 0;
+    int src_in_comm = -1;
+    int dst_in_comm = -1;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+    int src_world = -1;
+    int dst_world = -1;
+    topo::Level level = topo::Level::kSelf;
+    bool rendezvous = false;
+    std::uint32_t send_op = kNil;
+    std::uint32_t matched_recv = kNil;
+    double deliver_time = 0.0;
+    std::unique_ptr<std::byte[]> payload;  // eager + carry_data
+    rt::ConstView src_view{};              // rendezvous source buffer
+    std::uint64_t arrival_seq = 0;
+    std::uint32_t next = kNil;  // unexpected FIFO link
+  };
+
+  struct Waiter {
+    std::coroutine_handle<> handle{};
+    int remaining = 0;
+    double resume_time = 0.0;
+    int rank_world = -1;
+    std::uint32_t next_free = kNil;
+  };
+
+  struct Fifo {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t count = 0;
+  };
+
+  struct Endpoint {
+    std::unordered_map<int, Fifo> posted_by_src;
+    std::unordered_map<int, Fifo> unexpected_by_src;
+    std::uint32_t posted_total = 0;
+    std::uint32_t unexpected_total = 0;
+    std::uint64_t next_post_seq = 0;
+    std::uint64_t next_arrival_seq = 0;
+  };
+
+  struct CommEntry {
+    std::vector<int> world_ranks;    // index: rank in comm -> world rank
+    std::vector<Endpoint> endpoints; // index: rank in comm
+    double cost_scale = 1.0;         // vendor-tuning CPU multiplier
+  };
+
+  struct RankState {
+    double clock = 0.0;
+    /// Time until which this rank's core is busy processing *incoming*
+    /// messages; serializes receive-side per-message CPU costs so that a
+    /// funnel rank (e.g. a gather root) pays for every byte it touches.
+    double cpu_free = 0.0;
+    /// How many times this rank has created a subcomm with a given world-rank
+    /// member list; the k-th creation joins the k-th global communicator for
+    /// that list (fresh context per creation, like MPI, with no handshake).
+    std::map<std::vector<int>, std::uint32_t> subcomm_uses;
+  };
+
+  // --- SimComm entry points -------------------------------------------------
+  rt::Request isend_impl(std::uint32_t comm_id, int my_rank_in_comm,
+                         rt::ConstView buf, int dst, int tag);
+  rt::Request irecv_impl(std::uint32_t comm_id, int my_rank_in_comm,
+                         rt::MutView buf, int src, int tag);
+  bool wait_try_impl(int world_rank, std::span<const rt::Request> reqs);
+  void wait_suspend_impl(int world_rank, std::span<const rt::Request> reqs,
+                         std::coroutine_handle<> h);
+  std::uint32_t subcomm_impl(std::uint32_t parent_id, int my_rank_in_parent,
+                             std::span<const int> members, int* my_new_rank);
+  void charge_copy_impl(int world_rank, std::size_t bytes);
+  void set_cost_scale_impl(std::uint32_t comm_id, double scale);
+
+  // --- event handling -------------------------------------------------------
+  void handle(const Event& e);
+  void on_eager_arrival(std::uint32_t msg_id);
+  void on_rts_arrival(std::uint32_t msg_id);
+  void on_data_arrival(std::uint32_t msg_id);
+  void start_rendezvous_transfer(std::uint32_t msg_id, double t_ready);
+  void complete_recv(std::uint32_t op_id, std::uint32_t msg_id,
+                     double match_cost);
+  void complete_op(std::uint32_t op_id, double t);
+
+  // --- matching helpers -----------------------------------------------------
+  Endpoint& endpoint(std::uint32_t comm_id, int rank_in_comm);
+  /// Find and unlink the earliest-posted matching recv for (src, tag);
+  /// returns kNil if none.
+  std::uint32_t match_posted(Endpoint& ep, int src, int tag);
+  /// Find and unlink the earliest-arrived matching unexpected message.
+  std::uint32_t match_unexpected(Endpoint& ep, int src, int tag);
+  void push_fifo(Fifo& f, std::uint32_t id, bool is_msg);
+  std::uint32_t pop_fifo_match(Fifo& f, bool is_msg, int tag,
+                               std::uint64_t* seq_out);
+
+  // --- pools ----------------------------------------------------------------
+  std::uint32_t alloc_op();
+  void release_op(std::uint32_t id);
+  std::uint32_t alloc_msg();
+  void release_msg(std::uint32_t id);
+  std::uint32_t alloc_waiter();
+  void release_waiter(std::uint32_t id);
+  OpRec& op_checked(const rt::Request& r);
+
+  double noise();
+
+  ClusterConfig cfg_;
+  topo::Machine machine_;
+  Engine engine_;
+
+  std::vector<RankState> ranks_;
+  std::vector<double> nic_in_;    // per node
+  std::vector<double> nic_out_;   // per node
+  std::vector<double> mem_chan_;  // per global NUMA domain
+
+  std::vector<CommEntry> comms_;
+  /// (member list, occurrence) -> communicator id.
+  std::map<std::pair<std::vector<int>, std::uint32_t>, std::uint32_t>
+      comm_registry_;
+
+  std::vector<OpRec> ops_;
+  std::uint32_t free_op_ = kNil;
+  std::vector<MsgRec> msgs_;
+  std::uint32_t free_msg_ = kNil;
+  std::vector<Waiter> waiters_;
+  std::uint32_t free_waiter_ = kNil;
+
+  std::vector<std::unique_ptr<SimComm>> world_comms_;
+  int live_ = 0;
+
+  std::mt19937_64 rng_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+
+  std::uint64_t stats_msgs_ = 0;
+  std::uint64_t stats_bytes_ = 0;
+};
+
+}  // namespace mca2a::sim

@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mca2a::sim {
+
+namespace {
+// Min-heap: "greater" comparison for std::push_heap/pop_heap.
+struct Later {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+void EventQueue::push(double time, EventKind kind, std::uint32_t msg) {
+  heap_.push_back(Event{time, next_seq_++, kind, msg});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace mca2a::sim

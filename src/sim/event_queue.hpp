@@ -1,0 +1,41 @@
+#pragma once
+/// \file event_queue.hpp
+/// Deterministic min-heap event queue for the discrete-event engine.
+///
+/// Events are ordered by (time, insertion sequence); the sequence tiebreak
+/// makes replays bit-identical regardless of floating-point ties, which the
+/// determinism property tests rely on.
+
+#include <cstdint>
+#include <vector>
+
+namespace mca2a::sim {
+
+enum class EventKind : std::uint8_t {
+  kMsgArrival,   ///< eager payload reached the destination (wire time)
+  kRtsArrival,   ///< rendezvous ready-to-send reached the destination
+  kDataArrival,  ///< rendezvous payload reached the destination
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kMsgArrival;
+  std::uint32_t msg = 0;  ///< index into the cluster's message pool
+};
+
+class EventQueue {
+ public:
+  void push(double time, EventKind kind, std::uint32_t msg);
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  /// Remove and return the earliest event. Precondition: !empty().
+  Event pop();
+  void clear();
+
+ private:
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mca2a::sim

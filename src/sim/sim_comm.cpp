@@ -1,0 +1,22 @@
+#include "sim/sim_comm.hpp"
+
+namespace mca2a::sim {
+
+int SimComm::world_rank() const {
+  // comm 0 is the world communicator; otherwise translate via the entry.
+  if (comm_id_ == 0) {
+    return rank_;
+  }
+  return cluster_->comms_[comm_id_].world_ranks[rank_];
+}
+
+std::unique_ptr<rt::Comm> SimComm::create_subcomm(
+    std::span<const int> members) {
+  int my_new_rank = -1;
+  const std::uint32_t id =
+      cluster_->subcomm_impl(comm_id_, rank_, members, &my_new_rank);
+  return std::make_unique<SimComm>(*cluster_, id, my_new_rank,
+                                   static_cast<int>(members.size()));
+}
+
+}  // namespace mca2a::sim

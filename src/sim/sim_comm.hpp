@@ -1,0 +1,61 @@
+#pragma once
+/// \file sim_comm.hpp
+/// rt::Comm implementation backed by the discrete-event Cluster.
+///
+/// A SimComm is a per-rank endpoint of one simulated communicator. All state
+/// lives in the Cluster; SimComm is a thin handle (comm id + rank) so it can
+/// be created freely for sub-communicators.
+
+#include <memory>
+
+#include "runtime/comm.hpp"
+#include "sim/cluster.hpp"
+
+namespace mca2a::sim {
+
+class SimComm final : public rt::Comm {
+ public:
+  SimComm(Cluster& cluster, std::uint32_t comm_id, int rank, int size)
+      : rt::Comm(rank, size), cluster_(&cluster), comm_id_(comm_id) {}
+
+  rt::Request isend(rt::ConstView buf, int dst, int tag) override {
+    return cluster_->isend_impl(comm_id_, rank_, buf, dst, tag);
+  }
+  rt::Request irecv(rt::MutView buf, int src, int tag) override {
+    return cluster_->irecv_impl(comm_id_, rank_, buf, src, tag);
+  }
+  bool wait_try(std::span<const rt::Request> reqs) override {
+    return cluster_->wait_try_impl(world_rank(), reqs);
+  }
+  void wait_suspend(std::span<const rt::Request> reqs,
+                    std::coroutine_handle<> h) override {
+    cluster_->wait_suspend_impl(world_rank(), reqs, h);
+  }
+  double now() const override { return cluster_->rank_clock(world_rank()); }
+  rt::Buffer alloc_buffer(std::size_t bytes) const override {
+    return cluster_->carry_data() ? rt::Buffer::real(bytes)
+                                  : rt::Buffer::virt(bytes);
+  }
+  void charge_copy(std::size_t bytes) override {
+    cluster_->charge_copy_impl(world_rank(), bytes);
+  }
+  std::unique_ptr<rt::Comm> create_subcomm(
+      std::span<const int> members) override;
+
+  /// Scale CPU-side costs (overheads, copies, matching) for operations on
+  /// this communicator; used by the vendor-tuned System MPI surrogate.
+  void set_cost_scale(double scale) {
+    cluster_->set_cost_scale_impl(comm_id_, scale);
+  }
+
+  /// World rank of this endpoint.
+  int world_rank() const;
+  std::uint32_t comm_id() const noexcept { return comm_id_; }
+  Cluster& cluster() noexcept { return *cluster_; }
+
+ private:
+  Cluster* cluster_;
+  std::uint32_t comm_id_;
+};
+
+}  // namespace mca2a::sim

@@ -1,0 +1,84 @@
+#include "smp/mailbox.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/comm.hpp"
+
+namespace mca2a::smp {
+
+namespace {
+
+void copy_payload(rt::MutView dst, rt::ConstView src, std::size_t bytes) {
+  if (dst.len < bytes) {
+    throw std::runtime_error(
+        "message truncation: receive buffer smaller than incoming message");
+  }
+  if (dst.ptr != nullptr && src.ptr != nullptr && bytes > 0) {
+    std::memcpy(dst.ptr, src.ptr, bytes);
+  }
+}
+
+}  // namespace
+
+bool Mailbox::deliver(int src, int tag, rt::ConstView payload) {
+  std::lock_guard<std::mutex> lock(mu);
+  // First posted receive whose (source, tag) accepts this message.
+  auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* r) {
+    const bool src_ok = r->src == rt::kAnySource || r->src == src;
+    const bool tag_ok = r->tag == rt::kAnyTag || r->tag == tag;
+    return src_ok && tag_ok;
+  });
+  if (it != posted_.end()) {
+    PostedRecv* r = *it;
+    posted_.erase(it);
+    if (r->buf.len < payload.len) {
+      // Truncation is the receiver's error (like MPI_ERR_TRUNCATE): flag it
+      // so the receiver's wait throws, rather than failing in this thread.
+      r->error = true;
+      r->complete = true;
+      cv.notify_all();
+      return true;
+    }
+    copy_payload(r->buf, payload, payload.len);
+    r->received = payload.len;
+    r->complete = true;
+    cv.notify_all();
+    return true;
+  }
+  UnexpectedMsg m;
+  m.src = src;
+  m.tag = tag;
+  m.bytes = payload.len;
+  if (payload.ptr != nullptr && payload.len > 0) {
+    m.payload.assign(payload.ptr, payload.ptr + payload.len);
+  }
+  unexpected_.push_back(std::move(m));
+  return false;
+}
+
+bool Mailbox::post_or_match(PostedRecv* r) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = std::find_if(
+      unexpected_.begin(), unexpected_.end(), [&](const UnexpectedMsg& m) {
+        const bool src_ok = r->src == rt::kAnySource || r->src == m.src;
+        const bool tag_ok = r->tag == rt::kAnyTag || r->tag == m.tag;
+        return src_ok && tag_ok;
+      });
+  if (it != unexpected_.end()) {
+    rt::ConstView payload{it->payload.empty() ? nullptr : it->payload.data(),
+                          it->bytes};
+    copy_payload(r->buf, payload, it->bytes);
+    r->received = it->bytes;
+    r->complete = true;
+    unexpected_.erase(it);
+    return true;
+  }
+  r->post_seq = next_post_seq_++;
+  r->complete = false;
+  posted_.push_back(r);
+  return false;
+}
+
+}  // namespace mca2a::smp

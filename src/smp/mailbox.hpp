@@ -1,0 +1,66 @@
+#pragma once
+/// \file mailbox.hpp
+/// Matching queues for the shared-memory backend.
+///
+/// Every (communicator, rank) pair owns one Mailbox guarded by a mutex:
+/// senders deliver into it (matching a posted receive and copying payload
+/// directly, or parking the message in the unexpected queue), receivers
+/// post into it or harvest unexpected messages. MPI matching rules apply:
+/// (source, tag) with wildcards, FIFO among eligible candidates, and
+/// non-overtaking delivery between a fixed pair of ranks.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "runtime/buffer.hpp"
+
+namespace mca2a::smp {
+
+/// A receive posted by the owning rank, waiting for a matching message.
+struct PostedRecv {
+  rt::MutView buf{};
+  int src = 0;  // rank in comm or rt::kAnySource
+  int tag = 0;
+  std::uint64_t post_seq = 0;
+  bool complete = false;     // written under the mailbox mutex
+  bool error = false;        // truncation, reported at the receiver's wait
+  std::size_t received = 0;  // actual message size
+  std::uint32_t serial = 1;
+  bool in_use = false;
+};
+
+/// A message that arrived before its receive was posted (payload copied).
+struct UnexpectedMsg {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  std::size_t bytes = 0;  // logical size (payload may be empty if virtual)
+};
+
+/// Matching state for one rank within one communicator.
+class Mailbox {
+ public:
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Deliver a message from `src`: match a posted receive (copy payload,
+  /// mark complete, notify) or park it unexpected. Returns true if matched.
+  /// Caller must NOT hold the mutex. Throws on truncation.
+  bool deliver(int src, int tag, rt::ConstView payload);
+
+  /// Try to match an unexpected message for (src, tag); if found, copy into
+  /// `buf` and return true. Otherwise enqueue `r` as posted. Caller must
+  /// not hold the mutex.
+  bool post_or_match(PostedRecv* r);
+
+ private:
+  std::deque<PostedRecv*> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+  std::uint64_t next_post_seq_ = 0;
+};
+
+}  // namespace mca2a::smp

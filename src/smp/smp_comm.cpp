@@ -1,0 +1,180 @@
+#include "smp/smp_comm.hpp"
+
+#include <stdexcept>
+
+namespace mca2a::smp {
+
+SmpCluster::SmpCluster(int world_size)
+    : world_size_(world_size), epoch_(std::chrono::steady_clock::now()) {
+  if (world_size < 1) {
+    throw std::invalid_argument("SmpCluster: world size must be >= 1");
+  }
+  subcomm_uses_.resize(world_size);
+  CommEntry& world_entry = comms_.emplace_back();
+  world_entry.world_ranks.resize(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    world_entry.world_ranks[r] = r;
+  }
+  world_entry.mailboxes.resize(world_size);
+  world_comms_.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    world_comms_.push_back(std::make_unique<SmpComm>(*this, 0u, r, world_size));
+  }
+}
+
+SmpCluster::~SmpCluster() = default;
+
+rt::Comm& SmpCluster::world(int rank) { return *world_comms_.at(rank); }
+
+std::uint32_t SmpCluster::intern_comm(std::vector<int> world_ranks,
+                                      int caller_world_rank) {
+  // Occurrence counter is private to the calling rank's thread.
+  const std::uint32_t occurrence =
+      subcomm_uses_[caller_world_rank][world_ranks]++;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto key = std::make_pair(std::move(world_ranks), occurrence);
+  auto it = registry_.find(key);
+  if (it != registry_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(comms_.size());
+  CommEntry& entry = comms_.emplace_back();
+  entry.world_ranks = key.first;
+  entry.mailboxes.resize(key.first.size());
+  registry_.emplace(std::move(key), id);
+  return id;
+}
+
+SmpComm::SmpComm(SmpCluster& cluster, std::uint32_t comm_id, int rank,
+                 int size)
+    : rt::Comm(rank, size), cluster_(&cluster), comm_id_(comm_id) {}
+
+Mailbox& SmpComm::mailbox(int rank_in_comm) const {
+  return cluster_->comms_[comm_id_].mailboxes[rank_in_comm];
+}
+
+rt::Request SmpComm::isend(rt::ConstView buf, int dst, int tag) {
+  if (dst < 0 || dst >= size_) {
+    throw std::out_of_range("isend: destination rank out of range");
+  }
+  if (tag < 0) {
+    throw std::invalid_argument("isend: tag must be >= 0");
+  }
+  mailbox(dst).deliver(rank_, tag, buf);
+  // Eager buffered semantics: the send is complete on return. An invalid
+  // Request denotes "already complete" and is skipped by wait_try.
+  return rt::Request{};
+}
+
+rt::Request SmpComm::irecv(rt::MutView buf, int src, int tag) {
+  if (src != rt::kAnySource && (src < 0 || src >= size_)) {
+    throw std::out_of_range("irecv: source rank out of range");
+  }
+  if (tag != rt::kAnyTag && tag < 0) {
+    throw std::invalid_argument("irecv: tag must be >= 0 or kAnyTag");
+  }
+  std::uint32_t slot;
+  if (!free_ops_.empty()) {
+    slot = free_ops_.back();
+    free_ops_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(ops_.size());
+    ops_.emplace_back();
+  }
+  PostedRecv& op = ops_[slot];
+  op.buf = buf;
+  op.src = src;
+  op.tag = tag;
+  op.in_use = true;
+  mailbox(rank_).post_or_match(&op);
+  return rt::Request{slot, op.serial};
+}
+
+PostedRecv& SmpComm::op_checked(const rt::Request& r) {
+  if (r.slot >= ops_.size()) {
+    throw std::logic_error("SmpComm: request refers to unknown operation");
+  }
+  PostedRecv& op = ops_[r.slot];
+  if (!op.in_use || op.serial != r.serial) {
+    throw std::logic_error("SmpComm: request already completed (stale)");
+  }
+  return op;
+}
+
+bool SmpComm::wait_try(std::span<const rt::Request> reqs) {
+  // Completion flags are written under this rank's mailbox mutex.
+  Mailbox& mb = mailbox(rank_);
+  {
+    std::unique_lock<std::mutex> lock(mb.mu);
+    mb.cv.wait(lock, [&] {
+      for (const rt::Request& r : reqs) {
+        if (r.valid() && !op_checked(r).complete) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  bool truncated = false;
+  for (const rt::Request& r : reqs) {
+    if (!r.valid()) {
+      continue;
+    }
+    PostedRecv& op = op_checked(r);
+    truncated = truncated || op.error;
+    ++op.serial;
+    op.in_use = false;
+    free_ops_.push_back(r.slot);
+  }
+  if (truncated) {
+    throw std::runtime_error(
+        "message truncation: receive buffer smaller than incoming message");
+  }
+  return true;
+}
+
+void SmpComm::wait_suspend(std::span<const rt::Request>,
+                           std::coroutine_handle<>) {
+  throw std::logic_error(
+      "SmpComm::wait_suspend: the threads backend completes all waits "
+      "synchronously");
+}
+
+double SmpComm::now() const {
+  const auto d = std::chrono::steady_clock::now() - cluster_->epoch_;
+  return std::chrono::duration<double>(d).count();
+}
+
+std::unique_ptr<rt::Comm> SmpComm::create_subcomm(
+    std::span<const int> members) {
+  if (members.empty()) {
+    throw std::invalid_argument("create_subcomm: empty member list");
+  }
+  const std::vector<int>& parent = cluster_->comms_[comm_id_].world_ranks;
+  std::vector<int> world;
+  world.reserve(members.size());
+  int my_idx = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int m = members[i];
+    if (m < 0 || m >= static_cast<int>(parent.size())) {
+      throw std::out_of_range("create_subcomm: member rank out of range");
+    }
+    if (m == rank_) {
+      if (my_idx != -1) {
+        throw std::invalid_argument("create_subcomm: duplicate member");
+      }
+      my_idx = static_cast<int>(i);
+    }
+    world.push_back(parent[m]);
+  }
+  if (my_idx == -1) {
+    throw std::invalid_argument(
+        "create_subcomm: calling rank not in member list");
+  }
+  const std::uint32_t id =
+      cluster_->intern_comm(std::move(world), parent[rank_]);
+  return std::make_unique<SmpComm>(*cluster_, id, my_idx,
+                                   static_cast<int>(members.size()));
+}
+
+}  // namespace mca2a::smp

@@ -1,0 +1,99 @@
+#pragma once
+/// \file smp_comm.hpp
+/// Shared-memory (threads-as-ranks) backend.
+///
+/// Each rank is an OS thread; messages move through mutex-guarded mailboxes
+/// with eager (buffered) semantics: sends never block, receives block until
+/// a matching message is delivered. This is the backend a downstream user
+/// runs on a single many-core box — the actual deployment target of the
+/// paper's intra-node optimizations — and the backend all correctness tests
+/// validate byte-for-byte.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "smp/mailbox.hpp"
+
+namespace mca2a::smp {
+
+class SmpComm;
+
+/// Shared state: communicator registry and mailboxes.
+class SmpCluster {
+ public:
+  explicit SmpCluster(int world_size);
+  ~SmpCluster();
+  SmpCluster(const SmpCluster&) = delete;
+  SmpCluster& operator=(const SmpCluster&) = delete;
+
+  int world_size() const noexcept { return world_size_; }
+
+  /// World communicator endpoint for `rank` (valid for cluster lifetime).
+  rt::Comm& world(int rank);
+
+ private:
+  friend class SmpComm;
+
+  struct CommEntry {
+    std::vector<int> world_ranks;
+    std::deque<Mailbox> mailboxes;  // stable addresses, one per member
+  };
+
+  /// Find or create the caller's next communicator over `world_ranks`
+  /// (thread-safe). Every creation by a rank counts as a fresh context:
+  /// the caller's k-th creation with a given member list joins the k-th
+  /// global communicator for that list, mirroring MPI's ordered,
+  /// handshake-free communicator construction.
+  std::uint32_t intern_comm(std::vector<int> world_ranks,
+                            int caller_world_rank);
+
+  int world_size_;
+  std::mutex registry_mu_;
+  std::map<std::pair<std::vector<int>, std::uint32_t>, std::uint32_t>
+      registry_;
+  std::deque<CommEntry> comms_;  // stable addresses
+  /// Per-rank creation counters; each entry is touched only by its owning
+  /// rank's thread.
+  std::vector<std::map<std::vector<int>, std::uint32_t>> subcomm_uses_;
+  std::vector<std::unique_ptr<SmpComm>> world_comms_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// rt::Comm implementation over SmpCluster mailboxes.
+class SmpComm final : public rt::Comm {
+ public:
+  SmpComm(SmpCluster& cluster, std::uint32_t comm_id, int rank, int size);
+
+  rt::Request isend(rt::ConstView buf, int dst, int tag) override;
+  rt::Request irecv(rt::MutView buf, int src, int tag) override;
+  bool wait_try(std::span<const rt::Request> reqs) override;
+  void wait_suspend(std::span<const rt::Request> reqs,
+                    std::coroutine_handle<> h) override;
+  double now() const override;
+  rt::Buffer alloc_buffer(std::size_t bytes) const override {
+    return rt::Buffer::real(bytes);
+  }
+  void charge_copy(std::size_t) override {}  // real memcpy already happened
+  std::unique_ptr<rt::Comm> create_subcomm(
+      std::span<const int> members) override;
+
+ private:
+  Mailbox& mailbox(int rank_in_comm) const;
+  PostedRecv& op_checked(const rt::Request& r);
+
+  SmpCluster* cluster_;
+  std::uint32_t comm_id_;
+  // Receive-op pool (sends complete eagerly and need no slot). deque keeps
+  // addresses stable while mailboxes hold PostedRecv pointers.
+  std::deque<PostedRecv> ops_;
+  std::vector<std::uint32_t> free_ops_;
+};
+
+}  // namespace mca2a::smp

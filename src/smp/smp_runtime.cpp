@@ -1,0 +1,42 @@
+#include "smp/smp_runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace mca2a::smp {
+
+SmpRuntime::SmpRuntime(int world_size) : cluster_(world_size) {}
+
+void SmpRuntime::run(
+    const std::function<rt::Task<void>(rt::Comm&)>& rank_main) {
+  const int n = cluster_.world_size();
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        rt::sync_wait(rank_main(cluster_.world(r)));
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void run_threads(int world_size,
+                 const std::function<rt::Task<void>(rt::Comm&)>& rank_main) {
+  SmpRuntime rt(world_size);
+  rt.run(rank_main);
+}
+
+}  // namespace mca2a::smp

@@ -1,0 +1,65 @@
+#include "topo/presets.hpp"
+
+#include <stdexcept>
+
+namespace mca2a::topo {
+
+Machine dane(int nodes) {
+  MachineDesc d;
+  d.name = "dane";
+  d.nodes = nodes;
+  d.sockets_per_node = 2;
+  d.numa_per_socket = 4;
+  d.cores_per_numa = 14;
+  return Machine(d);
+}
+
+Machine amber(int nodes) {
+  MachineDesc d;
+  d.name = "amber";
+  d.nodes = nodes;
+  d.sockets_per_node = 2;
+  d.numa_per_socket = 4;
+  d.cores_per_numa = 14;
+  return Machine(d);
+}
+
+Machine tuolomne(int nodes) {
+  MachineDesc d;
+  d.name = "tuolomne";
+  d.nodes = nodes;
+  d.sockets_per_node = 4;
+  d.numa_per_socket = 1;
+  d.cores_per_numa = 24;
+  return Machine(d);
+}
+
+Machine generic(int nodes, int ppn) {
+  MachineDesc d;
+  d.name = "generic";
+  d.nodes = nodes;
+  d.sockets_per_node = 1;
+  d.numa_per_socket = 1;
+  d.cores_per_numa = ppn;
+  return Machine(d);
+}
+
+Machine generic_hier(int nodes, int sockets_per_node, int numa_per_socket,
+                     int cores_per_numa) {
+  MachineDesc d;
+  d.name = "generic-hier";
+  d.nodes = nodes;
+  d.sockets_per_node = sockets_per_node;
+  d.numa_per_socket = numa_per_socket;
+  d.cores_per_numa = cores_per_numa;
+  return Machine(d);
+}
+
+Machine by_name(const std::string& name, int nodes) {
+  if (name == "dane") return dane(nodes);
+  if (name == "amber") return amber(nodes);
+  if (name == "tuolomne") return tuolomne(nodes);
+  throw std::invalid_argument("unknown machine preset: " + name);
+}
+
+}  // namespace mca2a::topo

@@ -1,0 +1,34 @@
+#pragma once
+/// \file presets.hpp
+/// Machine presets matching Table 1 of the paper.
+///
+///  * Dane (LLNL) and Amber (SNL): Intel Sapphire Rapids, 112 cores per node
+///    as 2 sockets x 4 NUMA domains x 14 cores, Cornelis Omni-Path network.
+///  * Tuolomne (LLNL): AMD Instinct MI300A, 96 cores per node as 4 APU
+///    sockets x 24 cores, HPE Slingshot-11 network.
+///  * generic(): small configurable machines for tests and examples.
+
+#include "topo/machine.hpp"
+
+namespace mca2a::topo {
+
+/// LLNL Dane: Sapphire Rapids, 112 cores/node (2 sockets, 4 NUMA each).
+Machine dane(int nodes);
+/// SNL Amber: same node architecture as Dane.
+Machine amber(int nodes);
+/// LLNL Tuolomne: MI300A, 96 cores/node (4 sockets, 1 NUMA each).
+Machine tuolomne(int nodes);
+
+/// Flat generic machine: `nodes` nodes of `ppn` cores, one socket and one
+/// NUMA domain per node.
+Machine generic(int nodes, int ppn);
+
+/// Generic hierarchical machine for tests that need all locality levels.
+Machine generic_hier(int nodes, int sockets_per_node, int numa_per_socket,
+                     int cores_per_numa);
+
+/// Look up a preset by name ("dane", "amber", "tuolomne"); throws
+/// std::invalid_argument for unknown names.
+Machine by_name(const std::string& name, int nodes);
+
+}  // namespace mca2a::topo

@@ -1,0 +1,267 @@
+/// Correctness of the extension collectives (allgather and allreduce
+/// families) on both backends, across machine shapes, group sizes and
+/// payload sizes — the paper's §5 "extend to other collectives".
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "coll_ext/allgather.hpp"
+#include "coll_ext/allreduce.hpp"
+#include "test_util.hpp"
+
+namespace mca2a {
+namespace {
+
+using rt::Buffer;
+using rt::Comm;
+using rt::LocalityComms;
+using rt::Task;
+
+enum class Backend { kSim, kSmp };
+
+struct Shape {
+  Backend backend;
+  int nodes;
+  int ppn;
+  int group;  // 0 = whole node
+  std::size_t block;
+};
+
+std::string shape_name(const ::testing::TestParamInfo<Shape>& info) {
+  const Shape& s = info.param;
+  return std::string(s.backend == Backend::kSim ? "sim" : "smp") + "_n" +
+         std::to_string(s.nodes) + "x" + std::to_string(s.ppn) + "_g" +
+         std::to_string(s.group) + "_b" + std::to_string(s.block);
+}
+
+std::vector<Shape> shapes() {
+  std::vector<Shape> out;
+  for (Backend b : {Backend::kSim, Backend::kSmp}) {
+    for (auto [nodes, ppn] : {std::pair{2, 4}, {3, 6}, {4, 4}}) {
+      for (int g : {0, 2}) {
+        for (std::size_t block : {std::size_t{8}, std::size_t{64}}) {
+          out.push_back(Shape{b, nodes, ppn, g, block});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void run_shape(const Shape& s,
+               const std::function<Task<void>(Comm&, const topo::Machine&,
+                                              int)>& body) {
+  const topo::Machine machine = topo::generic(s.nodes, s.ppn);
+  const int g = s.group == 0 ? s.ppn : s.group;
+  auto rank_main = [&](Comm& world) -> Task<void> {
+    co_await body(world, machine, g);
+  };
+  if (s.backend == Backend::kSim) {
+    test::run_sim(machine, rank_main);
+  } else {
+    test::run_smp(machine.total_ranks(), rank_main);
+  }
+}
+
+std::byte contrib(int r, std::size_t k) {
+  return static_cast<std::byte>((r * 41 + static_cast<int>(k % 97) + 5) &
+                                0xFF);
+}
+
+class ExtGrid : public ::testing::TestWithParam<Shape> {};
+INSTANTIATE_TEST_SUITE_P(Shapes, ExtGrid, ::testing::ValuesIn(shapes()),
+                         shape_name);
+
+TEST_P(ExtGrid, AllgatherBruck) {
+  run_shape(GetParam(), [&](Comm& c, const topo::Machine&,
+                            int) -> Task<void> {
+    const std::size_t block = GetParam().block;
+    const int p = c.size();
+    Buffer send = Buffer::real(block);
+    for (std::size_t k = 0; k < block; ++k) {
+      send.data()[k] = contrib(c.rank(), k);
+    }
+    Buffer recv = Buffer::real(block * p);
+    co_await coll::allgather_bruck(c, send.view(), recv.view());
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t k = 0; k < block; ++k) {
+        EXPECT_EQ(recv.data()[r * block + k], contrib(r, k))
+            << "rank " << r << " byte " << k;
+      }
+    }
+  });
+}
+
+TEST_P(ExtGrid, AllgatherHierarchical) {
+  run_shape(GetParam(), [&](Comm& c, const topo::Machine& m,
+                            int g) -> Task<void> {
+    const std::size_t block = GetParam().block;
+    const int p = c.size();
+    LocalityComms lc = rt::build_locality_comms(c, m, g, false);
+    Buffer send = Buffer::real(block);
+    for (std::size_t k = 0; k < block; ++k) {
+      send.data()[k] = contrib(c.rank(), k);
+    }
+    Buffer recv = Buffer::real(block * p);
+    co_await coll::allgather_hierarchical(lc, send.view(), recv.view());
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t k = 0; k < block; ++k) {
+        EXPECT_EQ(recv.data()[r * block + k], contrib(r, k));
+      }
+    }
+  });
+}
+
+TEST_P(ExtGrid, AllgatherLocalityAware) {
+  run_shape(GetParam(), [&](Comm& c, const topo::Machine& m,
+                            int g) -> Task<void> {
+    const std::size_t block = GetParam().block;
+    const int p = c.size();
+    LocalityComms lc = rt::build_locality_comms(c, m, g, false);
+    Buffer send = Buffer::real(block);
+    for (std::size_t k = 0; k < block; ++k) {
+      send.data()[k] = contrib(c.rank(), k);
+    }
+    Buffer recv = Buffer::real(block * p);
+    co_await coll::allgather_locality_aware(lc, send.view(), recv.view());
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t k = 0; k < block; ++k) {
+        EXPECT_EQ(recv.data()[r * block + k], contrib(r, k));
+      }
+    }
+  });
+}
+
+TEST_P(ExtGrid, AllreduceRecursiveDoublingSum) {
+  run_shape(GetParam(), [&](Comm& c, const topo::Machine&,
+                            int) -> Task<void> {
+    const int p = c.size();
+    constexpr int kElems = 17;
+    Buffer data = Buffer::real(kElems * sizeof(std::int64_t));
+    auto v = data.typed<std::int64_t>();
+    for (int i = 0; i < kElems; ++i) {
+      v[i] = c.rank() * 100 + i;
+    }
+    co_await coll::allreduce_recursive_doubling(
+        c, data.view(), coll::sum_combiner<std::int64_t>());
+    for (int i = 0; i < kElems; ++i) {
+      const std::int64_t want =
+          static_cast<std::int64_t>(p) * (p - 1) / 2 * 100 +
+          static_cast<std::int64_t>(p) * i;
+      EXPECT_EQ(v[i], want) << "element " << i;
+    }
+  });
+}
+
+TEST_P(ExtGrid, AllreduceRabenseifnerSum) {
+  run_shape(GetParam(), [&](Comm& c, const topo::Machine&,
+                            int) -> Task<void> {
+    const int p = c.size();
+    const int elems = 3 * p + 1;  // ragged chunks
+    Buffer data = Buffer::real(elems * sizeof(double));
+    auto v = data.typed<double>();
+    for (int i = 0; i < elems; ++i) {
+      v[i] = c.rank() + 0.5 * i;
+    }
+    co_await coll::allreduce_rabenseifner(c, data.view(),
+                                          coll::sum_combiner<double>());
+    for (int i = 0; i < elems; ++i) {
+      const double want = p * (p - 1) / 2.0 + p * 0.5 * i;
+      EXPECT_DOUBLE_EQ(v[i], want) << "element " << i;
+    }
+  });
+}
+
+TEST_P(ExtGrid, AllreduceNodeAwareMax) {
+  run_shape(GetParam(), [&](Comm& c, const topo::Machine& m,
+                            int g) -> Task<void> {
+    const int p = c.size();
+    LocalityComms lc = rt::build_locality_comms(c, m, g, false);
+    constexpr int kElems = 9;
+    Buffer data = Buffer::real(kElems * sizeof(std::int32_t));
+    auto v = data.typed<std::int32_t>();
+    for (int i = 0; i < kElems; ++i) {
+      v[i] = ((c.rank() + i) % p) * 10;  // max over ranks = (p-1)*10
+    }
+    co_await coll::allreduce_node_aware(lc, data.view(),
+                                        coll::max_combiner<std::int32_t>());
+    for (int i = 0; i < kElems; ++i) {
+      EXPECT_EQ(v[i], (p - 1) * 10) << "element " << i;
+    }
+  });
+}
+
+TEST(ExtCollectives, ReduceBinomialToNonzeroRoot) {
+  test::run_sim_flat(7, [](Comm& c) -> Task<void> {
+    Buffer data = Buffer::real(4 * sizeof(std::int64_t));
+    auto v = data.typed<std::int64_t>();
+    for (int i = 0; i < 4; ++i) {
+      v[i] = c.rank() + i;
+    }
+    co_await coll::reduce_binomial(c, data.view(),
+                                   coll::sum_combiner<std::int64_t>(),
+                                   /*root=*/3);
+    if (c.rank() == 3) {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(v[i], 21 + 7 * i);  // sum 0..6 = 21
+      }
+    }
+  });
+}
+
+TEST(ExtCollectives, RabenseifnerRejectsTooFewElements) {
+  test::run_sim_flat(8, [](Comm& c) -> Task<void> {
+    Buffer data = Buffer::real(4 * sizeof(double));  // 4 elems < 8 ranks
+    EXPECT_THROW(rt::sync_wait(coll::allreduce_rabenseifner(
+                     c, data.view(), coll::sum_combiner<double>())),
+                 std::invalid_argument);
+    co_return;
+  });
+}
+
+TEST(ExtCollectives, AllreduceMinCombiner) {
+  test::run_sim_flat(5, [](Comm& c) -> Task<void> {
+    Buffer data = Buffer::real(sizeof(std::int32_t));
+    data.typed<std::int32_t>()[0] = 100 - c.rank();
+    co_await coll::allreduce_recursive_doubling(
+        c, data.view(), coll::min_combiner<std::int32_t>());
+    EXPECT_EQ(data.typed<std::int32_t>()[0], 96);
+  });
+}
+
+TEST(ExtCollectives, LocalityAllgatherFasterThanRingAtScaleSmallBlocks) {
+  // Shape check in virtual time: on a many-node machine with small blocks
+  // the locality-aware allgather needs fewer network latencies than the
+  // flat ring.
+  const topo::Machine machine = topo::generic_hier(8, 2, 1, 8);  // 8x16
+  const model::NetParams net = model::omni_path();
+  auto timed = [&](bool locality) {
+    std::vector<double> end(machine.total_ranks(), 0.0);
+    test::run_sim(
+        machine,
+        [&](Comm& c) -> Task<void> {
+          const std::size_t block = 8;
+          LocalityComms lc = rt::build_locality_comms(c, machine, 16, false);
+          Buffer send = c.alloc_buffer(block);
+          Buffer recv = c.alloc_buffer(block * c.size());
+          co_await rt::barrier(c);
+          if (locality) {
+            co_await coll::allgather_locality_aware(lc, send.view(),
+                                                    recv.view());
+          } else {
+            co_await coll::allgather_ring(c, send.view(), recv.view());
+          }
+          end[c.rank()] = c.now();
+        },
+        net, /*carry_data=*/false);
+    return *std::max_element(end.begin(), end.end());
+  };
+  EXPECT_LT(timed(true), timed(false));
+}
+
+}  // namespace
+}  // namespace mca2a

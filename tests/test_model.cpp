@@ -1,0 +1,115 @@
+/// Unit tests for the network model: validation, cost monotonicity, level
+/// ordering, rendezvous behaviour, preset sanity.
+
+#include <gtest/gtest.h>
+
+#include "model/cost.hpp"
+#include "model/presets.hpp"
+
+namespace mca2a::model {
+namespace {
+
+using topo::Level;
+
+TEST(Model, PresetsValidate) {
+  EXPECT_NO_THROW(validate(omni_path()));
+  EXPECT_NO_THROW(validate(slingshot()));
+  EXPECT_NO_THROW(validate(test_params()));
+}
+
+TEST(Model, ValidationRejectsNegativeAlpha) {
+  NetParams p = test_params();
+  p.at(Level::kNetwork).alpha = -1.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Model, ValidationRejectsBadRendezvousFactor) {
+  NetParams p = test_params();
+  p.rendezvous_nic_factor = 0.5;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Model, ValidationRejectsBadVendorFactor) {
+  NetParams p = test_params();
+  p.vendor_factor = 0.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p.vendor_factor = 1.5;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(Model, WireTimeMonotonicInSize) {
+  const NetParams p = omni_path();
+  double prev = 0.0;
+  for (std::size_t bytes : {0, 1, 64, 4096, 1 << 20}) {
+    const double t = wire_time(p, Level::kNetwork, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Model, LatencyOrderedByLocality) {
+  for (const NetParams& p : {omni_path(), slingshot()}) {
+    EXPECT_LE(p.at(Level::kSelf).alpha, p.at(Level::kNuma).alpha);
+    EXPECT_LE(p.at(Level::kNuma).alpha, p.at(Level::kSocket).alpha);
+    EXPECT_LE(p.at(Level::kSocket).alpha, p.at(Level::kNode).alpha);
+    EXPECT_LT(p.at(Level::kNode).alpha, p.at(Level::kNetwork).alpha);
+  }
+}
+
+TEST(Model, BandwidthOrderedByLocality) {
+  for (const NetParams& p : {omni_path(), slingshot()}) {
+    EXPECT_LE(p.at(Level::kNuma).beta, p.at(Level::kSocket).beta);
+    EXPECT_LE(p.at(Level::kSocket).beta, p.at(Level::kNode).beta);
+    EXPECT_LT(p.at(Level::kNode).beta, p.at(Level::kNetwork).beta);
+  }
+}
+
+TEST(Model, RendezvousThreshold) {
+  const NetParams p = omni_path();
+  EXPECT_FALSE(is_rendezvous(p, p.eager_threshold));
+  EXPECT_TRUE(is_rendezvous(p, p.eager_threshold + 1));
+  // Rendezvous NIC time is scaled up.
+  const double eager = nic_inject_time(p, p.eager_threshold);
+  const double rdv = nic_inject_time(p, p.eager_threshold + 1);
+  EXPECT_GT(rdv, eager * 1.1);
+}
+
+TEST(Model, SlingshotFasterThanOmniPathPerByte) {
+  // Table 1: Slingshot-11 (200G) vs Omni-Path (100G).
+  EXPECT_LT(slingshot().nic_inject_beta, omni_path().nic_inject_beta);
+  EXPECT_LT(slingshot().at(Level::kNetwork).beta,
+            omni_path().at(Level::kNetwork).beta);
+}
+
+TEST(Model, MatchTimeLinearInQueueLength) {
+  const NetParams p = omni_path();
+  const double base = match_time(p, 0);
+  const double q100 = match_time(p, 100);
+  const double q200 = match_time(p, 200);
+  EXPECT_NEAR(q200 - q100, q100 - base, 1e-15);
+  EXPECT_GT(q100, base);
+}
+
+TEST(Model, PackTimeProportionalToBytes) {
+  const NetParams p = omni_path();
+  EXPECT_DOUBLE_EQ(pack_time(p, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pack_time(p, 2000), 2.0 * pack_time(p, 1000));
+}
+
+TEST(Model, ForMachineMapsPresets) {
+  EXPECT_EQ(for_machine("dane").name, "omni-path");
+  EXPECT_EQ(for_machine("amber").name, "omni-path");
+  EXPECT_EQ(for_machine("tuolomne").name, "slingshot-11");
+  EXPECT_THROW(for_machine("unknown"), std::invalid_argument);
+}
+
+TEST(Model, SendRecvCpuTimesIncludeCopy) {
+  const NetParams p = omni_path();
+  const double small = send_cpu_time(p, Level::kNetwork, 0);
+  const double big = send_cpu_time(p, Level::kNetwork, 1 << 20);
+  EXPECT_GT(big, small);
+  EXPECT_NEAR(big - small, (1 << 20) * p.cpu_copy_beta, 1e-12);
+}
+
+}  // namespace
+}  // namespace mca2a::model

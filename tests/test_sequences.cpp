@@ -1,0 +1,149 @@
+/// Sequencing tests: repeated and mixed collectives on the SAME
+/// communicators and bundles, in one rank program. Catches state leakage
+/// between invocations (stale matching queues, tag collisions, bundle
+/// reuse) that single-shot tests cannot see.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "coll_ext/allgather.hpp"
+#include "coll_ext/allreduce.hpp"
+#include "core/alltoall.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/comm_bundle.hpp"
+#include "test_util.hpp"
+
+namespace mca2a {
+namespace {
+
+using rt::Buffer;
+using rt::Comm;
+using rt::LocalityComms;
+using rt::Task;
+
+TEST(Sequences, RepeatedAlltoallOnOneBundle) {
+  const topo::Machine machine = topo::generic(2, 6);
+  const int p = machine.total_ranks();
+  constexpr std::size_t kBlock = 32;
+  for (bool smp : {false, true}) {
+    auto body = [&](Comm& world) -> Task<void> {
+      LocalityComms lc = rt::build_locality_comms(world, machine, 3, true);
+      Buffer send = Buffer::real(kBlock * p);
+      Buffer recv = Buffer::real(kBlock * p);
+      for (int rep = 0; rep < 4; ++rep) {
+        test::fill_send(send, world.rank(), p, kBlock);
+        coll::Options opts;
+        opts.inner = rep % 2 == 0 ? coll::Inner::kPairwise
+                                  : coll::Inner::kNonblocking;
+        co_await coll::alltoall_multileader_node_aware(
+            lc, send.view(), recv.view(), kBlock, opts);
+        EXPECT_TRUE(test::check_recv(recv, world.rank(), p, kBlock))
+            << "rep " << rep;
+      }
+    };
+    if (smp) {
+      test::run_smp(p, body);
+    } else {
+      test::run_sim(machine, body);
+    }
+  }
+}
+
+TEST(Sequences, MixedCollectivesShareCommunicators) {
+  // alltoall -> allreduce -> allgather -> alltoall on the same bundle; any
+  // stray message from one collective corrupts the next.
+  const topo::Machine machine = topo::generic(3, 4);
+  const int p = machine.total_ranks();
+  constexpr std::size_t kBlock = 16;
+  test::run_sim(machine, [&](Comm& world) -> Task<void> {
+    LocalityComms lc = rt::build_locality_comms(world, machine, 2, true);
+    Buffer send = Buffer::real(kBlock * p);
+    Buffer recv = Buffer::real(kBlock * p);
+
+    test::fill_send(send, world.rank(), p, kBlock);
+    co_await coll::alltoall_node_aware(lc, send.view(), recv.view(), kBlock,
+                                       {});
+    EXPECT_TRUE(test::check_recv(recv, world.rank(), p, kBlock));
+
+    Buffer sum = Buffer::real(sizeof(std::int64_t));
+    sum.typed<std::int64_t>()[0] = world.rank();
+    co_await coll::allreduce_node_aware(lc, sum.view(),
+                                        coll::sum_combiner<std::int64_t>());
+    EXPECT_EQ(sum.typed<std::int64_t>()[0],
+              static_cast<std::int64_t>(p) * (p - 1) / 2);
+
+    Buffer one = Buffer::real(4);
+    one.typed<int>()[0] = world.rank() * 3;
+    Buffer all = Buffer::real(4 * p);
+    co_await coll::allgather_locality_aware(lc, one.view(), all.view());
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all.typed<int>()[r], r * 3);
+    }
+
+    test::fill_send(send, world.rank(), p, kBlock);
+    co_await coll::alltoall_hierarchical(lc, send.view(), recv.view(), kBlock,
+                                         {});
+    EXPECT_TRUE(test::check_recv(recv, world.rank(), p, kBlock));
+  });
+}
+
+TEST(Sequences, DifferentAlgorithmsBackToBackOnWorld) {
+  const int p = 10;
+  constexpr std::size_t kBlock = 24;
+  test::run_smp(p, [&](Comm& world) -> Task<void> {
+    Buffer send = Buffer::real(kBlock * p);
+    Buffer recv = Buffer::real(kBlock * p);
+    for (coll::Algo a :
+         {coll::Algo::kPairwiseDirect, coll::Algo::kBruckDirect,
+          coll::Algo::kNonblockingDirect, coll::Algo::kBatchedDirect,
+          coll::Algo::kBruckDirect, coll::Algo::kPairwiseDirect}) {
+      test::fill_send(send, world.rank(), p, kBlock);
+      co_await coll::run_alltoall(a, world, nullptr, send.view(), recv.view(),
+                                  kBlock, {});
+      EXPECT_TRUE(test::check_recv(recv, world.rank(), p, kBlock))
+          << coll::algo_name(a);
+    }
+  });
+}
+
+TEST(Sequences, BarriersBetweenPhasesDoNotAbsorbMessages) {
+  // Interleave barriers with point-to-point on the same comm: barrier's
+  // internal zero-byte traffic must not match user receives.
+  test::run_sim_flat(4, [](Comm& c) -> Task<void> {
+    Buffer b = Buffer::real(4);
+    const int peer = (c.rank() + 1) % c.size();
+    const int from = (c.rank() + c.size() - 1) % c.size();
+    for (int i = 0; i < 3; ++i) {
+      b.typed<int>()[0] = c.rank() * 10 + i;
+      rt::Request r = c.irecv(b.view(), from, 5);
+      co_await rt::barrier(c);
+      Buffer out = Buffer::real(4);
+      out.typed<int>()[0] = c.rank() * 10 + i;
+      co_await c.send(out.view(), peer, 5);
+      co_await c.wait(r);
+      EXPECT_EQ(b.typed<int>()[0], from * 10 + i);
+      co_await rt::barrier(c);
+    }
+  });
+}
+
+TEST(Sequences, SimVirtualTimeMonotoneAcrossCollectives) {
+  const topo::Machine machine = topo::generic(2, 4);
+  test::run_sim(machine, [&](Comm& world) -> Task<void> {
+    LocalityComms lc = rt::build_locality_comms(world, machine, 2, false);
+    Buffer send = Buffer::real(8 * world.size());
+    Buffer recv = Buffer::real(8 * world.size());
+    double prev = world.now();
+    for (int rep = 0; rep < 3; ++rep) {
+      co_await coll::alltoall_node_aware(lc, send.view(), recv.view(), 8, {});
+      const double now = world.now();
+      EXPECT_GT(now, prev);
+      prev = now;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mca2a

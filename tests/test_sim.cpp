@@ -1,0 +1,402 @@
+/// Tests for the discrete-event simulator: point-to-point semantics,
+/// matching rules, virtual time properties, resources, rendezvous protocol,
+/// determinism, deadlock detection, sub-communicators.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/alltoall.hpp"
+#include "model/cost.hpp"
+#include "sim/event_queue.hpp"
+#include "test_util.hpp"
+
+namespace mca2a {
+namespace {
+
+using rt::Buffer;
+using rt::Comm;
+using rt::ConstView;
+using rt::MutView;
+using rt::Request;
+using rt::Task;
+using test::run_sim;
+using test::run_sim_flat;
+
+TEST(EventQueue, OrdersByTimeThenSequence) {
+  sim::EventQueue q;
+  q.push(2.0, sim::EventKind::kMsgArrival, 1);
+  q.push(1.0, sim::EventKind::kMsgArrival, 2);
+  q.push(1.0, sim::EventKind::kRtsArrival, 3);
+  q.push(3.0, sim::EventKind::kMsgArrival, 4);
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop().msg, 2u);  // t=1, earlier sequence
+  EXPECT_EQ(q.pop().msg, 3u);  // t=1, later sequence
+  EXPECT_EQ(q.pop().msg, 1u);
+  EXPECT_EQ(q.pop().msg, 4u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SimP2P, PingPongDeliversPayload) {
+  run_sim_flat(2, [](Comm& c) -> Task<void> {
+    Buffer buf = Buffer::real(8);
+    if (c.rank() == 0) {
+      for (int i = 0; i < 8; ++i) buf.data()[i] = static_cast<std::byte>(i);
+      co_await c.send(buf.view(), 1, 7);
+    } else {
+      co_await c.recv(buf.view(), 0, 7);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(buf.data()[i], static_cast<std::byte>(i));
+      }
+      EXPECT_GT(c.now(), 0.0);
+    }
+  });
+}
+
+TEST(SimP2P, TagsSelectMessages) {
+  run_sim_flat(2, [](Comm& c) -> Task<void> {
+    Buffer a = Buffer::real(1);
+    Buffer b = Buffer::real(1);
+    if (c.rank() == 0) {
+      a.data()[0] = std::byte{1};
+      b.data()[0] = std::byte{2};
+      co_await c.send(a.view(), 1, 10);
+      co_await c.send(b.view(), 1, 20);
+    } else {
+      // Receive in reverse tag order; matching must be by tag, not arrival.
+      co_await c.recv(b.view(), 0, 20);
+      co_await c.recv(a.view(), 0, 10);
+      EXPECT_EQ(a.data()[0], std::byte{1});
+      EXPECT_EQ(b.data()[0], std::byte{2});
+    }
+  });
+}
+
+TEST(SimP2P, AnySourceReceives) {
+  run_sim_flat(3, [](Comm& c) -> Task<void> {
+    Buffer buf = Buffer::real(4);
+    if (c.rank() != 0) {
+      buf.typed<int>()[0] = c.rank();
+      co_await c.send(buf.view(), 0, 5);
+    } else {
+      int seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        co_await c.recv(buf.view(), rt::kAnySource, 5);
+        seen += buf.typed<int>()[0];
+      }
+      EXPECT_EQ(seen, 3);  // ranks 1 and 2
+    }
+  });
+}
+
+TEST(SimP2P, AnyTagReceives) {
+  run_sim_flat(2, [](Comm& c) -> Task<void> {
+    Buffer buf = Buffer::real(1);
+    if (c.rank() == 0) {
+      buf.data()[0] = std::byte{9};
+      co_await c.send(buf.view(), 1, 1234);
+    } else {
+      co_await c.recv(buf.view(), 0, rt::kAnyTag);
+      EXPECT_EQ(buf.data()[0], std::byte{9});
+    }
+  });
+}
+
+TEST(SimP2P, PairNonOvertaking) {
+  // Two same-tag messages must arrive in send order.
+  run_sim_flat(2, [](Comm& c) -> Task<void> {
+    Buffer a = Buffer::real(1);
+    Buffer b = Buffer::real(1);
+    if (c.rank() == 0) {
+      a.data()[0] = std::byte{1};
+      b.data()[0] = std::byte{2};
+      co_await c.send(a.view(), 1, 3);
+      co_await c.send(b.view(), 1, 3);
+    } else {
+      co_await c.recv(a.view(), 0, 3);
+      co_await c.recv(b.view(), 0, 3);
+      EXPECT_EQ(a.data()[0], std::byte{1});
+      EXPECT_EQ(b.data()[0], std::byte{2});
+    }
+  });
+}
+
+TEST(SimP2P, UnexpectedThenPostedBothWork) {
+  // Rank 1 receives late (unexpected path) then early (posted path).
+  run_sim_flat(2, [](Comm& c) -> Task<void> {
+    Buffer buf = Buffer::real(1);
+    if (c.rank() == 0) {
+      buf.data()[0] = std::byte{5};
+      co_await c.send(buf.view(), 1, 1);
+      buf.data()[0] = std::byte{6};
+      co_await c.send(buf.view(), 1, 2);
+    } else {
+      Request r2 = c.irecv(buf.view(), 0, 2);
+      co_await c.wait(r2);  // arrives second but posted first
+      EXPECT_EQ(buf.data()[0], std::byte{6});
+      Buffer other = Buffer::real(1);
+      co_await c.recv(other.view(), 0, 1);  // already unexpected
+      EXPECT_EQ(other.data()[0], std::byte{5});
+    }
+  });
+}
+
+TEST(SimP2P, ZeroByteMessages) {
+  run_sim_flat(2, [](Comm& c) -> Task<void> {
+    if (c.rank() == 0) {
+      co_await c.send(ConstView{}, 1, 0);
+    } else {
+      co_await c.recv(MutView{}, 0, 0);
+    }
+  });
+}
+
+TEST(SimP2P, TruncationThrows) {
+  EXPECT_THROW(run_sim_flat(2,
+                            [](Comm& c) -> Task<void> {
+                              Buffer big = Buffer::real(16);
+                              Buffer small = Buffer::real(8);
+                              if (c.rank() == 0) {
+                                co_await c.send(big.view(), 1, 0);
+                              } else {
+                                co_await c.recv(small.view(), 0, 0);
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(SimP2P, InvalidDestinationThrows) {
+  EXPECT_THROW(run_sim_flat(2,
+                            [](Comm& c) -> Task<void> {
+                              if (c.rank() == 0) {
+                                co_await c.send(ConstView{}, 7, 0);
+                              }
+                              co_return;
+                            }),
+               std::out_of_range);
+}
+
+TEST(SimP2P, StaleRequestThrows) {
+  EXPECT_THROW(run_sim_flat(2,
+                            [](Comm& c) -> Task<void> {
+                              Buffer b = Buffer::real(1);
+                              if (c.rank() == 0) {
+                                co_await c.send(b.view(), 1, 0);
+                              } else {
+                                Request r = c.irecv(b.view(), 0, 0);
+                                co_await c.wait(r);
+                                co_await c.wait(r);  // already released
+                              }
+                            }),
+               std::logic_error);
+}
+
+TEST(SimP2P, DeadlockDetected) {
+  try {
+    run_sim_flat(2, [](Comm& c) -> Task<void> {
+      Buffer b = Buffer::real(1);
+      co_await c.recv(b.view(), 1 - c.rank(), 0);  // nobody sends
+    });
+    FAIL() << "expected SimDeadlockError";
+  } catch (const sim::SimDeadlockError& e) {
+    EXPECT_EQ(e.stuck_ranks(), 2);
+  }
+}
+
+TEST(SimTime, ClockAdvancesWithLatency) {
+  const model::NetParams net = model::test_params();
+  std::vector<double> done(2, 0.0);
+  run_sim(
+      topo::generic(2, 1),  // two nodes, network level
+      [&](Comm& c) -> Task<void> {
+        Buffer b = Buffer::real(100);
+        if (c.rank() == 0) {
+          co_await c.send(b.view(), 1, 0);
+        } else {
+          co_await c.recv(b.view(), 0, 0);
+        }
+        done[c.rank()] = c.now();
+      },
+      net);
+  // Receiver finishes after at least wire alpha + 100 bytes of beta.
+  EXPECT_GE(done[1], net.at(topo::Level::kNetwork).alpha +
+                         100 * net.at(topo::Level::kNetwork).beta);
+  // Sender completes at injection, before the receiver.
+  EXPECT_LT(done[0], done[1]);
+}
+
+TEST(SimTime, IntraNodeCheaperThanInterNode) {
+  auto one_hop = [&](const topo::Machine& m) {
+    std::vector<double> t(m.total_ranks(), 0.0);
+    run_sim(m, [&](Comm& c) -> Task<void> {
+      Buffer b = Buffer::real(64);
+      if (c.rank() == 0) {
+        co_await c.send(b.view(), 1, 0);
+      } else if (c.rank() == 1) {
+        co_await c.recv(b.view(), 0, 0);
+      }
+      t[c.rank()] = c.now();
+    });
+    return t[1];
+  };
+  const double intra = one_hop(topo::generic(1, 2));
+  const double inter = one_hop(topo::generic(2, 1));
+  EXPECT_LT(intra, inter);
+}
+
+TEST(SimTime, NicSerializesConcurrentSenders) {
+  // Many senders on one node to distinct receivers: the shared NIC must
+  // serialize, so doubling the senders roughly doubles completion time.
+  auto finish_time = [&](int senders) {
+    topo::MachineDesc d;
+    d.name = "t";
+    d.nodes = 2;
+    d.cores_per_numa = senders;
+    double latest = 0.0;
+    std::vector<double> t(2 * senders, 0.0);
+    run_sim(topo::Machine(d), [&, senders](Comm& c) -> Task<void> {
+      Buffer b = Buffer::real(1 << 16);
+      if (c.rank() < senders) {
+        co_await c.send(b.view(), senders + c.rank(), 0);
+      } else {
+        co_await c.recv(b.view(), c.rank() - senders, 0);
+      }
+      t[c.rank()] = c.now();
+    });
+    for (double v : t) latest = std::max(latest, v);
+    return latest;
+  };
+  const double t4 = finish_time(4);
+  const double t8 = finish_time(8);
+  // Four extra messages cost exactly four more NIC serialization periods
+  // (constant wire latency cancels in the difference).
+  const model::NetParams net = model::test_params();
+  const double period = net.nic_msg_overhead + (1 << 16) * net.nic_inject_beta;
+  EXPECT_NEAR(t8 - t4, 4 * period, 0.5 * period);
+  EXPECT_GT(t8, t4 * 1.4);
+}
+
+TEST(SimTime, RendezvousWaitsForReceiver) {
+  // A message above the eager threshold cannot complete before the receive
+  // is posted; an eager one can.
+  model::NetParams net = model::test_params();
+  net.eager_threshold = 1024;
+  const std::size_t big = 4096;
+  std::vector<double> send_done(2, 0.0);
+  run_sim(
+      topo::generic(2, 1),
+      [&](Comm& c) -> Task<void> {
+        Buffer b = Buffer::real(big);
+        if (c.rank() == 0) {
+          Request r = c.isend(b.view(), 1, 0);
+          co_await c.wait(r);
+          send_done[0] = c.now();
+        } else {
+          // Delay posting the receive by doing unrelated local "work".
+          c.charge_copy(100 * 1000 * 1000);  // 10ms at 1e-10 s/B
+          co_await c.recv(b.view(), 0, 0);
+        }
+      },
+      net);
+  // Sender had to wait ~10ms for the CTS.
+  EXPECT_GT(send_done[0], 5e-3);
+}
+
+TEST(SimTime, EagerSendCompletesWithoutReceiver) {
+  model::NetParams net = model::test_params();
+  net.eager_threshold = SIZE_MAX;
+  std::vector<double> send_done(2, 0.0);
+  run_sim(
+      topo::generic(2, 1),
+      [&](Comm& c) -> Task<void> {
+        Buffer b = Buffer::real(4096);
+        if (c.rank() == 0) {
+          Request r = c.isend(b.view(), 1, 0);
+          co_await c.wait(r);
+          send_done[0] = c.now();
+        } else {
+          c.charge_copy(100 * 1000 * 1000);
+          co_await c.recv(b.view(), 0, 0);
+        }
+      },
+      net);
+  EXPECT_LT(send_done[0], 1e-3);  // completed long before the receiver posted
+}
+
+TEST(SimDeterminism, SameSeedSameResult) {
+  model::NetParams net = model::test_params();
+  net.noise_sigma = 0.1;
+  auto run_once = [&](std::uint64_t seed) {
+    return run_sim(
+        topo::generic(2, 4),
+        [](Comm& c) -> Task<void> {
+          Buffer s = Buffer::real(64 * c.size());
+          Buffer r = Buffer::real(64 * c.size());
+          co_await coll::alltoall_pairwise(c, s.view(), r.view(), 64);
+        },
+        net, /*carry_data=*/true, seed);
+  };
+  EXPECT_DOUBLE_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(SimDeterminism, VirtualAndRealPayloadsSameTime) {
+  auto run_once = [&](bool carry) {
+    return run_sim(
+        topo::generic_hier(2, 2, 1, 2),
+        [](Comm& c) -> Task<void> {
+          Buffer s = c.alloc_buffer(128 * c.size());
+          Buffer r = c.alloc_buffer(128 * c.size());
+          co_await coll::alltoall_nonblocking(c, s.view(), r.view(), 128);
+        },
+        model::test_params(), carry);
+  };
+  EXPECT_DOUBLE_EQ(run_once(true), run_once(false));
+}
+
+TEST(SimSubcomm, SplitCommRoutesIndependently) {
+  run_sim_flat(4, [](Comm& c) -> Task<void> {
+    // Evens and odds form separate subcomms; ranks renumbered 0..1.
+    std::vector<int> members = c.rank() % 2 == 0 ? std::vector<int>{0, 2}
+                                                 : std::vector<int>{1, 3};
+    auto sub = c.create_subcomm(members);
+    EXPECT_EQ(sub->size(), 2);
+    EXPECT_EQ(sub->rank(), c.rank() / 2);
+    Buffer b = Buffer::real(4);
+    if (sub->rank() == 0) {
+      b.typed<int>()[0] = c.rank();
+      co_await sub->send(b.view(), 1, 0);
+    } else {
+      co_await sub->recv(b.view(), 0, 0);
+      EXPECT_EQ(b.typed<int>()[0], c.rank() - 2);  // peer in my parity class
+    }
+  });
+}
+
+TEST(SimSubcomm, NotAMemberThrows) {
+  EXPECT_THROW(run_sim_flat(2,
+                            [](Comm& c) -> Task<void> {
+                              std::vector<int> members{1 - c.rank()};
+                              auto sub = c.create_subcomm(members);
+                              (void)sub;
+                              co_return;
+                            }),
+               std::invalid_argument);
+}
+
+TEST(SimStats, CountsMessages) {
+  sim::ClusterConfig cfg;
+  cfg.machine = topo::generic(1, 4).desc();
+  cfg.net = model::test_params();
+  sim::Cluster cluster(cfg);
+  cluster.run([](Comm& c) -> Task<void> {
+    Buffer s = Buffer::real(8 * c.size());
+    Buffer r = Buffer::real(8 * c.size());
+    co_await coll::alltoall_nonblocking(c, s.view(), r.view(), 8);
+  });
+  // 4 ranks x 3 peers = 12 payload messages.
+  EXPECT_EQ(cluster.messages_sent(), 12u);
+}
+
+}  // namespace
+}  // namespace mca2a

@@ -1,0 +1,122 @@
+/// Unit tests for the machine topology model: rank arithmetic, locality
+/// levels, group helpers, presets matching Table 1 of the paper.
+
+#include <gtest/gtest.h>
+
+#include "topo/machine.hpp"
+#include "topo/presets.hpp"
+
+namespace mca2a::topo {
+namespace {
+
+TEST(Machine, DanePresetMatchesTable1) {
+  Machine m = dane(32);
+  EXPECT_EQ(m.nodes(), 32);
+  EXPECT_EQ(m.ppn(), 112);  // 2 sockets x 4 NUMA x 14 cores
+  EXPECT_EQ(m.total_ranks(), 3584);
+  EXPECT_EQ(m.desc().numa_per_node(), 8);
+  EXPECT_EQ(m.desc().cores_per_socket(), 56);
+}
+
+TEST(Machine, AmberMatchesDaneArchitecture) {
+  Machine a = amber(4);
+  Machine d = dane(4);
+  EXPECT_EQ(a.ppn(), d.ppn());
+  EXPECT_EQ(a.desc().numa_per_node(), d.desc().numa_per_node());
+}
+
+TEST(Machine, TuolomnePresetMatchesTable1) {
+  Machine m = tuolomne(32);
+  EXPECT_EQ(m.ppn(), 96);  // 4 MI300A sockets x 24 cores
+  EXPECT_EQ(m.total_ranks(), 3072);
+}
+
+TEST(Machine, InvalidDescThrows) {
+  MachineDesc d;
+  d.nodes = 0;
+  EXPECT_THROW(Machine{d}, std::invalid_argument);
+  d.nodes = 1;
+  d.cores_per_numa = -1;
+  EXPECT_THROW(Machine{d}, std::invalid_argument);
+}
+
+TEST(Machine, RankArithmetic) {
+  Machine m = dane(2);  // ppn 112
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(111), 0);
+  EXPECT_EQ(m.node_of(112), 1);
+  EXPECT_EQ(m.local_rank(115), 3);
+  EXPECT_EQ(m.world_rank(1, 3), 115);
+  // Local 13 and 14 straddle the first NUMA boundary (14 cores per NUMA).
+  EXPECT_EQ(m.numa_of(13), 0);
+  EXPECT_EQ(m.numa_of(14), 1);
+  // Local 55 and 56 straddle the socket boundary (56 cores per socket).
+  EXPECT_EQ(m.socket_of(55), 0);
+  EXPECT_EQ(m.socket_of(56), 1);
+  // Node 1 global indices continue from node 0.
+  EXPECT_EQ(m.numa_of(112), 8);
+  EXPECT_EQ(m.socket_of(112), 2);
+}
+
+TEST(Machine, RankOutOfRangeThrows) {
+  Machine m = generic(2, 4);
+  EXPECT_THROW(m.node_of(8), std::out_of_range);
+  EXPECT_THROW(m.node_of(-1), std::out_of_range);
+  EXPECT_THROW(m.world_rank(2, 0), std::out_of_range);
+  EXPECT_THROW(m.world_rank(0, 4), std::out_of_range);
+}
+
+TEST(Machine, LocalityLevels) {
+  Machine m = dane(2);
+  EXPECT_EQ(m.level(5, 5), Level::kSelf);
+  EXPECT_EQ(m.level(0, 13), Level::kNuma);     // same NUMA domain
+  EXPECT_EQ(m.level(0, 14), Level::kSocket);   // same socket, next NUMA
+  EXPECT_EQ(m.level(0, 56), Level::kNode);     // other socket
+  EXPECT_EQ(m.level(0, 112), Level::kNetwork); // other node
+  // Symmetry.
+  EXPECT_EQ(m.level(14, 0), Level::kSocket);
+  EXPECT_EQ(m.level(112, 0), Level::kNetwork);
+}
+
+TEST(Machine, LevelNames) {
+  EXPECT_STREQ(to_string(Level::kSelf), "self");
+  EXPECT_STREQ(to_string(Level::kNetwork), "network");
+}
+
+TEST(Machine, GroupArithmetic) {
+  Machine m = dane(2);  // ppn 112
+  EXPECT_EQ(m.groups_per_node(4), 28);
+  EXPECT_EQ(m.groups_per_node(8), 14);
+  EXPECT_EQ(m.groups_per_node(16), 7);
+  EXPECT_EQ(m.groups_per_node(112), 1);
+  // Rank 115 = node 1, local 3 -> group 0, position 3 (g=4).
+  EXPECT_EQ(m.group_of(115, 4), 0);
+  EXPECT_EQ(m.group_local(115, 4), 3);
+  EXPECT_FALSE(m.is_group_leader(115, 4));
+  EXPECT_TRUE(m.is_group_leader(116, 4));  // local 4 = leader of group 1
+}
+
+TEST(Machine, GroupSizeMustDividePpn) {
+  Machine m = dane(1);
+  EXPECT_THROW(m.groups_per_node(3), std::invalid_argument);
+  EXPECT_THROW(m.groups_per_node(0), std::invalid_argument);
+  EXPECT_THROW(m.groups_per_node(224), std::invalid_argument);
+}
+
+TEST(Machine, PresetByName) {
+  EXPECT_EQ(by_name("dane", 2).ppn(), 112);
+  EXPECT_EQ(by_name("tuolomne", 2).ppn(), 96);
+  EXPECT_THROW(by_name("frontier", 2), std::invalid_argument);
+}
+
+TEST(Machine, GenericHier) {
+  Machine m = generic_hier(2, 2, 2, 4);  // 16 cores/node
+  EXPECT_EQ(m.ppn(), 16);
+  EXPECT_EQ(m.level(0, 3), Level::kNuma);
+  EXPECT_EQ(m.level(0, 4), Level::kSocket);
+  EXPECT_EQ(m.level(0, 8), Level::kNode);
+  EXPECT_EQ(m.level(0, 16), Level::kNetwork);
+}
+
+}  // namespace
+}  // namespace mca2a::topo
