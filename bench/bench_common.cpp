@@ -31,6 +31,10 @@ bench::RunSpec make_spec(const topo::MachineDesc& machine,
   spec.group_size = s.group_size;
   spec.block = block;
   spec.collect_trace = trace;
+  // Figure benches time the steady-state exchange: execute through a
+  // persistent plan so communicator construction and selection stay out of
+  // the timed region (A2A_NO_PLAN=1 restores the legacy per-run path).
+  spec.use_plan = std::getenv("A2A_NO_PLAN") == nullptr;
   bench::apply_env(spec);
   return spec;
 }

@@ -13,6 +13,7 @@
 ///   A2A_BENCH_REPS=n  repetitions inside the simulator (paper: min of 3)
 ///   A2A_NOISE=sigma   log-normal noise on latencies/overheads
 ///   A2A_BENCH_CSV=dir CSV output directory
+///   A2A_NO_PLAN=1     bypass persistent plans (legacy per-run construction)
 
 #include <benchmark/benchmark.h>
 

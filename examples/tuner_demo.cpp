@@ -4,10 +4,18 @@
 /// then measures the chosen algorithm against the fixed-algorithm
 /// portfolio, reporting how close the selection came to the true optimum.
 ///
+/// Selection runs through a plan::TuningTable, so each (machine, size)
+/// question is answered by the closed-form model exactly once and by an
+/// O(1) lookup afterwards; the table round-trips through a text file the
+/// way a deployment would precompute it. The measured runs execute through
+/// persistent plans (RunSpec::use_plan), keeping communicator construction
+/// out of the timed region.
+///
 ///   ./build/examples/tuner_demo [machine] [nodes]
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,6 +23,7 @@
 #include "harness/figure.hpp"
 #include "harness/sweep.hpp"
 #include "model/presets.hpp"
+#include "plan/tuning_table.hpp"
 #include "topo/presets.hpp"
 
 using namespace mca2a;
@@ -30,9 +39,22 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-34s %14s %14s\n", "size", "selected",
               "selected time", "node-aware");
 
-  for (std::size_t block : {std::size_t{4}, std::size_t{64}, std::size_t{512},
-                            std::size_t{4096}}) {
-    const coll::Choice choice = coll::select_algorithm(machine, net, block);
+  const std::vector<std::size_t> sizes = {4, 64, 512, 4096};
+
+  // Fill the tuning table once (the "login node" step)...
+  plan::TuningTable table;
+  for (std::size_t block : sizes) {
+    table.choose(machine, net, block);
+  }
+  // ...serialize and reload it, as a deployment shipping a precomputed
+  // table would.
+  std::stringstream file;
+  table.save(file);
+  plan::TuningTable loaded = plan::TuningTable::load(file);
+
+  for (std::size_t block : sizes) {
+    // Every lookup is now a table hit: no model evaluation.
+    const coll::Choice choice = loaded.choose(machine, net, block);
 
     auto measure = [&](coll::Algo algo, int g) {
       bench::RunSpec spec;
@@ -41,6 +63,7 @@ int main(int argc, char** argv) {
       spec.algo = algo;
       spec.group_size = g;
       spec.block = block;
+      spec.use_plan = true;
       bench::apply_env(spec);
       return bench::run_sim(spec).seconds;
     };
@@ -52,5 +75,9 @@ int main(int argc, char** argv) {
                 choice.group_size, bench::format_time(chosen).c_str(),
                 bench::format_time(baseline).c_str());
   }
+  std::printf(
+      "table: %zu entries, %llu lookups, %llu hits after reload\n",
+      loaded.size(), static_cast<unsigned long long>(loaded.lookups()),
+      static_cast<unsigned long long>(loaded.hits()));
   return 0;
 }

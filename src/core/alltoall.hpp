@@ -30,6 +30,10 @@
 #include "runtime/comm_bundle.hpp"
 #include "runtime/task.hpp"
 
+namespace mca2a::rt {
+class ScratchArena;
+}
+
 namespace mca2a::coll {
 
 /// Exchange used for the internal MPI_Alltoall instances of Algorithms 3-5
@@ -70,6 +74,13 @@ struct Options {
   std::size_t system_small_threshold = 512;
   /// Optional per-rank phase timing sink.
   Trace* trace = nullptr;
+  /// Optional reusable scratch arena (runtime/scratch.hpp). When set, the
+  /// locality algorithms recycle their temporary buffers — including the
+  /// binomial gather/scatter staging — through it instead of allocating
+  /// fresh ones per call; persistent plans (plan/plan.hpp) use this so
+  /// repeated execute() calls allocate nothing after the first (exception:
+  /// Inner::kBruck, whose rotation buffers are per-call).
+  rt::ScratchArena* scratch = nullptr;
 };
 
 // --- direct algorithms ------------------------------------------------------

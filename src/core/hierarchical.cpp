@@ -18,6 +18,7 @@
 
 #include "core/alltoall.hpp"
 #include "runtime/collectives.hpp"
+#include "runtime/scratch.hpp"
 
 namespace mca2a::coll {
 
@@ -37,24 +38,27 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
   Trace* trace = lc.is_leader ? opts.trace : nullptr;
 
   // --- gather members' send buffers to the leader --------------------------
-  rt::Buffer gathered;
+  rt::ScratchBuffer gathered;
   if (lc.is_leader) {
-    gathered = world.alloc_buffer(static_cast<std::size_t>(g) * psz);
+    gathered = rt::alloc_scratch(world, opts.scratch,
+                                 static_cast<std::size_t>(g) * psz);
   }
   double t0 = world.now();
-  co_await rt::gather(local, send, gathered.view(), /*root=*/0);
+  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch);
   if (trace) trace->add(Phase::kGather, world.now() - t0);
 
   if (!lc.is_leader) {
     t0 = world.now();
-    co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0);
+    co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0,
+                         opts.scratch);
     if (trace) trace->add(Phase::kScatter, world.now() - t0);
     co_return;
   }
 
   // --- leader: repack into per-region blocks --------------------------------
   const std::size_t gg = static_cast<std::size_t>(g) * g * s;  // region block
-  rt::Buffer lsend = world.alloc_buffer(static_cast<std::size_t>(nreg) * gg);
+  rt::ScratchBuffer lsend = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(nreg) * gg);
   const bool real = lsend.data() != nullptr && gathered.data() != nullptr;
   t0 = world.now();
   std::size_t moved = 0;
@@ -75,14 +79,16 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
   if (trace) trace->add(Phase::kPack, world.now() - t0);
 
   // --- all-to-all among leaders (leaders' group_cross spans all leaders) ----
-  rt::Buffer lrecv = world.alloc_buffer(static_cast<std::size_t>(nreg) * gg);
+  rt::ScratchBuffer lrecv = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(nreg) * gg);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.group_cross,
                           rt::ConstView(lsend.view()), lrecv.view(), gg);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack received region blocks into per-member scatter blocks ---------
-  rt::Buffer sc = world.alloc_buffer(static_cast<std::size_t>(g) * psz);
+  rt::ScratchBuffer sc = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(g) * psz);
   const bool real2 = sc.data() != nullptr && lrecv.data() != nullptr;
   t0 = world.now();
   moved = 0;
@@ -108,7 +114,8 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
 
   // --- scatter per-member results -------------------------------------------
   t0 = world.now();
-  co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0);
+  co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
+                       opts.scratch);
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 

@@ -21,6 +21,7 @@
 #include <stdexcept>
 
 #include "runtime/collectives.hpp"
+#include "runtime/scratch.hpp"
 
 namespace mca2a::coll {
 
@@ -42,21 +43,23 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   Trace* trace = lc.is_leader ? opts.trace : nullptr;
 
   // --- gather member buffers to the leader ----------------------------------
-  rt::Buffer gathered;
+  rt::ScratchBuffer gathered;
   if (lc.is_leader) {
     if (!lc.leader_cross || !lc.leaders_node) {
       throw std::logic_error(
           "multileader_node_aware: bundle built without leader comms");
     }
-    gathered = world.alloc_buffer(static_cast<std::size_t>(g) * psz);
+    gathered = rt::alloc_scratch(world, opts.scratch,
+                                 static_cast<std::size_t>(g) * psz);
   }
   double t0 = world.now();
-  co_await rt::gather(local, send, gathered.view(), /*root=*/0);
+  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch);
   if (trace) trace->add(Phase::kGather, world.now() - t0);
 
   if (!lc.is_leader) {
     t0 = world.now();
-    co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0);
+    co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0,
+                         opts.scratch);
     if (trace) trace->add(Phase::kScatter, world.now() - t0);
     co_return;
   }
@@ -66,7 +69,8 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   const std::size_t ppn_s = static_cast<std::size_t>(ppn) * s;
 
   // --- repack: per-target-node blocks (destinations are contiguous) ---------
-  rt::Buffer bsend = world.alloc_buffer(static_cast<std::size_t>(n) * node_blk);
+  rt::ScratchBuffer bsend = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(n) * node_blk);
   t0 = world.now();
   {
     const bool real = bsend.data() != nullptr && gathered.data() != nullptr;
@@ -88,7 +92,8 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   if (trace) trace->add(Phase::kPack, world.now() - t0);
 
   // --- inter-node all-to-all among same-group leaders (block g*ppn*s) -------
-  rt::Buffer crecv = world.alloc_buffer(static_cast<std::size_t>(n) * node_blk);
+  rt::ScratchBuffer crecv = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(n) * node_blk);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.leader_cross,
                           rt::ConstView(bsend.view()), crecv.view(), node_blk);
@@ -96,7 +101,8 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
 
   // --- repack: per-node-local-leader blocks ----------------------------------
   const std::size_t intra_blk = static_cast<std::size_t>(n) * g * g * s;
-  rt::Buffer dsend = world.alloc_buffer(static_cast<std::size_t>(G) * intra_blk);
+  rt::ScratchBuffer dsend = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(G) * intra_blk);
   t0 = world.now();
   {
     const bool real = dsend.data() != nullptr && crecv.data() != nullptr;
@@ -124,7 +130,8 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   if (trace) trace->add(Phase::kPack, world.now() - t0);
 
   // --- intra-node all-to-all among this node's leaders (block n*g*g*s) ------
-  rt::Buffer erecv = world.alloc_buffer(static_cast<std::size_t>(G) * intra_blk);
+  rt::ScratchBuffer erecv = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(G) * intra_blk);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.leaders_node,
                           rt::ConstView(dsend.view()), erecv.view(),
@@ -132,7 +139,8 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- repack into per-member, source-ordered scatter blocks ----------------
-  rt::Buffer sc = world.alloc_buffer(static_cast<std::size_t>(g) * psz);
+  rt::ScratchBuffer sc = rt::alloc_scratch(
+      world, opts.scratch, static_cast<std::size_t>(g) * psz);
   t0 = world.now();
   {
     const bool real = sc.data() != nullptr && erecv.data() != nullptr;
@@ -163,9 +171,10 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   }
   if (trace) trace->add(Phase::kPack, world.now() - t0);
 
-  // --- scatter ----------------------------------------------------------------
+  // --- scatter ---------------------------------------------------------------
   t0 = world.now();
-  co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0);
+  co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
+                       opts.scratch);
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 

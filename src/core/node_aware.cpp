@@ -17,6 +17,7 @@
 ///   unpack:        recv[j*g+i'] = T3[i'][j]
 
 #include "core/alltoall.hpp"
+#include "runtime/scratch.hpp"
 
 namespace mca2a::coll {
 
@@ -33,14 +34,14 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   Trace* trace = opts.trace;
 
   // --- phase 1: inter-region exchange (block g*s) ---------------------------
-  rt::Buffer t1 = world.alloc_buffer(psz);
+  rt::ScratchBuffer t1 = rt::alloc_scratch(world, opts.scratch, psz);
   double t0 = world.now();
   co_await alltoall_inner(opts.inner, cross, send, t1.view(),
                           static_cast<std::size_t>(g) * s);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- pack per-local-peer blocks -------------------------------------------
-  rt::Buffer t2 = world.alloc_buffer(psz);
+  rt::ScratchBuffer t2 = rt::alloc_scratch(world, opts.scratch, psz);
   t0 = world.now();
   {
     const bool real = t1.data() != nullptr && t2.data() != nullptr;
@@ -60,7 +61,7 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   if (trace) trace->add(Phase::kPack, world.now() - t0);
 
   // --- phase 2: intra-region redistribution (block nreg*s) ------------------
-  rt::Buffer t3 = world.alloc_buffer(psz);
+  rt::ScratchBuffer t3 = rt::alloc_scratch(world, opts.scratch, psz);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, local, rt::ConstView(t2.view()),
                           t3.view(), static_cast<std::size_t>(nreg) * s);

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "plan/plan.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm_bundle.hpp"
 #include "sim/cluster.hpp"
@@ -53,26 +54,40 @@ RunResult run_sim(const RunSpec& spec) {
         sc->set_cost_scale(spec.net.vendor_factor);
       }
     }
-    std::optional<rt::LocalityComms> lc;
-    if (coll::needs_locality(spec.algo)) {
-      lc.emplace(rt::build_locality_comms(
-          world, machine, g, coll::needs_leader_comms(spec.algo)));
-    }
     const std::size_t total = static_cast<std::size_t>(p) * spec.block;
     rt::Buffer sbuf = world.alloc_buffer(total);
     rt::Buffer rbuf = world.alloc_buffer(total);
 
+    // Setup happens here, outside the timed repetitions, either way: the
+    // plan path packages selection, communicator construction and scratch
+    // reuse behind execute(); the legacy path builds the bundle itself.
+    std::optional<plan::AlltoallPlan> pl;
+    std::optional<rt::LocalityComms> lc;
     coll::Options opts;
     opts.inner = spec.inner;
+    if (spec.use_plan) {
+      plan::PlanOptions popts;
+      popts.algo = spec.algo;
+      popts.group_size = g;
+      popts.inner = spec.inner;
+      pl.emplace(plan::make_plan(world, machine, spec.net, spec.block, popts));
+    } else if (coll::needs_locality(spec.algo)) {
+      lc.emplace(rt::build_locality_comms(
+          world, machine, g, coll::needs_leader_comms(spec.algo)));
+    }
     for (int rep = 0; rep < reps; ++rep) {
       coll::Trace trace;
-      opts.trace = spec.collect_trace ? &trace : nullptr;
+      coll::Trace* tr = spec.collect_trace ? &trace : nullptr;
       co_await rt::barrier(world);
       start[rep][me] = world.now();
-      co_await coll::run_alltoall(spec.algo, world,
-                                  lc ? &*lc : nullptr,
-                                  rt::ConstView(sbuf.view()), rbuf.view(),
-                                  spec.block, opts);
+      if (pl) {
+        co_await pl->execute(rt::ConstView(sbuf.view()), rbuf.view(), tr);
+      } else {
+        opts.trace = tr;
+        co_await coll::run_alltoall(spec.algo, world, lc ? &*lc : nullptr,
+                                    rt::ConstView(sbuf.view()), rbuf.view(),
+                                    spec.block, opts);
+      }
       end[rep][me] = world.now();
       if (spec.collect_trace) {
         traces[rep][me] = trace;

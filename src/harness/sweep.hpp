@@ -33,6 +33,11 @@ struct RunSpec {
   bool carry_data = false;
   /// Collect per-phase timings (Figures 13-16).
   bool collect_trace = false;
+  /// Execute through a persistent plan (plan/plan.hpp): algorithm setup,
+  /// communicator construction and scratch allocation happen once per rank
+  /// before the timed repetitions. The figure benches enable this; direct
+  /// run_sim callers default to the legacy per-run path.
+  bool use_plan = false;
 };
 
 struct RunResult {

@@ -23,8 +23,8 @@ void validate(const NetParams& p) {
           "memory channel parameters must be >= 0");
   require(p.cpu_copy_beta >= 0.0, "cpu_copy_beta must be >= 0");
   require(p.cpu_copy_beta_intra >= 0.0, "cpu_copy_beta_intra must be >= 0");
-  require(p.cpu_copy_beta_intra_cached >= 0.0 &&
-              p.cpu_copy_beta_intra_cached <= p.cpu_copy_beta_intra ||
+  require((p.cpu_copy_beta_intra_cached >= 0.0 &&
+           p.cpu_copy_beta_intra_cached <= p.cpu_copy_beta_intra) ||
               p.intra_cache_bytes == 0,
           "cached intra copy rate must be in [0, cpu_copy_beta_intra]");
   require(p.match_base >= 0.0 && p.match_per_item >= 0.0,

@@ -1,0 +1,74 @@
+#include "plan/cache.hpp"
+
+#include <algorithm>
+
+namespace mca2a::plan {
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+PlanKey PlanCache::key_of(const rt::Comm& world, std::size_t block,
+                          const PlanOptions& opts) {
+  PlanKey key;
+  key.algo = opts.algo ? static_cast<int>(*opts.algo) : -1;
+  key.inner = static_cast<int>(opts.inner);
+  key.block = block;
+  key.group_size = opts.group_size;
+  key.batch_window = opts.batch_window;
+  key.system_small_threshold = opts.system_small_threshold;
+  key.comm = reinterpret_cast<std::uintptr_t>(&world);
+  return key;
+}
+
+std::shared_ptr<AlltoallPlan> PlanCache::get_or_create(
+    rt::Comm& world, const topo::Machine& machine,
+    const model::NetParams& net, std::size_t block, const PlanOptions& opts) {
+  const PlanKey key = key_of(world, block, opts);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    return it->second->second;
+  }
+
+  ++stats_.misses;
+  ++stats_.constructions;
+  auto plan = std::make_shared<AlltoallPlan>(
+      make_plan(world, machine, net, block, opts));
+  lru_.emplace_front(key, plan);
+  map_[key] = lru_.begin();
+
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return plan;
+}
+
+bool PlanCache::contains(const rt::Comm& world, std::size_t block,
+                         const PlanOptions& opts) const {
+  return map_.contains(key_of(world, block, opts));
+}
+
+std::size_t PlanCache::erase_comm(const rt::Comm& world) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(&world);
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.comm == addr) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void PlanCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace mca2a::plan

@@ -1,0 +1,113 @@
+#pragma once
+/// \file cache.hpp
+/// LRU cache of persistent all-to-all plans.
+///
+/// A PlanCache maps (algorithm, inner exchange, block size, group size,
+/// communicator identity) to a shared AlltoallPlan, constructing on first
+/// request and recycling afterwards. The machine and network parameters are
+/// deliberately not part of the key: a communicator lives on one machine,
+/// and tuner-picked entries are only meaningful for the NetParams they were
+/// selected with — callers switching network models mid-run must use
+/// separate caches (one per NetParams), the same ownership rule as
+/// TuningTable. The counters make reuse observable: a workload
+/// that executes the same exchange N times must show exactly one
+/// construction and N-1 hits, which is what moves communicator construction
+/// and tuner selection out of every timed region.
+///
+/// Communicator identity is the address of the rt::Comm endpoint object: a
+/// Comm belongs to one rank and one communicator, and cached plans keep
+/// raw pointers into it, so plans must not outlive their communicator.
+/// Address identity also means a *new* Comm allocated where a destroyed one
+/// lived would silently match the dead comm's entries — call erase_comm()
+/// (or clear()) before destroying a communicator the cache has seen.
+///
+/// Like a Comm, a cache belongs to one rank; it is not thread-safe.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "plan/plan.hpp"
+
+namespace mca2a::plan {
+
+struct PlanKey {
+  int algo = -1;  ///< static_cast<int>(coll::Algo), or -1 for tuner-picked
+  int inner = 0;  ///< static_cast<int>(coll::Inner)
+  std::size_t block = 0;
+  int group_size = 0;
+  int batch_window = 0;
+  std::size_t system_small_threshold = 0;
+  std::uintptr_t comm = 0;  ///< address of the rt::Comm endpoint
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept {
+    std::size_t h = std::hash<std::uintptr_t>{}(k.comm);
+    const auto mix = [&h](std::size_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::size_t>(k.algo) + 1);
+    mix(static_cast<std::size_t>(k.inner) + 1);
+    mix(k.block);
+    mix(static_cast<std::size_t>(k.group_size));
+    mix(static_cast<std::size_t>(k.batch_window) + 1);
+    mix(k.system_small_threshold + 1);
+    return h;
+  }
+};
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t constructions = 0;  ///< plans built (== misses today)
+    std::uint64_t evictions = 0;      ///< plans dropped by the LRU policy
+  };
+
+  /// `capacity` bounds the number of live plans (>= 1).
+  explicit PlanCache(std::size_t capacity = 16);
+
+  /// Fetch the plan for (opts, block, world identity), constructing it via
+  /// make_plan on a miss and evicting the least-recently-used entry when
+  /// over capacity. The returned shared_ptr stays valid across evictions.
+  std::shared_ptr<AlltoallPlan> get_or_create(rt::Comm& world,
+                                              const topo::Machine& machine,
+                                              const model::NetParams& net,
+                                              std::size_t block,
+                                              const PlanOptions& opts = {});
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// True if the keyed plan is resident (no LRU touch, no construction).
+  bool contains(const rt::Comm& world, std::size_t block,
+                const PlanOptions& opts = {}) const;
+
+  /// Drop every entry keyed to `world`. Must be called before destroying a
+  /// communicator the cache holds plans for (see the ABA note above).
+  /// Returns the number of entries dropped.
+  std::size_t erase_comm(const rt::Comm& world);
+
+  /// Drop every cached plan (counters are preserved).
+  void clear();
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<AlltoallPlan>>;
+
+  static PlanKey key_of(const rt::Comm& world, std::size_t block,
+                        const PlanOptions& opts);
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace mca2a::plan

@@ -1,0 +1,65 @@
+#include "plan/plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mca2a::plan {
+
+rt::Task<void> AlltoallPlan::execute(rt::ConstView send, rt::MutView recv,
+                                     coll::Trace* trace) {
+  const std::size_t total =
+      static_cast<std::size_t>(world_->size()) * block_;
+  if (send.len != total || recv.len != total) {
+    throw std::invalid_argument(
+        "AlltoallPlan::execute: buffers must be size() * block() = " +
+        std::to_string(total) + " bytes (got send " +
+        std::to_string(send.len) + ", recv " + std::to_string(recv.len) +
+        ")");
+  }
+  // Per-call copy so traces don't leak between calls; the scratch pointer
+  // is bound here rather than at plan time so it stays valid across moves.
+  coll::Options opts = opts_;
+  opts.trace = trace;
+  opts.scratch = &arena_;
+  co_await coll::run_alltoall(choice_.algo, *world_, bundle(), send, recv,
+                              block_, opts);
+  ++executions_;
+}
+
+AlltoallPlan make_plan(rt::Comm& world, const topo::Machine& machine,
+                       const model::NetParams& net, std::size_t block,
+                       const PlanOptions& opts) {
+  if (world.size() != machine.total_ranks()) {
+    throw std::invalid_argument(
+        "make_plan: world size does not match the machine");
+  }
+
+  AlltoallPlan p;
+  p.world_ = &world;
+  p.machine_ = std::make_shared<const topo::Machine>(machine);
+  p.block_ = block;
+
+  if (opts.algo.has_value()) {
+    p.choice_.algo = *opts.algo;
+    p.choice_.group_size =
+        opts.group_size == 0 ? machine.ppn() : opts.group_size;
+    p.choice_.predicted_seconds = 0.0;
+  } else if (opts.table != nullptr) {
+    p.choice_ = opts.table->choose(machine, net, block);
+  } else {
+    p.choice_ = coll::select_algorithm(machine, net, block);
+  }
+
+  p.opts_.inner = opts.inner;
+  p.opts_.batch_window = opts.batch_window;
+  p.opts_.system_small_threshold = opts.system_small_threshold;
+
+  if (coll::needs_locality(p.choice_.algo)) {
+    p.lc_.emplace(rt::build_locality_comms(
+        world, *p.machine_, p.choice_.group_size,
+        coll::needs_leader_comms(p.choice_.algo)));
+  }
+  return p;
+}
+
+}  // namespace mca2a::plan

@@ -1,0 +1,128 @@
+#pragma once
+/// \file plan.hpp
+/// Persistent all-to-all collectives in the style of MPI-4's
+/// MPI_Alltoall_init: split the collective into a *plan time* — algorithm
+/// selection, locality-communicator construction, scratch preallocation —
+/// and an *execute time* that does nothing but run the exchange.
+///
+/// Production MPI implementations amortize setup across thousands of calls;
+/// the benchmark harness and any long-lived workload (FFT transposes, ML
+/// shuffles) issue the same (communicator, block size) exchange over and
+/// over. make_plan pays the setup once:
+///
+///   plan::AlltoallPlan p = plan::make_plan(world, machine, net, block);
+///   for (;;) co_await p.execute(send, recv);
+///
+/// A plan belongs to one rank (like the rt::Comm it wraps). Every rank of
+/// the communicator must create a matching plan (same machine, block and
+/// options — mirroring the collective contract of build_locality_comms) and
+/// execute them collectively. The plan's bundle() is borrowable by other
+/// locality collectives (coll_ext allgather/allreduce/alltoallv) so they
+/// need not rebuild communicators either.
+///
+/// Plans are movable but must not be moved while an execute() task is in
+/// flight (the coroutine captures `this`). PlanCache (plan/cache.hpp) hands
+/// out shared_ptr-managed plans, which never move.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/alltoall.hpp"
+#include "core/tuner.hpp"
+#include "model/params.hpp"
+#include "plan/tuning_table.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/comm_bundle.hpp"
+#include "runtime/scratch.hpp"
+#include "runtime/task.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::plan {
+
+struct PlanOptions {
+  /// Algorithm to plan for; nullopt lets the tuner pick (algorithm *and*
+  /// group size) from the closed-form cost model.
+  std::optional<coll::Algo> algo;
+  /// Leader/group width for the locality algorithms; 0 means one group or
+  /// leader per node (ppn). Ignored when the tuner picks.
+  int group_size = 0;
+  /// Inner exchange used by the locality algorithms.
+  coll::Inner inner = coll::Inner::kPairwise;
+  /// Window for the batched algorithm.
+  int batch_window = 32;
+  /// Bruck-to-pairwise threshold of the System MPI surrogate.
+  std::size_t system_small_threshold = 512;
+  /// Optional memoization table consulted (and filled) when the tuner
+  /// picks; must outlive the plan creation call.
+  TuningTable* table = nullptr;
+};
+
+class AlltoallPlan {
+ public:
+  AlltoallPlan(AlltoallPlan&&) = default;
+  AlltoallPlan& operator=(AlltoallPlan&&) = default;
+  AlltoallPlan(const AlltoallPlan&) = delete;
+  AlltoallPlan& operator=(const AlltoallPlan&) = delete;
+
+  /// Run the planned exchange. `send` holds size() blocks ordered by
+  /// destination, `recv` receives size() blocks ordered by source; both
+  /// must be exactly size() * block() bytes. `trace` optionally collects
+  /// per-phase timings for this call. Reusable: call as many times as you
+  /// like; no communicators are ever rebuilt, and with the default inner
+  /// exchanges no scratch is allocated after the first call either (the
+  /// Bruck algorithms allocate rotation buffers per call).
+  rt::Task<void> execute(rt::ConstView send, rt::MutView recv,
+                         coll::Trace* trace = nullptr);
+
+  /// The planned algorithm (the tuner's pick when PlanOptions.algo was
+  /// empty).
+  coll::Algo algo() const noexcept { return choice_.algo; }
+  /// Resolved leader/group width (meaningful for locality algorithms).
+  int group_size() const noexcept { return choice_.group_size; }
+  /// The full tuner decision; predicted_seconds is 0 when the algorithm
+  /// was given explicitly.
+  const coll::Choice& choice() const noexcept { return choice_; }
+  /// Bytes exchanged per rank pair.
+  std::size_t block() const noexcept { return block_; }
+  /// The communicator the plan executes on.
+  rt::Comm& comm() const noexcept { return *world_; }
+  /// The locality-communicator bundle, or nullptr for direct algorithms.
+  /// Borrowable by other locality collectives (coll_ext) on this rank.
+  const rt::LocalityComms* bundle() const noexcept {
+    return lc_ ? &*lc_ : nullptr;
+  }
+  /// The reusable scratch arena (observability: allocations()/reuses()).
+  const rt::ScratchArena& scratch() const noexcept { return arena_; }
+  /// Completed execute() calls.
+  std::uint64_t executions() const noexcept { return executions_; }
+
+ private:
+  friend AlltoallPlan make_plan(rt::Comm&, const topo::Machine&,
+                                const model::NetParams&, std::size_t,
+                                const PlanOptions&);
+  AlltoallPlan() = default;
+
+  rt::Comm* world_ = nullptr;
+  std::shared_ptr<const topo::Machine> machine_;  ///< heap: stable across moves
+  coll::Choice choice_;
+  std::size_t block_ = 0;
+  coll::Options opts_;
+  std::optional<rt::LocalityComms> lc_;
+  rt::ScratchArena arena_;
+  std::uint64_t executions_ = 0;
+};
+
+/// Plan an all-to-all of `block` bytes per rank pair on `world`. Runs the
+/// tuner (once) unless opts.algo is set, builds the locality communicators
+/// the chosen algorithm needs, and sets up the scratch arena. Collective in
+/// the same sense as build_locality_comms: every rank of `world` must call
+/// with identical machine/net/block/opts. Throws std::invalid_argument when
+/// world.size() != machine.total_ranks() or the group size does not divide
+/// ppn.
+AlltoallPlan make_plan(rt::Comm& world, const topo::Machine& machine,
+                       const model::NetParams& net, std::size_t block,
+                       const PlanOptions& opts = {});
+
+}  // namespace mca2a::plan

@@ -1,0 +1,124 @@
+#include "plan/tuning_table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mca2a::plan {
+
+namespace {
+constexpr char kHeader[] = "mca2a-tuning-table v1";
+}
+
+std::size_t TuningKeyHash::operator()(const TuningKey& k) const noexcept {
+  std::size_t h = std::hash<std::string>{}(k.machine);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::size_t>(k.nodes));
+  mix(static_cast<std::size_t>(k.ppn));
+  mix(k.block);
+  return h;
+}
+
+TuningKey TuningTable::key_of(const topo::Machine& machine,
+                              std::size_t block) {
+  // Enforced here (every entry path) so save() can never emit a line that
+  // load() would reject: names are whitespace-delimited in the file format.
+  if (machine.name().find_first_of(" \t\n\r") != std::string::npos ||
+      machine.name().empty()) {
+    throw std::invalid_argument(
+        "TuningTable: machine name must be non-empty and contain no "
+        "whitespace: '" +
+        machine.name() + "'");
+  }
+  return TuningKey{machine.name(), machine.nodes(), machine.ppn(), block};
+}
+
+std::optional<coll::Choice> TuningTable::lookup(const topo::Machine& machine,
+                                                std::size_t block) const {
+  ++lookups_;
+  const auto it = entries_.find(key_of(machine, block));
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void TuningTable::insert(const topo::Machine& machine, std::size_t block,
+                         const coll::Choice& choice) {
+  entries_[key_of(machine, block)] = choice;
+}
+
+coll::Choice TuningTable::choose(const topo::Machine& machine,
+                                 const model::NetParams& net,
+                                 std::size_t block) {
+  if (const auto hit = lookup(machine, block)) {
+    return *hit;
+  }
+  const coll::Choice choice = coll::select_algorithm(machine, net, block);
+  insert(machine, block, choice);
+  return choice;
+}
+
+void TuningTable::save(std::ostream& os) const {
+  os << kHeader << "\n";
+  // max_digits10 so predicted times survive the text round-trip exactly.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [key, choice] : entries_) {
+    os << key.machine << ' ' << key.nodes << ' ' << key.ppn << ' ' << key.block
+       << ' ' << static_cast<int>(choice.algo) << ' ' << choice.group_size
+       << ' ' << choice.predicted_seconds << "\n";
+  }
+}
+
+TuningTable TuningTable::load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("TuningTable::load: bad header: '" + line + "'");
+  }
+  TuningTable table;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    TuningKey key;
+    int algo = -1;
+    coll::Choice choice;
+    if (!(ls >> key.machine >> key.nodes >> key.ppn >> key.block >> algo >>
+          choice.group_size >> choice.predicted_seconds)) {
+      throw std::runtime_error("TuningTable::load: malformed line: '" + line +
+                               "'");
+    }
+    if (algo < 0 || algo >= coll::kNumAlgos) {
+      throw std::runtime_error("TuningTable::load: unknown algorithm index " +
+                               std::to_string(algo));
+    }
+    choice.algo = static_cast<coll::Algo>(algo);
+    table.entries_[key] = choice;
+  }
+  return table;
+}
+
+bool TuningTable::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  save(os);
+  return static_cast<bool>(os);
+}
+
+TuningTable TuningTable::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("TuningTable::load_file: cannot open " + path);
+  }
+  return load(is);
+}
+
+}  // namespace mca2a::plan

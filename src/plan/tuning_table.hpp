@@ -1,0 +1,89 @@
+#pragma once
+/// \file tuning_table.hpp
+/// Serializable table of tuner decisions.
+///
+/// coll::select_algorithm evaluates the closed-form cost model for every
+/// (algorithm, group size) candidate. That is cheap once but wasteful when
+/// the same (machine, block size) question is asked thousands of times —
+/// e.g. a plan cache serving many communicators, or a long-running service
+/// answering per-request size classes. A TuningTable memoizes Choices keyed
+/// by (machine name, nodes, ppn, block) so repeated selection is an O(1)
+/// hash lookup, and round-trips through a line-oriented text format so a
+/// table computed offline (or on a login node) can ship with a deployment —
+/// the paper's §5 "dynamically selected for a given computer, system MPI,
+/// process count, and data size" turned into a precomputed artifact.
+///
+/// The table is keyed by machine *shape*, not network parameters: entries
+/// are only meaningful for the NetParams they were computed with, which is
+/// the caller's responsibility (one table per machine preset in practice).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/tuner.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::plan {
+
+/// Lookup key: machine shape and per-pair block size.
+struct TuningKey {
+  /// topo::Machine::name(); names with whitespace are rejected (they could
+  /// not round-trip through the whitespace-delimited file format).
+  std::string machine;
+  int nodes = 0;
+  int ppn = 0;
+  std::size_t block = 0;
+
+  bool operator==(const TuningKey&) const = default;
+};
+
+struct TuningKeyHash {
+  std::size_t operator()(const TuningKey& k) const noexcept;
+};
+
+class TuningTable {
+ public:
+  /// Memoized lookup; returns nullopt when the entry is missing.
+  std::optional<coll::Choice> lookup(const topo::Machine& machine,
+                                     std::size_t block) const;
+
+  /// Insert or overwrite the entry for (machine shape, block).
+  void insert(const topo::Machine& machine, std::size_t block,
+              const coll::Choice& choice);
+
+  /// Look up the Choice, running coll::select_algorithm and memoizing on a
+  /// miss. This is the entry point plans use.
+  coll::Choice choose(const topo::Machine& machine,
+                      const model::NetParams& net, std::size_t block);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  /// Total choose()/lookup() calls and how many were served from the table.
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+
+  /// Write the table as text: a version header line, then one entry per
+  /// line ("machine nodes ppn block algo group_size predicted_seconds").
+  void save(std::ostream& os) const;
+  /// Parse a table written by save(). Throws std::runtime_error on a bad
+  /// header, unknown algorithm index, or malformed line.
+  static TuningTable load(std::istream& is);
+
+  /// File convenience wrappers. save_file returns false when the file could
+  /// not be opened; load_file throws std::runtime_error.
+  bool save_file(const std::string& path) const;
+  static TuningTable load_file(const std::string& path);
+
+ private:
+  static TuningKey key_of(const topo::Machine& machine, std::size_t block);
+
+  std::unordered_map<TuningKey, coll::Choice, TuningKeyHash> entries_;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t hits_ = 0;
+};
+
+}  // namespace mca2a::plan

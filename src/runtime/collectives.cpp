@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/scratch.hpp"
+
 namespace mca2a::rt {
 
 namespace {
@@ -91,8 +93,8 @@ Task<void> gather_linear(Comm& comm, ConstView send, MutView recv, int root) {
   co_await comm.wait_all(reqs);
 }
 
-Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv,
-                           int root) {
+Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root,
+                           ScratchArena* scratch) {
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -112,7 +114,8 @@ Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv,
       mask <<= 1;
     }
   }
-  Buffer tmp = comm.alloc_buffer(static_cast<std::size_t>(span) * block);
+  ScratchBuffer tmp =
+      alloc_scratch(comm, scratch, static_cast<std::size_t>(span) * block);
   comm.copy_and_charge(tmp.view(0, block), send);
 
   int mask = 1;
@@ -146,10 +149,11 @@ Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv,
   }
 }
 
-Task<void> gather(Comm& comm, ConstView send, MutView recv, int root) {
+Task<void> gather(Comm& comm, ConstView send, MutView recv, int root,
+                  ScratchArena* scratch) {
   const std::size_t total = send.len * static_cast<std::size_t>(comm.size());
   if (total <= kTreeThresholdBytes) {
-    co_await gather_binomial(comm, send, recv, root);
+    co_await gather_binomial(comm, send, recv, root, scratch);
   } else {
     co_await gather_linear(comm, send, recv, root);
   }
@@ -185,8 +189,8 @@ Task<void> scatter_linear(Comm& comm, ConstView send, MutView recv, int root) {
   co_await comm.wait_all(reqs);
 }
 
-Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv,
-                            int root) {
+Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv, int root,
+                            ScratchArena* scratch) {
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -201,7 +205,8 @@ Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv,
     mask <<= 1;
   }
   const int span = std::min(mask, n - vr);
-  Buffer tmp = comm.alloc_buffer(static_cast<std::size_t>(span) * block);
+  ScratchBuffer tmp =
+      alloc_scratch(comm, scratch, static_cast<std::size_t>(span) * block);
 
   if (vr == 0) {
     if (send.len < block * static_cast<std::size_t>(n)) {
@@ -232,10 +237,11 @@ Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv,
   comm.copy_and_charge(recv, ConstView(tmp.view(0, block)));
 }
 
-Task<void> scatter(Comm& comm, ConstView send, MutView recv, int root) {
+Task<void> scatter(Comm& comm, ConstView send, MutView recv, int root,
+                   ScratchArena* scratch) {
   const std::size_t total = recv.len * static_cast<std::size_t>(comm.size());
   if (total <= kTreeThresholdBytes) {
-    co_await scatter_binomial(comm, send, recv, root);
+    co_await scatter_binomial(comm, send, recv, root, scratch);
   } else {
     co_await scatter_linear(comm, send, recv, root);
   }

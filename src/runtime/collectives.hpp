@@ -17,6 +17,8 @@
 
 namespace mca2a::rt {
 
+class ScratchArena;
+
 /// Dissemination barrier: ceil(log2 n) rounds of zero-byte exchanges.
 Task<void> barrier(Comm& comm);
 
@@ -27,17 +29,23 @@ Task<void> bcast(Comm& comm, MutView buf, int root);
 /// hold size() * send.len bytes at the root (ignored elsewhere).
 /// The `_linear` variant receives every block directly at the root (large
 /// messages); `_binomial` combines up a tree (small messages); `gather`
-/// selects automatically like a production MPI would.
-Task<void> gather(Comm& comm, ConstView send, MutView recv, int root);
+/// selects automatically like a production MPI would. `scratch`, when
+/// given, recycles the binomial tree's staging buffer across calls
+/// (runtime/scratch.hpp; persistent plans pass their arena through here).
+Task<void> gather(Comm& comm, ConstView send, MutView recv, int root,
+                  ScratchArena* scratch = nullptr);
 Task<void> gather_linear(Comm& comm, ConstView send, MutView recv, int root);
-Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root);
+Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root,
+                           ScratchArena* scratch = nullptr);
 
 /// Scatter equal blocks from `root`. `send` must hold size() * recv.len
 /// bytes at the root (ignored elsewhere); `recv` is this rank's block.
-Task<void> scatter(Comm& comm, ConstView send, MutView recv, int root);
+/// `scratch` as for gather.
+Task<void> scatter(Comm& comm, ConstView send, MutView recv, int root,
+                   ScratchArena* scratch = nullptr);
 Task<void> scatter_linear(Comm& comm, ConstView send, MutView recv, int root);
-Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv,
-                            int root);
+Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv, int root,
+                            ScratchArena* scratch = nullptr);
 
 /// Ring allgather: every rank contributes `send`; `recv` (size() * send.len
 /// bytes) ends up identical everywhere, ordered by rank.

@@ -121,10 +121,11 @@ class Comm {
   /// clock by the model's packing cost; no-op on the threads backend).
   virtual void charge_copy(std::size_t bytes) = 0;
 
-  /// Create a sub-communicator from `members`, a strictly increasing-free
-  /// ordered list of ranks *in this communicator* that must contain rank().
-  /// Every listed member must make an identical call; ranks not listed must
-  /// not call. The new communicator's ranks follow the order of `members`.
+  /// Create a sub-communicator from `members`, an ordered, duplicate-free
+  /// list of ranks *in this communicator* that must contain rank(). The
+  /// list need not be sorted: the new communicator's rank numbering follows
+  /// the order of `members` (member i becomes rank i). Every listed member
+  /// must make an identical call; ranks not listed must not call.
   virtual std::unique_ptr<Comm> create_subcomm(std::span<const int> members) = 0;
 
   // --- sugar (implemented once over the virtuals) --------------------------

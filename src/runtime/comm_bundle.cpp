@@ -1,12 +1,23 @@
 #include "runtime/comm_bundle.hpp"
 
+#include <atomic>
 #include <stdexcept>
 #include <vector>
 
 namespace mca2a::rt {
 
+namespace {
+// Relaxed is enough: tests only read the counter while ranks are quiescent.
+std::atomic<std::uint64_t> g_locality_builds{0};
+}  // namespace
+
+std::uint64_t locality_build_count() {
+  return g_locality_builds.load(std::memory_order_relaxed);
+}
+
 LocalityComms build_locality_comms(Comm& world, const topo::Machine& machine,
                                    int group_size, bool build_leader_comms) {
+  g_locality_builds.fetch_add(1, std::memory_order_relaxed);
   if (world.size() != machine.total_ranks()) {
     throw std::invalid_argument(
         "build_locality_comms: world size does not match the machine");

@@ -25,6 +25,7 @@
 ///  * leaders_node: leaders within my node, ordered by group (the
 ///                  leader_group_comm of Algorithm 5; leaders only).
 
+#include <cstdint>
 #include <memory>
 
 #include "runtime/comm.hpp"
@@ -63,5 +64,10 @@ struct LocalityComms {
 LocalityComms build_locality_comms(Comm& world, const topo::Machine& machine,
                                    int group_size,
                                    bool build_leader_comms = true);
+
+/// Process-wide count of build_locality_comms calls (all ranks, all
+/// backends). Tests use deltas of this to assert that persistent plans stop
+/// rebuilding communicators once constructed.
+std::uint64_t locality_build_count();
 
 }  // namespace mca2a::rt

@@ -1,0 +1,35 @@
+#include "runtime/scratch.hpp"
+
+namespace mca2a::rt {
+
+Buffer ScratchArena::take(const Comm& comm, std::size_t bytes) {
+  auto it = free_.find(bytes);
+  if (it != free_.end()) {
+    Buffer b = std::move(it->second);
+    free_.erase(it);
+    --pooled_;
+    pooled_bytes_ -= bytes;
+    ++reuses_;
+    return b;
+  }
+  ++allocations_;
+  return comm.alloc_buffer(bytes);
+}
+
+void ScratchArena::give_back(Buffer b) {
+  const std::size_t bytes = b.size();
+  if (bytes == 0) {
+    return;
+  }
+  free_.emplace(bytes, std::move(b));
+  ++pooled_;
+  pooled_bytes_ += bytes;
+}
+
+void ScratchArena::clear() {
+  free_.clear();
+  pooled_ = 0;
+  pooled_bytes_ = 0;
+}
+
+}  // namespace mca2a::rt

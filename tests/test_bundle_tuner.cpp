@@ -84,6 +84,39 @@ TEST(Bundle, GroupCrossRoutesBetweenRegions) {
   });
 }
 
+// Regression for the create_subcomm contract (runtime/comm.hpp): `members`
+// need not be sorted, and the new communicator numbers its ranks by position
+// in the list — member i becomes rank i — on both backends.
+Task<void> subcomm_order_body(Comm& world) {
+  const std::vector<int> members = {3, 1, 2, 0};
+  std::size_t my_idx = 0;
+  while (members[my_idx] != world.rank()) {
+    ++my_idx;
+  }
+  std::unique_ptr<Comm> sub = world.create_subcomm(members);
+  EXPECT_EQ(sub->size(), 4);
+  EXPECT_EQ(sub->rank(), static_cast<int>(my_idx));
+
+  // Route through the subcomm to prove the numbering is live, not just
+  // reported: sub rank i sends its world rank to sub rank (i+1)%4, which
+  // must see the world rank of members[i].
+  const int next = (sub->rank() + 1) % sub->size();
+  const int prev = (sub->rank() + sub->size() - 1) % sub->size();
+  rt::Buffer out = rt::Buffer::real(sizeof(int));
+  rt::Buffer in = rt::Buffer::real(sizeof(int));
+  out.typed<int>()[0] = world.rank();
+  co_await sub->sendrecv(out.view(), next, 11, in.view(), prev, 11);
+  EXPECT_EQ(in.typed<int>()[0], members[prev]);
+}
+
+TEST(Bundle, SubcommRanksFollowMemberOrderSim) {
+  test::run_sim_flat(4, subcomm_order_body);
+}
+
+TEST(Bundle, SubcommRanksFollowMemberOrderSmp) {
+  test::run_smp(4, subcomm_order_body);
+}
+
 TEST(Bundle, RejectsMismatchedWorld) {
   const topo::Machine machine = topo::generic(2, 4);
   test::run_sim_flat(4, [&](Comm& world) -> Task<void> {
