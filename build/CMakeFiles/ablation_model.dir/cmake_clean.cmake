@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model.dir/bench/ablation_model.cpp.o"
+  "CMakeFiles/ablation_model.dir/bench/ablation_model.cpp.o.d"
+  "bench/ablation_model"
+  "bench/ablation_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

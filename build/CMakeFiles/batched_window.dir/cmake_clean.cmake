@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_window.dir/bench/batched_window.cpp.o"
+  "CMakeFiles/batched_window.dir/bench/batched_window.cpp.o.d"
+  "bench/batched_window"
+  "bench/batched_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for batched_window.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_allgather.dir/bench/ext_allgather.cpp.o"
+  "CMakeFiles/ext_allgather.dir/bench/ext_allgather.cpp.o.d"
+  "bench/ext_allgather"
+  "bench/ext_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

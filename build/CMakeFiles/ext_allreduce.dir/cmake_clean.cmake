@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_allreduce.dir/bench/ext_allreduce.cpp.o"
+  "CMakeFiles/ext_allreduce.dir/bench/ext_allreduce.cpp.o.d"
+  "bench/ext_allreduce"
+  "bench/ext_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_transpose.dir/examples/fft_transpose.cpp.o"
+  "CMakeFiles/fft_transpose.dir/examples/fft_transpose.cpp.o.d"
+  "examples/fft_transpose"
+  "examples/fft_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fft_transpose.
+# This may be replaced when dependencies are built.

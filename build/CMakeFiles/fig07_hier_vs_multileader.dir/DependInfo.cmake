@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_hier_vs_multileader.cpp" "CMakeFiles/fig07_hier_vs_multileader.dir/bench/fig07_hier_vs_multileader.cpp.o" "gcc" "CMakeFiles/fig07_hier_vs_multileader.dir/bench/fig07_hier_vs_multileader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mca2a_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mca2a.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

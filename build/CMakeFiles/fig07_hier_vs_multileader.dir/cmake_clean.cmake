@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hier_vs_multileader.dir/bench/fig07_hier_vs_multileader.cpp.o"
+  "CMakeFiles/fig07_hier_vs_multileader.dir/bench/fig07_hier_vs_multileader.cpp.o.d"
+  "bench/fig07_hier_vs_multileader"
+  "bench/fig07_hier_vs_multileader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hier_vs_multileader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

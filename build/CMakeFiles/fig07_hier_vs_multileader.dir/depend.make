@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_hier_vs_multileader.
+# This may be replaced when dependencies are built.

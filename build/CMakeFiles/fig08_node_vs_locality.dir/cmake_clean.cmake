@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_node_vs_locality.dir/bench/fig08_node_vs_locality.cpp.o"
+  "CMakeFiles/fig08_node_vs_locality.dir/bench/fig08_node_vs_locality.cpp.o.d"
+  "bench/fig08_node_vs_locality"
+  "bench/fig08_node_vs_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_node_vs_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

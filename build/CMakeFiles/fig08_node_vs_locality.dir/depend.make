@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_node_vs_locality.
+# This may be replaced when dependencies are built.

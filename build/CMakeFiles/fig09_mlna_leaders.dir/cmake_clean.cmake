@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mlna_leaders.dir/bench/fig09_mlna_leaders.cpp.o"
+  "CMakeFiles/fig09_mlna_leaders.dir/bench/fig09_mlna_leaders.cpp.o.d"
+  "bench/fig09_mlna_leaders"
+  "bench/fig09_mlna_leaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mlna_leaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

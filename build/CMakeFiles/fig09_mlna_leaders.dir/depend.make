@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_mlna_leaders.
+# This may be replaced when dependencies are built.

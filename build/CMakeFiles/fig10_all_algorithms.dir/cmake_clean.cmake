@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_all_algorithms.dir/bench/fig10_all_algorithms.cpp.o"
+  "CMakeFiles/fig10_all_algorithms.dir/bench/fig10_all_algorithms.cpp.o.d"
+  "bench/fig10_all_algorithms"
+  "bench/fig10_all_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_all_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

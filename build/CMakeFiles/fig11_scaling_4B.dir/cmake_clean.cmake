@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scaling_4B.dir/bench/fig11_scaling_4B.cpp.o"
+  "CMakeFiles/fig11_scaling_4B.dir/bench/fig11_scaling_4B.cpp.o.d"
+  "bench/fig11_scaling_4B"
+  "bench/fig11_scaling_4B.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scaling_4B.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

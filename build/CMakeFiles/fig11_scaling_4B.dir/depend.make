@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_scaling_4B.
+# This may be replaced when dependencies are built.

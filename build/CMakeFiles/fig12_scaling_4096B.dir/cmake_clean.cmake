@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_scaling_4096B.dir/bench/fig12_scaling_4096B.cpp.o"
+  "CMakeFiles/fig12_scaling_4096B.dir/bench/fig12_scaling_4096B.cpp.o.d"
+  "bench/fig12_scaling_4096B"
+  "bench/fig12_scaling_4096B.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scaling_4096B.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_scaling_4096B.
+# This may be replaced when dependencies are built.

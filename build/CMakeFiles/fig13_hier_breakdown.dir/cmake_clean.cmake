@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hier_breakdown.dir/bench/fig13_hier_breakdown.cpp.o"
+  "CMakeFiles/fig13_hier_breakdown.dir/bench/fig13_hier_breakdown.cpp.o.d"
+  "bench/fig13_hier_breakdown"
+  "bench/fig13_hier_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hier_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

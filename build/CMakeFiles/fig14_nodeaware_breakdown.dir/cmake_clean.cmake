@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nodeaware_breakdown.dir/bench/fig14_nodeaware_breakdown.cpp.o"
+  "CMakeFiles/fig14_nodeaware_breakdown.dir/bench/fig14_nodeaware_breakdown.cpp.o.d"
+  "bench/fig14_nodeaware_breakdown"
+  "bench/fig14_nodeaware_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nodeaware_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

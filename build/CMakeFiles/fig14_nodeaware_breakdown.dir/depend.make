@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_nodeaware_breakdown.
+# This may be replaced when dependencies are built.

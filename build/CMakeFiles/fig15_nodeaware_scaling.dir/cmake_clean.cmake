@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_nodeaware_scaling.dir/bench/fig15_nodeaware_scaling.cpp.o"
+  "CMakeFiles/fig15_nodeaware_scaling.dir/bench/fig15_nodeaware_scaling.cpp.o.d"
+  "bench/fig15_nodeaware_scaling"
+  "bench/fig15_nodeaware_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_nodeaware_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_locality_groups.dir/bench/fig16_locality_groups.cpp.o"
+  "CMakeFiles/fig16_locality_groups.dir/bench/fig16_locality_groups.cpp.o.d"
+  "bench/fig16_locality_groups"
+  "bench/fig16_locality_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_locality_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_locality_groups.
+# This may be replaced when dependencies are built.

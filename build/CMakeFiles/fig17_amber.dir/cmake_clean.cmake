@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_amber.dir/bench/fig17_amber.cpp.o"
+  "CMakeFiles/fig17_amber.dir/bench/fig17_amber.cpp.o.d"
+  "bench/fig17_amber"
+  "bench/fig17_amber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_amber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tuolomne.dir/bench/fig18_tuolomne.cpp.o"
+  "CMakeFiles/fig18_tuolomne.dir/bench/fig18_tuolomne.cpp.o.d"
+  "bench/fig18_tuolomne"
+  "bench/fig18_tuolomne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tuolomne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll_ext/allgather.cpp" "CMakeFiles/mca2a.dir/src/coll_ext/allgather.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/coll_ext/allgather.cpp.o.d"
+  "/root/repo/src/coll_ext/allreduce.cpp" "CMakeFiles/mca2a.dir/src/coll_ext/allreduce.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/coll_ext/allreduce.cpp.o.d"
+  "/root/repo/src/coll_ext/alltoallv.cpp" "CMakeFiles/mca2a.dir/src/coll_ext/alltoallv.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/coll_ext/alltoallv.cpp.o.d"
+  "/root/repo/src/core/alltoall.cpp" "CMakeFiles/mca2a.dir/src/core/alltoall.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/alltoall.cpp.o.d"
+  "/root/repo/src/core/bruck.cpp" "CMakeFiles/mca2a.dir/src/core/bruck.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/bruck.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "CMakeFiles/mca2a.dir/src/core/hierarchical.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/hierarchical.cpp.o.d"
+  "/root/repo/src/core/multileader_node_aware.cpp" "CMakeFiles/mca2a.dir/src/core/multileader_node_aware.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/multileader_node_aware.cpp.o.d"
+  "/root/repo/src/core/node_aware.cpp" "CMakeFiles/mca2a.dir/src/core/node_aware.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/node_aware.cpp.o.d"
+  "/root/repo/src/core/nonblocking.cpp" "CMakeFiles/mca2a.dir/src/core/nonblocking.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/nonblocking.cpp.o.d"
+  "/root/repo/src/core/pairwise.cpp" "CMakeFiles/mca2a.dir/src/core/pairwise.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/pairwise.cpp.o.d"
+  "/root/repo/src/core/system_mpi.cpp" "CMakeFiles/mca2a.dir/src/core/system_mpi.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/system_mpi.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "CMakeFiles/mca2a.dir/src/core/tuner.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/core/tuner.cpp.o.d"
+  "/root/repo/src/harness/figure.cpp" "CMakeFiles/mca2a.dir/src/harness/figure.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/harness/figure.cpp.o.d"
+  "/root/repo/src/harness/sweep.cpp" "CMakeFiles/mca2a.dir/src/harness/sweep.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/harness/sweep.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "CMakeFiles/mca2a.dir/src/harness/table.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/harness/table.cpp.o.d"
+  "/root/repo/src/model/cost.cpp" "CMakeFiles/mca2a.dir/src/model/cost.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/model/cost.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "CMakeFiles/mca2a.dir/src/model/params.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/model/params.cpp.o.d"
+  "/root/repo/src/model/presets.cpp" "CMakeFiles/mca2a.dir/src/model/presets.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/model/presets.cpp.o.d"
+  "/root/repo/src/plan/cache.cpp" "CMakeFiles/mca2a.dir/src/plan/cache.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/plan/cache.cpp.o.d"
+  "/root/repo/src/plan/plan.cpp" "CMakeFiles/mca2a.dir/src/plan/plan.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/plan/plan.cpp.o.d"
+  "/root/repo/src/plan/tuning_table.cpp" "CMakeFiles/mca2a.dir/src/plan/tuning_table.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/plan/tuning_table.cpp.o.d"
+  "/root/repo/src/runtime/buffer.cpp" "CMakeFiles/mca2a.dir/src/runtime/buffer.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/runtime/buffer.cpp.o.d"
+  "/root/repo/src/runtime/collectives.cpp" "CMakeFiles/mca2a.dir/src/runtime/collectives.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/runtime/collectives.cpp.o.d"
+  "/root/repo/src/runtime/comm.cpp" "CMakeFiles/mca2a.dir/src/runtime/comm.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/runtime/comm.cpp.o.d"
+  "/root/repo/src/runtime/comm_bundle.cpp" "CMakeFiles/mca2a.dir/src/runtime/comm_bundle.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/runtime/comm_bundle.cpp.o.d"
+  "/root/repo/src/runtime/scratch.cpp" "CMakeFiles/mca2a.dir/src/runtime/scratch.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/runtime/scratch.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "CMakeFiles/mca2a.dir/src/sim/cluster.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/mca2a.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/sim_comm.cpp" "CMakeFiles/mca2a.dir/src/sim/sim_comm.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/sim/sim_comm.cpp.o.d"
+  "/root/repo/src/smp/mailbox.cpp" "CMakeFiles/mca2a.dir/src/smp/mailbox.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/smp/mailbox.cpp.o.d"
+  "/root/repo/src/smp/smp_comm.cpp" "CMakeFiles/mca2a.dir/src/smp/smp_comm.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/smp/smp_comm.cpp.o.d"
+  "/root/repo/src/smp/smp_runtime.cpp" "CMakeFiles/mca2a.dir/src/smp/smp_runtime.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/smp/smp_runtime.cpp.o.d"
+  "/root/repo/src/topo/machine.cpp" "CMakeFiles/mca2a.dir/src/topo/machine.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/topo/machine.cpp.o.d"
+  "/root/repo/src/topo/presets.cpp" "CMakeFiles/mca2a.dir/src/topo/presets.cpp.o" "gcc" "CMakeFiles/mca2a.dir/src/topo/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmca2a.a"
+)

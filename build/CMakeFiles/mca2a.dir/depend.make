@@ -1,0 +1,2 @@
+# Empty dependencies file for mca2a.
+# This may be replaced when dependencies are built.

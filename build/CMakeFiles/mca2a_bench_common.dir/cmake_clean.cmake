@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mca2a_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/mca2a_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libmca2a_bench_common.a"
+  "libmca2a_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mca2a_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmca2a_bench_common.a"
+)

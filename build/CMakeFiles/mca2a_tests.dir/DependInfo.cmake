@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alltoall.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_alltoall.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_alltoall.cpp.o.d"
+  "/root/repo/tests/test_alltoallv.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_alltoallv.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_alltoallv.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_buffer.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_bundle_tuner.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_bundle_tuner.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_bundle_tuner.cpp.o.d"
+  "/root/repo/tests/test_coll_ext.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_coll_ext.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_coll_ext.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_collectives.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_model.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_model.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_plan.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_plan.cpp.o.d"
+  "/root/repo/tests/test_sequences.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_sequences.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_sequences.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_sim.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sim_model.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_sim_model.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_sim_model.cpp.o.d"
+  "/root/repo/tests/test_smp.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_smp.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_smp.cpp.o.d"
+  "/root/repo/tests/test_task.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_task.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_task.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "CMakeFiles/mca2a_tests.dir/tests/test_topo.cpp.o" "gcc" "CMakeFiles/mca2a_tests.dir/tests/test_topo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mca2a.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

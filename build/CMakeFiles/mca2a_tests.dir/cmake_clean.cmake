@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mca2a_tests.dir/tests/test_alltoall.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_alltoall.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_alltoallv.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_alltoallv.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_buffer.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_buffer.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_bundle_tuner.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_bundle_tuner.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_coll_ext.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_coll_ext.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_collectives.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_collectives.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_model.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_model.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_plan.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_plan.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_sequences.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_sequences.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_sim.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_sim.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_sim_model.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_sim_model.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_smp.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_smp.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_task.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_task.cpp.o.d"
+  "CMakeFiles/mca2a_tests.dir/tests/test_topo.cpp.o"
+  "CMakeFiles/mca2a_tests.dir/tests/test_topo.cpp.o.d"
+  "mca2a_tests"
+  "mca2a_tests.pdb"
+  "mca2a_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mca2a_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_shuffle.dir/examples/ml_shuffle.cpp.o"
+  "CMakeFiles/ml_shuffle.dir/examples/ml_shuffle.cpp.o.d"
+  "examples/ml_shuffle"
+  "examples/ml_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_study.dir/examples/scaling_study.cpp.o"
+  "CMakeFiles/scaling_study.dir/examples/scaling_study.cpp.o.d"
+  "examples/scaling_study"
+  "examples/scaling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_systems.dir/bench/table1_systems.cpp.o"
+  "CMakeFiles/table1_systems.dir/bench/table1_systems.cpp.o.d"
+  "bench/table1_systems"
+  "bench/table1_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_demo.dir/examples/tuner_demo.cpp.o"
+  "CMakeFiles/tuner_demo.dir/examples/tuner_demo.cpp.o.d"
+  "examples/tuner_demo"
+  "examples/tuner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
