@@ -3,6 +3,11 @@
 /// shape, per the locality-aware allgather literature the paper cites [1]:
 /// locality-aware aggregation beats the flat ring at small blocks (latency)
 /// and the hierarchical funnel at large blocks.
+///
+/// Executes through persistent CollectivePlans (plan/plan.hpp) so
+/// communicator construction stays out of the timed region, exactly like
+/// the all-to-all figure benches; A2A_NO_PLAN=1 restores the legacy
+/// per-run path.
 
 #include <optional>
 
@@ -10,46 +15,64 @@
 
 #include <algorithm>
 
-#include "sim/cluster.hpp"
 #include "coll_ext/allgather.hpp"
+#include "coll_ext/op_desc.hpp"
+#include "plan/plan.hpp"
 #include "runtime/collectives.hpp"
+#include "sim/cluster.hpp"
 
 using namespace mca2a;
 
 namespace {
 
-enum class Variant { kRing, kBruck, kHierarchical, kLocalityAware };
-
-double run_allgather(Variant v, int group_size, std::size_t block) {
+double run_allgather(coll::AllgatherAlgo algo, int group_size,
+                     std::size_t block) {
   sim::ClusterConfig cfg;
   cfg.machine = topo::dane(32).desc();
   cfg.net = model::omni_path();
   cfg.carry_data = false;
   sim::Cluster cluster(cfg);
   const topo::Machine& machine = cluster.machine();
+  const bool use_plan = std::getenv("A2A_NO_PLAN") == nullptr;
   std::vector<double> start(machine.total_ranks()), end(machine.total_ranks());
   cluster.run([&](rt::Comm& c) -> rt::Task<void> {
+    // Plan time: algorithm fixed by the series, communicators built here,
+    // outside the timed region (the legacy path builds them itself).
+    std::optional<plan::CollectivePlan> pl;
     std::optional<rt::LocalityComms> lc;
-    if (v == Variant::kHierarchical || v == Variant::kLocalityAware) {
-      lc.emplace(rt::build_locality_comms(c, machine, group_size, false));
+    if (use_plan) {
+      coll::AllgatherDesc desc;
+      desc.block = block;
+      desc.algo = algo;
+      plan::PlanOptions popts;
+      popts.group_size = group_size;
+      pl.emplace(plan::make_plan(c, machine, cfg.net, desc, popts));
+    } else if (coll::needs_locality(algo)) {
+      lc.emplace(rt::build_locality_comms(
+          c, machine, group_size == 0 ? machine.ppn() : group_size, false));
     }
     rt::Buffer send = c.alloc_buffer(block);
     rt::Buffer recv = c.alloc_buffer(block * c.size());
     co_await rt::barrier(c);
     start[c.rank()] = c.now();
-    switch (v) {
-      case Variant::kRing:
-        co_await coll::allgather_ring(c, send.view(), recv.view());
-        break;
-      case Variant::kBruck:
-        co_await coll::allgather_bruck(c, send.view(), recv.view());
-        break;
-      case Variant::kHierarchical:
-        co_await coll::allgather_hierarchical(*lc, send.view(), recv.view());
-        break;
-      case Variant::kLocalityAware:
-        co_await coll::allgather_locality_aware(*lc, send.view(), recv.view());
-        break;
+    if (pl) {
+      co_await pl->execute(rt::ConstView(send.view()), recv.view());
+    } else {
+      switch (algo) {
+        case coll::AllgatherAlgo::kRing:
+          co_await coll::allgather_ring(c, send.view(), recv.view());
+          break;
+        case coll::AllgatherAlgo::kBruck:
+          co_await coll::allgather_bruck(c, send.view(), recv.view());
+          break;
+        case coll::AllgatherAlgo::kHierarchical:
+          co_await coll::allgather_hierarchical(*lc, send.view(), recv.view());
+          break;
+        default:
+          co_await coll::allgather_locality_aware(*lc, send.view(),
+                                                  recv.view());
+          break;
+      }
     }
     end[c.rank()] = c.now();
   });
@@ -57,17 +80,17 @@ double run_allgather(Variant v, int group_size, std::size_t block) {
          *std::min_element(start.begin(), start.end());
 }
 
-void register_series(bench::Figure& fig, const std::string& name, Variant v,
-                     int group_size) {
+void register_series(bench::Figure& fig, const std::string& name,
+                     coll::AllgatherAlgo algo, int group_size) {
   for (std::size_t block : benchx::default_sizes()) {
     const std::string bname =
         "ext_allgather/" + name + "/" + std::to_string(block);
     benchmark::RegisterBenchmark(
         bname.c_str(),
-        [&fig, name, v, group_size, block](benchmark::State& state) {
+        [&fig, name, algo, group_size, block](benchmark::State& state) {
           double t = 0.0;
           for (auto _ : state) {
-            t = run_allgather(v, group_size, block);
+            t = run_allgather(algo, group_size, block);
             state.SetIterationTime(t);
           }
           fig.add(name, static_cast<double>(block), t);
@@ -84,10 +107,11 @@ int main(int argc, char** argv) {
   bench::Figure fig("ext_allgather",
                     "Extension: allgather algorithms (Dane, 32 nodes)",
                     "Block Size (bytes)");
-  register_series(fig, "Ring", Variant::kRing, 0);
-  register_series(fig, "Bruck", Variant::kBruck, 0);
-  register_series(fig, "Hierarchical", Variant::kHierarchical, 112);
-  register_series(fig, "Node-Aware", Variant::kLocalityAware, 112);
-  register_series(fig, "Locality-Aware (4 ppg)", Variant::kLocalityAware, 4);
+  register_series(fig, "Ring", coll::AllgatherAlgo::kRing, 0);
+  register_series(fig, "Bruck", coll::AllgatherAlgo::kBruck, 0);
+  register_series(fig, "Hierarchical", coll::AllgatherAlgo::kHierarchical, 112);
+  register_series(fig, "Node-Aware", coll::AllgatherAlgo::kLocalityAware, 112);
+  register_series(fig, "Locality-Aware (4 ppg)",
+                  coll::AllgatherAlgo::kLocalityAware, 4);
   return benchx::figure_main(argc, argv, fig);
 }

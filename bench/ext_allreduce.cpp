@@ -3,6 +3,10 @@
 /// doubling wins small vectors (log p latency), Rabenseifner wins large
 /// (bandwidth-optimal), node-aware aggregation reduces inter-node traffic
 /// by ppn like the all-to-all algorithms do.
+///
+/// Executes through persistent CollectivePlans (plan/plan.hpp) so
+/// communicator construction stays out of the timed region; A2A_NO_PLAN=1
+/// restores the legacy per-run path.
 
 #include <optional>
 
@@ -10,46 +14,63 @@
 
 #include <algorithm>
 
-#include "sim/cluster.hpp"
 #include "coll_ext/allreduce.hpp"
+#include "coll_ext/op_desc.hpp"
+#include "plan/plan.hpp"
 #include "runtime/collectives.hpp"
+#include "sim/cluster.hpp"
 
 using namespace mca2a;
 
 namespace {
 
-enum class Variant { kRecursiveDoubling, kRabenseifner, kNodeAware,
-                     kLocalityAware };
+struct SeriesDef {
+  std::string name;
+  coll::AllreduceAlgo algo;
+  int group_size;
+};
 
-double run_allreduce(Variant v, std::size_t bytes) {
+double run_allreduce(const SeriesDef& s, std::size_t bytes) {
   sim::ClusterConfig cfg;
   cfg.machine = topo::dane(32).desc();
   cfg.net = model::omni_path();
   cfg.carry_data = false;
   sim::Cluster cluster(cfg);
   const topo::Machine& machine = cluster.machine();
+  const bool use_plan = std::getenv("A2A_NO_PLAN") == nullptr;
   std::vector<double> start(machine.total_ranks()), end(machine.total_ranks());
   cluster.run([&](rt::Comm& c) -> rt::Task<void> {
+    const coll::Combiner op = coll::sum_combiner<double>();
+    std::optional<plan::CollectivePlan> pl;
     std::optional<rt::LocalityComms> lc;
-    if (v == Variant::kNodeAware || v == Variant::kLocalityAware) {
-      lc.emplace(rt::build_locality_comms(
-          c, machine, v == Variant::kNodeAware ? 112 : 4, false));
+    if (use_plan) {
+      coll::AllreduceDesc desc;
+      desc.count = bytes / sizeof(double);
+      desc.combiner = op;
+      desc.algo = s.algo;
+      plan::PlanOptions popts;
+      popts.group_size = s.group_size;
+      pl.emplace(plan::make_plan(c, machine, cfg.net, desc, popts));
+    } else if (coll::needs_locality(s.algo)) {
+      lc.emplace(rt::build_locality_comms(c, machine, s.group_size, false));
     }
     rt::Buffer data = c.alloc_buffer(bytes);
-    const coll::Combiner op = coll::sum_combiner<double>();
     co_await rt::barrier(c);
     start[c.rank()] = c.now();
-    switch (v) {
-      case Variant::kRecursiveDoubling:
-        co_await coll::allreduce_recursive_doubling(c, data.view(), op);
-        break;
-      case Variant::kRabenseifner:
-        co_await coll::allreduce_rabenseifner(c, data.view(), op);
-        break;
-      case Variant::kNodeAware:
-      case Variant::kLocalityAware:
-        co_await coll::allreduce_node_aware(*lc, data.view(), op);
-        break;
+    if (pl) {
+      co_await pl->execute_inplace(data.view());
+    } else {
+      switch (s.algo) {
+        case coll::AllreduceAlgo::kRecursiveDoubling:
+          co_await coll::allreduce_recursive_doubling(c, data.view(), op);
+          break;
+        case coll::AllreduceAlgo::kRabenseifner:
+          co_await coll::allreduce_rabenseifner(c, data.view(), op);
+          break;
+        default:
+          co_await coll::allreduce_node_aware(*lc, data.view(), op);
+          break;
+      }
     }
     end[c.rank()] = c.now();
   });
@@ -57,25 +78,26 @@ double run_allreduce(Variant v, std::size_t bytes) {
          *std::min_element(start.begin(), start.end());
 }
 
-void register_series(bench::Figure& fig, const std::string& name, Variant v) {
+void register_series(bench::Figure& fig, const SeriesDef& s) {
   // Vector sizes: 32 B to 4 MiB of doubles.
   for (std::size_t bytes :
        {std::size_t{32}, std::size_t{512}, std::size_t{8192},
         std::size_t{131072}, std::size_t{1} << 21, std::size_t{1} << 22}) {
-    if (v == Variant::kRabenseifner && bytes / sizeof(double) < 3584) {
+    if (s.algo == coll::AllreduceAlgo::kRabenseifner &&
+        bytes / sizeof(double) < 3584) {
       continue;  // needs >= one element per rank
     }
     const std::string bname =
-        "ext_allreduce/" + name + "/" + std::to_string(bytes);
+        "ext_allreduce/" + s.name + "/" + std::to_string(bytes);
     benchmark::RegisterBenchmark(
         bname.c_str(),
-        [&fig, name, v, bytes](benchmark::State& state) {
+        [&fig, s, bytes](benchmark::State& state) {
           double t = 0.0;
           for (auto _ : state) {
-            t = run_allreduce(v, bytes);
+            t = run_allreduce(s, bytes);
             state.SetIterationTime(t);
           }
-          fig.add(name, static_cast<double>(bytes), t);
+          fig.add(s.name, static_cast<double>(bytes), t);
         })
         ->UseManualTime()
         ->Iterations(1)
@@ -89,9 +111,11 @@ int main(int argc, char** argv) {
   bench::Figure fig("ext_allreduce",
                     "Extension: allreduce algorithms (Dane, 32 nodes)",
                     "Vector Size (bytes)");
-  register_series(fig, "Recursive Doubling", Variant::kRecursiveDoubling);
-  register_series(fig, "Rabenseifner", Variant::kRabenseifner);
-  register_series(fig, "Node-Aware", Variant::kNodeAware);
-  register_series(fig, "Locality-Aware (4 ppg)", Variant::kLocalityAware);
+  register_series(fig, {"Recursive Doubling",
+                        coll::AllreduceAlgo::kRecursiveDoubling, 0});
+  register_series(fig, {"Rabenseifner", coll::AllreduceAlgo::kRabenseifner, 0});
+  register_series(fig, {"Node-Aware", coll::AllreduceAlgo::kNodeAware, 112});
+  register_series(fig, {"Locality-Aware (4 ppg)",
+                        coll::AllreduceAlgo::kNodeAware, 4});
   return benchx::figure_main(argc, argv, fig);
 }

@@ -9,6 +9,10 @@
 /// header carries the real count), which is how fixed-size all-to-all
 /// underpins MPI_Alltoallv-style workloads.
 ///
+/// Both shuffles of a layer repeat the same (communicator, block)
+/// exchange, so one persistent CollectivePlan serves the route-out and the
+/// route-back (A2A_NO_PLAN=1 restores the direct per-call path).
+///
 ///   ./build/examples/ml_shuffle [ranks] [tokens-per-rank] [hidden-dim]
 
 #include <algorithm>
@@ -16,12 +20,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <random>
 #include <vector>
 
 #include "core/alltoall.hpp"
+#include "model/presets.hpp"
+#include "plan/plan.hpp"
 #include "runtime/collectives.hpp"
 #include "smp/smp_runtime.hpp"
+#include "topo/presets.hpp"
 
 using namespace mca2a;
 
@@ -54,6 +62,15 @@ int main(int argc, char** argv) {
   smp::run_threads(ranks, [&](rt::Comm& world) -> rt::Task<void> {
     const int me = world.rank();
     const int p = world.size();
+    // One plan serves every shuffle of the run (two per MoE layer).
+    std::optional<plan::CollectivePlan> pl;
+    if (std::getenv("A2A_NO_PLAN") == nullptr) {
+      coll::AlltoallDesc desc;
+      desc.block = block;
+      desc.algo = coll::Algo::kNonblockingDirect;
+      pl.emplace(plan::make_plan(world, topo::generic(1, p),
+                                 model::test_params(), desc));
+    }
     std::mt19937 rng(1234 + me);
     std::uniform_int_distribution<int> expert(0, p - 1);
 
@@ -83,8 +100,12 @@ int main(int argc, char** argv) {
 
     co_await rt::barrier(world);
     const auto t0 = std::chrono::steady_clock::now();
-    co_await coll::alltoall_nonblocking(world, send.view(), recv.view(),
-                                        block);
+    if (pl) {
+      co_await pl->execute(rt::ConstView(send.view()), recv.view());
+    } else {
+      co_await coll::alltoall_nonblocking(world, send.view(), recv.view(),
+                                          block);
+    }
     elapsed[me] =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -101,8 +122,12 @@ int main(int argc, char** argv) {
       std::memcpy(back_send.data() + s * block, base, block);
     }
     rt::Buffer back = rt::Buffer::real(block * p);
-    co_await coll::alltoall_nonblocking(world, back_send.view(), back.view(),
-                                        block);
+    if (pl) {
+      co_await pl->execute(rt::ConstView(back_send.view()), back.view());
+    } else {
+      co_await coll::alltoall_nonblocking(world, back_send.view(), back.view(),
+                                          block);
+    }
 
     // Every token must arrive back with its origin intact.
     int mine_back = 0;

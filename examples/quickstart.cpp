@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "coll_ext/allgather.hpp"
+#include "coll_ext/allreduce.hpp"
+#include "coll_ext/op_desc.hpp"
 #include "core/alltoall.hpp"
 #include "model/presets.hpp"
 #include "plan/plan.hpp"
@@ -101,21 +103,25 @@ int main(int argc, char** argv) {
                 bad == 0 ? "OK" : "CORRUPT");
   }
 
-  // --- persistent plan: setup once, execute many times ----------------------
-  // make_plan runs selection and builds the locality communicators and
-  // scratch buffers up front; each execute() is then just the exchange —
-  // the MPI_Alltoall_init pattern for iterative workloads.
+  // --- persistent plans: setup once, execute many times ---------------------
+  // Every collective is described by a typed descriptor (coll::OpDesc) and
+  // planned through one entry point: make_plan validates the descriptor,
+  // runs selection, and builds the locality communicators and scratch
+  // buffers up front; each execute() is then just the exchange — the
+  // MPI_*_init pattern for iterative workloads.
   constexpr int kIters = 10;
   std::vector<int> failures(ranks, 0);
   std::vector<double> elapsed(ranks, 0.0);
   runtime.run([&](rt::Comm& world) -> rt::Task<void> {
     const int me = world.rank();
     const int p = world.size();
+    coll::AlltoallDesc desc;
+    desc.block = block;
+    desc.algo = coll::Algo::kMultileaderNodeAware;
     plan::PlanOptions popts;
-    popts.algo = coll::Algo::kMultileaderNodeAware;
     popts.group_size = 2;
-    plan::AlltoallPlan plan = plan::make_plan(
-        world, machine, model::test_params(), block, popts);
+    plan::CollectivePlan plan = plan::make_plan(
+        world, machine, model::test_params(), desc, popts);
 
     rt::Buffer send = rt::Buffer::real(block * p);
     rt::Buffer recv = rt::Buffer::real(block * p);
@@ -143,17 +149,40 @@ int main(int argc, char** argv) {
       }
     }
 
-    // The plan's communicator bundle is borrowable by other locality
-    // collectives — here an allgather reuses it instead of rebuilding.
-    if (const rt::LocalityComms* lc = plan.bundle()) {
+    // The same front door plans the rest of the family: an allgather plan
+    // from a descriptor (the tuner would pick the algorithm if we left
+    // desc.algo empty), executed just like the alltoall one.
+    {
+      coll::AllgatherDesc agd;
+      agd.block = sizeof(int);
+      agd.algo = coll::AllgatherAlgo::kLocalityAware;
+      plan::PlanOptions agopts;
+      agopts.group_size = 2;
+      plan::CollectivePlan ag = plan::make_plan(
+          world, machine, model::test_params(), agd, agopts);
       rt::Buffer mine = rt::Buffer::real(sizeof(int));
       rt::Buffer all = rt::Buffer::real(sizeof(int) * p);
       mine.typed<int>()[0] = me;
-      co_await coll::allgather_locality_aware(*lc, mine.view(), all.view());
+      co_await ag.execute(rt::ConstView(mine.view()), all.view());
       for (int r = 0; r < p; ++r) {
         if (all.typed<int>()[r] != r) {
           ++failures[me];
         }
+      }
+    }
+
+    // An allreduce plan reduces in place (the MPI_IN_PLACE form).
+    {
+      coll::AllreduceDesc ard;
+      ard.count = 1;
+      ard.combiner = coll::sum_combiner<int>();
+      plan::CollectivePlan ar =
+          plan::make_plan(world, machine, model::test_params(), ard);
+      rt::Buffer acc = rt::Buffer::real(sizeof(int));
+      acc.typed<int>()[0] = me;
+      co_await ar.execute_inplace(acc.view());
+      if (acc.typed<int>()[0] != p * (p - 1) / 2) {
+        ++failures[me];
       }
     }
   });

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "coll_ext/ext_tuner.hpp"
 #include "core/tuner.hpp"
 #include "harness/figure.hpp"
 #include "harness/sweep.hpp"
@@ -79,5 +80,24 @@ int main(int argc, char** argv) {
       "table: %zu entries, %llu lookups, %llu hits after reload\n",
       loaded.size(), static_cast<unsigned long long>(loaded.lookups()),
       static_cast<unsigned long long>(loaded.hits()));
+
+  // The same table memoizes the whole collective family (entries carry an
+  // op tag in the serialized form): ask it about the §5 extensions too.
+  std::printf("\nfamily-wide selection (same table):\n");
+  for (std::size_t block : sizes) {
+    const coll::AllgatherChoice ag =
+        loaded.choose_allgather(machine, net, block);
+    std::printf("  allgather %-6zu -> %-16s (g=%d)\n", block,
+                std::string(coll::allgather_algo_name(ag.algo)).c_str(),
+                ag.group_size);
+  }
+  for (std::size_t count : {std::size_t{16}, std::size_t{65536}}) {
+    const coll::AllreduceChoice ar =
+        loaded.choose_allreduce(machine, net, count, sizeof(double));
+    std::printf("  allreduce %-6zu -> %-16s (g=%d)\n", count,
+                std::string(coll::allreduce_algo_name(ar.algo)).c_str(),
+                ar.group_size);
+  }
+  std::printf("table now: %zu entries\n", loaded.size());
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/scratch.hpp"
+
 namespace mca2a::coll {
 
 namespace {
@@ -15,7 +17,7 @@ rt::Task<void> allgather_ring(rt::Comm& comm, rt::ConstView send,
 }
 
 rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
-                               rt::MutView recv) {
+                               rt::MutView recv, rt::ScratchArena* scratch) {
   const int p = comm.size();
   const int me = comm.rank();
   const std::size_t block = send.len;
@@ -23,7 +25,8 @@ rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
     throw std::invalid_argument("allgather_bruck: receive buffer too small");
   }
   // tmp block i holds the contribution of rank (me + i) mod p.
-  rt::Buffer tmp = comm.alloc_buffer(block * static_cast<std::size_t>(p));
+  rt::ScratchBuffer tmp =
+      rt::alloc_scratch(comm, scratch, block * static_cast<std::size_t>(p));
   comm.copy_and_charge(tmp.view(0, block), send);
   int have = 1;
   for (int pof2 = 1; have < p; pof2 <<= 1) {
@@ -46,7 +49,8 @@ rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
 }
 
 rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
-                                      rt::ConstView send, rt::MutView recv) {
+                                      rt::ConstView send, rt::MutView recv,
+                                      rt::ScratchArena* scratch) {
   rt::Comm& world = *lc.world;
   rt::Comm& local = *lc.local_comm;
   const int g = lc.group_size;
@@ -58,11 +62,12 @@ rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
   }
 
   // Gather the group's blocks at the leader...
-  rt::Buffer agg;
+  rt::ScratchBuffer agg;
   if (lc.is_leader) {
-    agg = world.alloc_buffer(static_cast<std::size_t>(g) * block);
+    agg = rt::alloc_scratch(world, scratch,
+                            static_cast<std::size_t>(g) * block);
   }
-  co_await rt::gather(local, send, agg.view(), /*root=*/0);
+  co_await rt::gather(local, send, agg.view(), /*root=*/0, scratch);
 
   // ...leaders allgather aggregated blocks (leaders' group_cross covers all
   // regions in region-major order, which equals world rank order)...
@@ -74,7 +79,8 @@ rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
 }
 
 rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
-                                        rt::ConstView send, rt::MutView recv) {
+                                        rt::ConstView send, rt::MutView recv,
+                                        rt::ScratchArena* scratch) {
   rt::Comm& world = *lc.world;
   rt::Comm& local = *lc.local_comm;
   const int g = lc.group_size;
@@ -86,7 +92,8 @@ rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
   }
 
   // Phase 1: everyone aggregates their group's blocks.
-  rt::Buffer agg = world.alloc_buffer(static_cast<std::size_t>(g) * block);
+  rt::ScratchBuffer agg =
+      rt::alloc_scratch(world, scratch, static_cast<std::size_t>(g) * block);
   co_await rt::allgather(local, send, agg.view());
 
   // Phase 2: exchange group aggregates across regions. Region j's blocks

@@ -27,22 +27,26 @@
 namespace mca2a::coll {
 
 /// Ring allgather (alias of the runtime building block, re-exported here so
-/// the extension API is complete).
+/// the extension API is complete). Allocates nothing.
 rt::Task<void> allgather_ring(rt::Comm& comm, rt::ConstView send,
                               rt::MutView recv);
 
-/// Bruck (recursive doubling) allgather: log2 p steps.
+/// Bruck (recursive doubling) allgather: log2 p steps. The rotation buffer
+/// recycles through `scratch` when given (persistent plans pass theirs).
 rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
-                               rt::MutView recv);
+                               rt::MutView recv,
+                               rt::ScratchArena* scratch = nullptr);
 
-/// Hierarchical allgather over a locality bundle.
+/// Hierarchical allgather over a locality bundle. `scratch` as for Bruck.
 rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
-                                      rt::ConstView send, rt::MutView recv);
+                                      rt::ConstView send, rt::MutView recv,
+                                      rt::ScratchArena* scratch = nullptr);
 
 /// Locality-aware allgather: intra-group aggregation, then inter-region
 /// exchange among same-position ranks (every rank participates; no
-/// broadcast phase).
+/// broadcast phase). `scratch` as for Bruck.
 rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
-                                        rt::ConstView send, rt::MutView recv);
+                                        rt::ConstView send, rt::MutView recv,
+                                        rt::ScratchArena* scratch = nullptr);
 
 }  // namespace mca2a::coll

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/scratch.hpp"
+
 namespace mca2a::coll {
 
 namespace {
@@ -26,14 +28,14 @@ void combine(rt::Comm& comm, rt::MutView acc, rt::ConstView in,
 }  // namespace
 
 rt::Task<void> reduce_binomial(rt::Comm& comm, rt::MutView data, Combiner op,
-                               int root) {
+                               int root, rt::ScratchArena* scratch) {
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
     throw std::out_of_range("reduce: root out of range");
   }
   const int vr = (me - root + n) % n;
-  rt::Buffer tmp = comm.alloc_buffer(data.len);
+  rt::ScratchBuffer tmp = rt::alloc_scratch(comm, scratch, data.len);
   for (int mask = 1; mask < n; mask <<= 1) {
     if (vr & mask) {
       const int parent = ((vr - mask) + root) % n;
@@ -49,10 +51,11 @@ rt::Task<void> reduce_binomial(rt::Comm& comm, rt::MutView data, Combiner op,
 }
 
 rt::Task<void> allreduce_recursive_doubling(rt::Comm& comm, rt::MutView data,
-                                            Combiner op) {
+                                            Combiner op,
+                                            rt::ScratchArena* scratch) {
   const int p = comm.size();
   const int me = comm.rank();
-  rt::Buffer tmp = comm.alloc_buffer(data.len);
+  rt::ScratchBuffer tmp = rt::alloc_scratch(comm, scratch, data.len);
 
   // Fold the surplus beyond the largest power of two (MPICH scheme):
   // of the first 2*rem ranks, evens park their data with the odd neighbor.
@@ -97,7 +100,7 @@ rt::Task<void> allreduce_recursive_doubling(rt::Comm& comm, rt::MutView data,
 }
 
 rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
-                                      Combiner op) {
+                                      Combiner op, rt::ScratchArena* scratch) {
   const int p = comm.size();
   const int me = comm.rank();
   const std::size_t elems = data.len / op.elem_size;
@@ -129,7 +132,8 @@ rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
     return data.sub(chunk_begin(c) * op.elem_size, chunk_bytes(c));
   };
 
-  rt::Buffer tmp = comm.alloc_buffer((base + 1) * op.elem_size);
+  rt::ScratchBuffer tmp =
+      rt::alloc_scratch(comm, scratch, (base + 1) * op.elem_size);
   const int right = (me + 1) % p;
   const int left = (me - 1 + p) % p;
 
@@ -153,14 +157,15 @@ rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
 }
 
 rt::Task<void> allreduce_node_aware(const rt::LocalityComms& lc,
-                                    rt::MutView data, Combiner op) {
+                                    rt::MutView data, Combiner op,
+                                    rt::ScratchArena* scratch) {
   rt::Comm& local = *lc.local_comm;
   // Reduce each group's contribution at its leader...
-  co_await reduce_binomial(local, data, op, /*root=*/0);
+  co_await reduce_binomial(local, data, op, /*root=*/0, scratch);
   // ...combine across all region leaders (their group_cross covers every
   // region, hence every rank's data)...
   if (lc.is_leader) {
-    co_await allreduce_recursive_doubling(*lc.group_cross, data, op);
+    co_await allreduce_recursive_doubling(*lc.group_cross, data, op, scratch);
   }
   // ...and distribute the result within each group.
   co_await rt::bcast(local, data, /*root=*/0);

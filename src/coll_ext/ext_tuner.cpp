@@ -1,0 +1,184 @@
+#include "coll_ext/ext_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/tuner.hpp"
+#include "model/cost.hpp"
+
+namespace mca2a::coll {
+
+namespace {
+
+using topo::Level;
+
+/// Latency-chain time for `steps` sequential exchanges at `level` of
+/// `msg_bytes` each (the same shape core/tuner uses).
+double chain_time(const model::NetParams& net, Level level, double steps,
+                  double msg_bytes) {
+  const model::LevelParams& l = net.at(level);
+  return steps *
+         (l.alpha + msg_bytes * l.beta + l.o_send + l.o_recv +
+          2.0 * model::cpu_copy_time(net, level,
+                                     static_cast<std::size_t>(msg_bytes)));
+}
+
+double pack(const model::NetParams& net, double bytes) {
+  return bytes * net.pack_beta;
+}
+
+}  // namespace
+
+double predict_allgather_seconds(AllgatherAlgo algo,
+                                 const topo::Machine& machine,
+                                 const model::NetParams& net,
+                                 std::size_t block, int group_size) {
+  const int n = machine.nodes();
+  const int ppn = machine.ppn();
+  const int p = machine.total_ranks();
+  const double s = static_cast<double>(block);
+  const int g = group_size == 0 ? ppn : group_size;  // 0 = one group per node
+  if (g < 1 || ppn % g != 0) {
+    throw std::invalid_argument(
+        "predict_allgather: group size must divide ppn");
+  }
+  const int nreg = n * (ppn / g);
+
+  switch (algo) {
+    case AllgatherAlgo::kRing:
+      // p-1 neighbor steps of one block each; the ring crosses node
+      // boundaries n times per lap but every step waits for the slowest
+      // (network) link, so charge the network level throughout.
+      return chain_time(net, Level::kNetwork, static_cast<double>(p - 1), s);
+    case AllgatherAlgo::kBruck: {
+      // ceil(log2 p) doubling steps moving 1, 2, 4, ... blocks; total
+      // volume (p-1) blocks, total latency log2 p network alphas.
+      const double steps = std::ceil(std::log2(std::max(2, p)));
+      const double vol = static_cast<double>(p - 1) * s;
+      return chain_time(net, Level::kNetwork, steps, vol / steps) +
+             pack(net, 2.0 * static_cast<double>(p) * s);
+    }
+    case AllgatherAlgo::kHierarchical: {
+      // Gather g blocks to the leader, leaders ring-allgather aggregated
+      // g-blocks over nreg regions, broadcast the p-block result locally.
+      const double gather =
+          chain_time(net, Level::kNuma, std::ceil(std::log2(std::max(2, g))),
+                     static_cast<double>(g) * s / 2.0);
+      const double leaders =
+          chain_time(net, Level::kNetwork, static_cast<double>(nreg - 1),
+                     static_cast<double>(g) * s);
+      const double bc =
+          chain_time(net, Level::kNuma, std::ceil(std::log2(std::max(2, g))),
+                     static_cast<double>(p) * s);
+      return gather + leaders + bc;
+    }
+    case AllgatherAlgo::kLocalityAware: {
+      // Intra-group allgather of single blocks, then every rank joins an
+      // inter-region allgather of g-blocks — no broadcast phase.
+      const double intra =
+          chain_time(net, Level::kNuma, static_cast<double>(g - 1), s);
+      const double inter =
+          chain_time(net, Level::kNetwork, static_cast<double>(nreg - 1),
+                     static_cast<double>(g) * s);
+      return intra + inter;
+    }
+    case AllgatherAlgo::kCount_:
+      break;
+  }
+  throw std::invalid_argument("predict_allgather: unknown algorithm");
+}
+
+double predict_allreduce_seconds(AllreduceAlgo algo,
+                                 const topo::Machine& machine,
+                                 const model::NetParams& net, std::size_t bytes,
+                                 int group_size) {
+  const int ppn = machine.ppn();
+  const int p = machine.total_ranks();
+  const double v = static_cast<double>(bytes);
+  const int g = group_size == 0 ? ppn : group_size;
+  if (g < 1 || ppn % g != 0) {
+    throw std::invalid_argument(
+        "predict_allreduce: group size must divide ppn");
+  }
+  const int nreg = machine.nodes() * (ppn / g);
+  // Element-wise combining is charged at the repack rate (one pass).
+  const auto combine = [&](double b) { return pack(net, b); };
+
+  switch (algo) {
+    case AllreduceAlgo::kRecursiveDoubling: {
+      const double rounds = std::ceil(std::log2(std::max(2, p)));
+      return rounds * (chain_time(net, Level::kNetwork, 1.0, v) + combine(v));
+    }
+    case AllreduceAlgo::kRabenseifner: {
+      // Ring reduce-scatter then ring allgather: 2(p-1) steps of v/p bytes,
+      // combining v*(p-1)/p bytes along the way.
+      const double chunk = v / static_cast<double>(p);
+      const double steps = 2.0 * static_cast<double>(p - 1);
+      return chain_time(net, Level::kNetwork, steps, chunk) +
+             combine(chunk * static_cast<double>(p - 1));
+    }
+    case AllreduceAlgo::kNodeAware: {
+      // Binomial reduce to the group leader, recursive doubling among the
+      // nreg leaders, binomial broadcast back — all on the full vector.
+      const double local_rounds = std::ceil(std::log2(std::max(2, g)));
+      const double leader_rounds = std::ceil(std::log2(std::max(2, nreg)));
+      return local_rounds *
+                 (chain_time(net, Level::kNuma, 1.0, v) + combine(v)) +
+             leader_rounds *
+                 (chain_time(net, Level::kNetwork, 1.0, v) + combine(v)) +
+             local_rounds * chain_time(net, Level::kNuma, 1.0, v);
+    }
+    case AllreduceAlgo::kCount_:
+      break;
+  }
+  throw std::invalid_argument("predict_allreduce: unknown algorithm");
+}
+
+AllgatherChoice select_allgather_algorithm(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, std::vector<int> candidate_group_sizes) {
+  const int ppn = machine.ppn();
+  AllgatherChoice best;
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  const auto consider = [&](AllgatherAlgo a, int g) {
+    const double t = predict_allgather_seconds(a, machine, net, block, g);
+    if (t < best.predicted_seconds) {
+      best = AllgatherChoice{a, g, t};
+    }
+  };
+  consider(AllgatherAlgo::kRing, ppn);
+  consider(AllgatherAlgo::kBruck, ppn);
+  consider(AllgatherAlgo::kHierarchical, ppn);
+  for (int g : candidate_groups(machine, std::move(candidate_group_sizes))) {
+    consider(AllgatherAlgo::kLocalityAware, g);
+  }
+  return best;
+}
+
+AllreduceChoice select_allreduce_algorithm(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t count, std::size_t elem_size,
+    std::vector<int> candidate_group_sizes) {
+  const int p = machine.total_ranks();
+  const std::size_t bytes = count * elem_size;
+  AllreduceChoice best;
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  const auto consider = [&](AllreduceAlgo a, int g) {
+    const double t = predict_allreduce_seconds(a, machine, net, bytes, g);
+    if (t < best.predicted_seconds) {
+      best = AllreduceChoice{a, g, t};
+    }
+  };
+  consider(AllreduceAlgo::kRecursiveDoubling, machine.ppn());
+  if (count >= static_cast<std::size_t>(p)) {
+    consider(AllreduceAlgo::kRabenseifner, machine.ppn());
+  }
+  for (int g : candidate_groups(machine, std::move(candidate_group_sizes))) {
+    consider(AllreduceAlgo::kNodeAware, g);
+  }
+  return best;
+}
+
+}  // namespace mca2a::coll

@@ -1,0 +1,62 @@
+#pragma once
+/// \file ext_tuner.hpp
+/// Closed-form algorithm selection for the extension collectives, mirroring
+/// core/tuner for all-to-all: evaluate a critical-path estimate of every
+/// (algorithm, group size) candidate from the same model::NetParams the
+/// simulator charges, and pick the fastest. This is what lets
+/// plan::make_plan resolve `algo = nullopt` family-wide — the paper's §5
+/// dynamic selection applied to the allgather ([1]) and allreduce ([3])
+/// extensions as well.
+
+#include <cstddef>
+#include <vector>
+
+#include "coll_ext/op_desc.hpp"
+#include "model/params.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::coll {
+
+/// Closed-form time estimate for one allgather variant; `block` is the
+/// per-rank contribution in bytes, `group_size` the locality group width
+/// (ignored by the flat variants).
+double predict_allgather_seconds(AllgatherAlgo algo,
+                                 const topo::Machine& machine,
+                                 const model::NetParams& net,
+                                 std::size_t block, int group_size);
+
+/// Closed-form time estimate for one allreduce variant; `bytes` is the
+/// whole vector (count * elem_size).
+double predict_allreduce_seconds(AllreduceAlgo algo,
+                                 const topo::Machine& machine,
+                                 const model::NetParams& net, std::size_t bytes,
+                                 int group_size);
+
+struct AllgatherChoice {
+  AllgatherAlgo algo = AllgatherAlgo::kRing;
+  int group_size = 1;
+  double predicted_seconds = 0.0;
+};
+
+struct AllreduceChoice {
+  AllreduceAlgo algo = AllreduceAlgo::kRecursiveDoubling;
+  int group_size = 1;
+  double predicted_seconds = 0.0;
+};
+
+/// Pick the fastest allgather (algorithm, group size) for a per-rank block
+/// of `block` bytes. Candidate group sizes default to {4, 8, 16, ppn}
+/// filtered to divisors of ppn, like coll::select_algorithm.
+AllgatherChoice select_allgather_algorithm(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, std::vector<int> candidate_group_sizes = {});
+
+/// Pick the fastest allreduce (algorithm, group size) for `count` elements
+/// of `elem_size` bytes. Rabenseifner is only considered when count >=
+/// total ranks (its algorithmic requirement).
+AllreduceChoice select_allreduce_algorithm(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t count, std::size_t elem_size,
+    std::vector<int> candidate_group_sizes = {});
+
+}  // namespace mca2a::coll

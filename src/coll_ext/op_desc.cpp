@@ -1,0 +1,236 @@
+#include "coll_ext/op_desc.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace mca2a::coll {
+
+namespace {
+
+/// FNV-1a over a size_t sequence; compresses alltoallv count vectors into
+/// the key without embedding every entry (the low-order totals are included
+/// alongside, so a collision would additionally need matching sums).
+std::uint64_t fnv1a(const std::vector<std::size_t>& values) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t v : values) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kAlltoall:
+      return "alltoall";
+    case OpKind::kAlltoallv:
+      return "alltoallv";
+    case OpKind::kAllgather:
+      return "allgather";
+    case OpKind::kAllreduce:
+      return "allreduce";
+    case OpKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+std::string_view op_kind_tag(OpKind k) {
+  switch (k) {
+    case OpKind::kAlltoall:
+      return "a2a";
+    case OpKind::kAlltoallv:
+      return "a2av";
+    case OpKind::kAllgather:
+      return "ag";
+    case OpKind::kAllreduce:
+      return "ar";
+    case OpKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+std::optional<OpKind> op_kind_from_tag(std::string_view tag) {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const auto k = static_cast<OpKind>(i);
+    if (op_kind_tag(k) == tag) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view allgather_algo_name(AllgatherAlgo a) {
+  switch (a) {
+    case AllgatherAlgo::kRing:
+      return "Ring";
+    case AllgatherAlgo::kBruck:
+      return "Bruck";
+    case AllgatherAlgo::kHierarchical:
+      return "Hierarchical";
+    case AllgatherAlgo::kLocalityAware:
+      return "Locality-Aware";
+    case AllgatherAlgo::kCount_:
+      break;
+  }
+  return "?";
+}
+
+bool needs_locality(AllgatherAlgo a) {
+  return a == AllgatherAlgo::kHierarchical ||
+         a == AllgatherAlgo::kLocalityAware;
+}
+
+std::string_view allreduce_algo_name(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kRecursiveDoubling:
+      return "Recursive Doubling";
+    case AllreduceAlgo::kRabenseifner:
+      return "Rabenseifner";
+    case AllreduceAlgo::kNodeAware:
+      return "Node-Aware";
+    case AllreduceAlgo::kCount_:
+      break;
+  }
+  return "?";
+}
+
+bool needs_locality(AllreduceAlgo a) { return a == AllreduceAlgo::kNodeAware; }
+
+std::string_view alltoallv_algo_name(AlltoallvAlgo a) {
+  switch (a) {
+    case AlltoallvAlgo::kPairwise:
+      return "Pairwise";
+    case AlltoallvAlgo::kNonblocking:
+      return "Nonblocking";
+    case AlltoallvAlgo::kCount_:
+      break;
+  }
+  return "?";
+}
+
+// --- AlltoallDesc ------------------------------------------------------------
+
+void AlltoallDesc::validate(const rt::Comm& comm) const {
+  (void)comm;  // any block size is exchangeable on any communicator
+  if (algo && (*algo < Algo::kSystemMpi || *algo >= Algo::kCount_)) {
+    throw std::invalid_argument("AlltoallDesc: algorithm out of range");
+  }
+}
+
+std::string AlltoallDesc::key() const {
+  std::string k = "a2a:b=" + std::to_string(block);
+  if (algo) {
+    k += ",alg=" + std::to_string(static_cast<int>(*algo));
+  }
+  return k;
+}
+
+// --- AlltoallvDesc -----------------------------------------------------------
+
+std::size_t AlltoallvDesc::send_total() const {
+  std::size_t t = 0;
+  for (std::size_t c : send_counts) {
+    t += c;
+  }
+  return t;
+}
+
+std::size_t AlltoallvDesc::recv_total() const {
+  std::size_t t = 0;
+  for (std::size_t c : recv_counts) {
+    t += c;
+  }
+  return t;
+}
+
+void AlltoallvDesc::validate(const rt::Comm& comm) const {
+  const auto p = static_cast<std::size_t>(comm.size());
+  if (send_counts.size() != p || recv_counts.size() != p) {
+    throw std::invalid_argument(
+        "AlltoallvDesc: counts must have one entry per rank (got send " +
+        std::to_string(send_counts.size()) + ", recv " +
+        std::to_string(recv_counts.size()) + " for " + std::to_string(p) +
+        " ranks)");
+  }
+  if (algo && (*algo < AlltoallvAlgo::kPairwise ||
+               *algo >= AlltoallvAlgo::kCount_)) {
+    throw std::invalid_argument("AlltoallvDesc: algorithm out of range");
+  }
+}
+
+std::string AlltoallvDesc::key() const {
+  std::string k = "a2av:p=" + std::to_string(send_counts.size()) +
+                  ",st=" + std::to_string(send_total()) +
+                  ",rt=" + std::to_string(recv_total()) +
+                  ",h=" + std::to_string(fnv1a(send_counts)) + "." +
+                  std::to_string(fnv1a(recv_counts));
+  if (algo) {
+    k += ",alg=" + std::to_string(static_cast<int>(*algo));
+  }
+  return k;
+}
+
+// --- AllgatherDesc -----------------------------------------------------------
+
+void AllgatherDesc::validate(const rt::Comm& comm) const {
+  (void)comm;
+  if (algo &&
+      (*algo < AllgatherAlgo::kRing || *algo >= AllgatherAlgo::kCount_)) {
+    throw std::invalid_argument("AllgatherDesc: algorithm out of range");
+  }
+}
+
+std::string AllgatherDesc::key() const {
+  std::string k = "ag:b=" + std::to_string(block);
+  if (algo) {
+    k += ",alg=" + std::to_string(static_cast<int>(*algo));
+  }
+  return k;
+}
+
+// --- AllreduceDesc -----------------------------------------------------------
+
+void AllreduceDesc::validate(const rt::Comm& comm) const {
+  (void)comm;
+  if (combiner.fn == nullptr) {
+    throw std::invalid_argument("AllreduceDesc: combiner must be set");
+  }
+  if (combiner.elem_size == 0) {
+    throw std::invalid_argument("AllreduceDesc: element size must be >= 1");
+  }
+  if (algo && (*algo < AllreduceAlgo::kRecursiveDoubling ||
+               *algo >= AllreduceAlgo::kCount_)) {
+    throw std::invalid_argument("AllreduceDesc: algorithm out of range");
+  }
+}
+
+std::string AllreduceDesc::key() const {
+  // The combiner's function pointer distinguishes sum/max/min plans of the
+  // same shape; it is stable within a process, which is all the plan cache
+  // needs (tuning tables use only the op tag and payload size).
+  std::string k = "ar:n=" + std::to_string(count) +
+                  ",e=" + std::to_string(combiner.elem_size) + ",cb=" +
+                  std::to_string(reinterpret_cast<std::uintptr_t>(combiner.fn));
+  if (algo) {
+    k += ",alg=" + std::to_string(static_cast<int>(*algo));
+  }
+  return k;
+}
+
+// --- OpDesc ------------------------------------------------------------------
+
+std::string OpDesc::key() const {
+  return std::visit([](const auto& d) { return d.key(); }, v_);
+}
+
+void OpDesc::validate(const rt::Comm& comm) const {
+  std::visit([&comm](const auto& d) { d.validate(comm); }, v_);
+}
+
+}  // namespace mca2a::coll

@@ -68,7 +68,8 @@ bool needs_leader_comms(Algo a) {
 }
 
 rt::Task<void> alltoall_inner(Inner inner, rt::Comm& comm, rt::ConstView send,
-                              rt::MutView recv, std::size_t block) {
+                              rt::MutView recv, std::size_t block,
+                              rt::ScratchArena* scratch) {
   switch (inner) {
     case Inner::kPairwise:
       co_await alltoall_pairwise(comm, send, recv, block);
@@ -77,7 +78,7 @@ rt::Task<void> alltoall_inner(Inner inner, rt::Comm& comm, rt::ConstView send,
       co_await alltoall_nonblocking(comm, send, recv, block);
       co_return;
     case Inner::kBruck:
-      co_await alltoall_bruck(comm, send, recv, block);
+      co_await alltoall_bruck(comm, send, recv, block, scratch);
       co_return;
   }
   throw std::invalid_argument("alltoall_inner: unknown inner exchange");
@@ -113,7 +114,7 @@ rt::Task<void> run_alltoall(Algo algo, rt::Comm& world,
       co_await alltoall_nonblocking(world, send, recv, block);
       co_return;
     case Algo::kBruckDirect:
-      co_await alltoall_bruck(world, send, recv, block);
+      co_await alltoall_bruck(world, send, recv, block, opts.scratch);
       co_return;
     case Algo::kBatchedDirect:
       co_await alltoall_batched(world, send, recv, block, opts.batch_window);

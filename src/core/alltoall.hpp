@@ -74,12 +74,12 @@ struct Options {
   std::size_t system_small_threshold = 512;
   /// Optional per-rank phase timing sink.
   Trace* trace = nullptr;
-  /// Optional reusable scratch arena (runtime/scratch.hpp). When set, the
-  /// locality algorithms recycle their temporary buffers — including the
-  /// binomial gather/scatter staging — through it instead of allocating
-  /// fresh ones per call; persistent plans (plan/plan.hpp) use this so
-  /// repeated execute() calls allocate nothing after the first (exception:
-  /// Inner::kBruck, whose rotation buffers are per-call).
+  /// Optional reusable scratch arena (runtime/scratch.hpp). When set, every
+  /// algorithm recycles its temporary buffers — the locality algorithms'
+  /// staging (including the binomial gather/scatter trees) and the Bruck
+  /// rotation/pack buffers alike — through it instead of allocating fresh
+  /// ones per call; persistent plans (plan/plan.hpp) use this so repeated
+  /// execute() calls allocate nothing after the first.
   rt::ScratchArena* scratch = nullptr;
 };
 
@@ -91,16 +91,20 @@ rt::Task<void> alltoall_pairwise(rt::Comm& comm, rt::ConstView send,
 /// Algorithm 2: post every isend/irecv, then a single waitall.
 rt::Task<void> alltoall_nonblocking(rt::Comm& comm, rt::ConstView send,
                                     rt::MutView recv, std::size_t block);
-/// Bruck: ceil(log2 p) steps exchanging half the buffer each step.
+/// Bruck: ceil(log2 p) steps exchanging half the buffer each step. The
+/// rotation and pack/unpack buffers recycle through `scratch` when given.
 rt::Task<void> alltoall_bruck(rt::Comm& comm, rt::ConstView send,
-                              rt::MutView recv, std::size_t block);
+                              rt::MutView recv, std::size_t block,
+                              rt::ScratchArena* scratch = nullptr);
 /// Batched [16]: nonblocking with at most `window` outstanding pairs.
 rt::Task<void> alltoall_batched(rt::Comm& comm, rt::ConstView send,
                                 rt::MutView recv, std::size_t block,
                                 int window);
-/// Dispatch one of the three inner exchanges.
+/// Dispatch one of the three inner exchanges. `scratch` reaches the Bruck
+/// buffers (the other inner exchanges allocate nothing).
 rt::Task<void> alltoall_inner(Inner inner, rt::Comm& comm, rt::ConstView send,
-                              rt::MutView recv, std::size_t block);
+                              rt::MutView recv, std::size_t block,
+                              rt::ScratchArena* scratch = nullptr);
 
 // --- locality algorithms (paper Algorithms 3-5) -----------------------------
 

@@ -10,9 +10,8 @@
 ///            rank + pof2, receive from rank - pof2 into the same slots
 ///   phase 3: inverse rotation  recv[(rank - i) mod p] = tmp[i]
 
-#include <vector>
-
 #include "core/alltoall.hpp"
+#include "runtime/scratch.hpp"
 
 namespace mca2a::coll {
 
@@ -21,42 +20,46 @@ constexpr int kTag = rt::kInternalTagBase + 34;
 }
 
 rt::Task<void> alltoall_bruck(rt::Comm& comm, rt::ConstView send,
-                              rt::MutView recv, std::size_t block) {
+                              rt::MutView recv, std::size_t block,
+                              rt::ScratchArena* scratch) {
   const int p = comm.size();
   const int me = comm.rank();
 
-  rt::Buffer tmp = comm.alloc_buffer(static_cast<std::size_t>(p) * block);
+  rt::ScratchBuffer tmp =
+      rt::alloc_scratch(comm, scratch, static_cast<std::size_t>(p) * block);
   // Phase 1: rotate so block i holds data destined for rank (me + i) mod p.
   for (int i = 0; i < p; ++i) {
     comm.copy_and_charge(tmp.view(i * block, block),
                          send.sub(((me + i) % p) * block, block));
   }
 
-  // Phase 2: exchange the blocks whose index has the current bit set.
+  // Phase 2: exchange the blocks whose index has the current bit set. The
+  // selected indices are enumerated on the fly (i in [pof2, p) with the
+  // pof2 bit set) so a warm persistent plan performs no allocation at all.
   const std::size_t half = (static_cast<std::size_t>(p) / 2 + 1) * block;
-  rt::Buffer pack = comm.alloc_buffer(half);
-  rt::Buffer unpack = comm.alloc_buffer(half);
-  std::vector<int> indices;
-  indices.reserve(p / 2 + 1);
+  rt::ScratchBuffer pack = rt::alloc_scratch(comm, scratch, half);
+  rt::ScratchBuffer unpack = rt::alloc_scratch(comm, scratch, half);
   for (int pof2 = 1; pof2 < p; pof2 <<= 1) {
     const int dst = (me + pof2) % p;
     const int src = (me - pof2 + p) % p;
-    indices.clear();
+    std::size_t k = 0;
     for (int i = pof2; i < p; ++i) {
       if (i & pof2) {
-        indices.push_back(i);
+        comm.copy_and_charge(pack.view(k * block, block),
+                             rt::ConstView(tmp.view(i * block, block)));
+        ++k;
       }
     }
-    const std::size_t bytes = indices.size() * block;
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      comm.copy_and_charge(pack.view(k * block, block),
-                           rt::ConstView(tmp.view(indices[k] * block, block)));
-    }
+    const std::size_t bytes = k * block;
     co_await comm.sendrecv(pack.view(0, bytes), dst, kTag,
                            unpack.view(0, bytes), src, kTag);
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      comm.copy_and_charge(tmp.view(indices[k] * block, block),
-                           rt::ConstView(unpack.view(k * block, block)));
+    k = 0;
+    for (int i = pof2; i < p; ++i) {
+      if (i & pof2) {
+        comm.copy_and_charge(tmp.view(i * block, block),
+                             rt::ConstView(unpack.view(k * block, block)));
+        ++k;
+      }
     }
   }
 

@@ -83,7 +83,8 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(nreg) * gg);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.group_cross,
-                          rt::ConstView(lsend.view()), lrecv.view(), gg);
+                          rt::ConstView(lsend.view()), lrecv.view(), gg,
+                          opts.scratch);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack received region blocks into per-member scatter blocks ---------

@@ -96,7 +96,8 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(n) * node_blk);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.leader_cross,
-                          rt::ConstView(bsend.view()), crecv.view(), node_blk);
+                          rt::ConstView(bsend.view()), crecv.view(), node_blk,
+                          opts.scratch);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack: per-node-local-leader blocks ----------------------------------
@@ -134,8 +135,8 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(G) * intra_blk);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.leaders_node,
-                          rt::ConstView(dsend.view()), erecv.view(),
-                          intra_blk);
+                          rt::ConstView(dsend.view()), erecv.view(), intra_blk,
+                          opts.scratch);
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- repack into per-member, source-ordered scatter blocks ----------------

@@ -37,7 +37,7 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   rt::ScratchBuffer t1 = rt::alloc_scratch(world, opts.scratch, psz);
   double t0 = world.now();
   co_await alltoall_inner(opts.inner, cross, send, t1.view(),
-                          static_cast<std::size_t>(g) * s);
+                          static_cast<std::size_t>(g) * s, opts.scratch);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- pack per-local-peer blocks -------------------------------------------
@@ -64,7 +64,8 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   rt::ScratchBuffer t3 = rt::alloc_scratch(world, opts.scratch, psz);
   t0 = world.now();
   co_await alltoall_inner(opts.inner, local, rt::ConstView(t2.view()),
-                          t3.view(), static_cast<std::size_t>(nreg) * s);
+                          t3.view(), static_cast<std::size_t>(nreg) * s,
+                          opts.scratch);
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- unpack into source-rank order -----------------------------------------

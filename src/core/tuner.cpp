@@ -198,15 +198,14 @@ double predict_alltoall_seconds(Algo algo, const topo::Machine& machine,
   throw std::invalid_argument("predict: unknown algorithm");
 }
 
-Choice select_algorithm(const topo::Machine& machine,
-                        const model::NetParams& net, std::size_t block,
-                        std::vector<int> candidate_group_sizes) {
+std::vector<int> candidate_groups(const topo::Machine& machine,
+                                  std::vector<int> candidates) {
   const int ppn = machine.ppn();
-  if (candidate_group_sizes.empty()) {
-    candidate_group_sizes = {4, 8, 16, ppn};
+  if (candidates.empty()) {
+    candidates = {4, 8, 16, ppn};
   }
   std::vector<int> groups;
-  for (int g : candidate_group_sizes) {
+  for (int g : candidates) {
     if (g >= 1 && g <= ppn && ppn % g == 0) {
       groups.push_back(g);
     }
@@ -214,6 +213,15 @@ Choice select_algorithm(const topo::Machine& machine,
   if (groups.empty()) {
     groups.push_back(ppn);
   }
+  return groups;
+}
+
+Choice select_algorithm(const topo::Machine& machine,
+                        const model::NetParams& net, std::size_t block,
+                        std::vector<int> candidate_group_sizes) {
+  const int ppn = machine.ppn();
+  const std::vector<int> groups =
+      candidate_groups(machine, std::move(candidate_group_sizes));
 
   Choice best;
   best.predicted_seconds = std::numeric_limits<double>::infinity();

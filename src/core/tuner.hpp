@@ -32,6 +32,14 @@ struct Choice {
   double predicted_seconds = 0.0;
 };
 
+/// Candidate leader/group widths for the locality algorithms of any
+/// collective: `candidates` (default {4, 8, 16, ppn}) filtered to divisors
+/// of ppn, falling back to {ppn} when nothing survives. Shared by
+/// select_algorithm and the extension tuners (coll_ext/ext_tuner) so the
+/// candidate policy cannot drift between collectives.
+std::vector<int> candidate_groups(const topo::Machine& machine,
+                                  std::vector<int> candidates = {});
+
 /// Pick the fastest (algorithm, group size) combination for `block` bytes
 /// per pair. Candidate group sizes default to {4, 8, 16, ppn} filtered to
 /// divisors of ppn.

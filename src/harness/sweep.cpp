@@ -61,16 +61,18 @@ RunResult run_sim(const RunSpec& spec) {
     // Setup happens here, outside the timed repetitions, either way: the
     // plan path packages selection, communicator construction and scratch
     // reuse behind execute(); the legacy path builds the bundle itself.
-    std::optional<plan::AlltoallPlan> pl;
+    std::optional<plan::CollectivePlan> pl;
     std::optional<rt::LocalityComms> lc;
     coll::Options opts;
     opts.inner = spec.inner;
     if (spec.use_plan) {
+      coll::AlltoallDesc desc;
+      desc.block = spec.block;
+      desc.algo = spec.algo;
       plan::PlanOptions popts;
-      popts.algo = spec.algo;
       popts.group_size = g;
       popts.inner = spec.inner;
-      pl.emplace(plan::make_plan(world, machine, spec.net, spec.block, popts));
+      pl.emplace(plan::make_plan(world, machine, spec.net, desc, popts));
     } else if (coll::needs_locality(spec.algo)) {
       lc.emplace(rt::build_locality_comms(
           world, machine, g, coll::needs_leader_comms(spec.algo)));

@@ -7,34 +7,87 @@ namespace mca2a::plan {
 PlanCache::PlanCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
-PlanKey PlanCache::key_of(const rt::Comm& world, std::size_t block,
+PlanKey PlanCache::key_of(const rt::Comm& world, const coll::OpDesc& desc,
                           const PlanOptions& opts) {
   PlanKey key;
-  key.algo = opts.algo ? static_cast<int>(*opts.algo) : -1;
-  key.inner = static_cast<int>(opts.inner);
-  key.block = block;
-  key.group_size = opts.group_size;
-  key.batch_window = opts.batch_window;
-  key.system_small_threshold = opts.system_small_threshold;
+  // The alltoall algorithm can arrive via the descriptor or via the legacy
+  // PlanOptions knob; make_plan resolves descriptor-first, so fold the knob
+  // into the descriptor key the same way — otherwise the same logical plan
+  // would occupy two cache slots depending on the caller's route.
+  if (desc.kind() == coll::OpKind::kAlltoall &&
+      !desc.alltoall().algo.has_value() && opts.algo.has_value()) {
+    coll::AlltoallDesc d = desc.alltoall();
+    d.algo = *opts.algo;
+    key.desc = coll::OpDesc(std::move(d)).key();
+  } else {
+    key.desc = desc.key();
+  }
+  // Options that cannot affect the plan are neutralized in the key, so
+  // irrelevant values cannot split (or evict) otherwise-identical entries:
+  // inner/batch_window/system_small_threshold only reach alltoall plans,
+  // and group_size only matters when an algorithm is named explicitly (the
+  // tuner picks its own group size and ignores the option).
+  if (desc.kind() == coll::OpKind::kAlltoall) {
+    key.inner = static_cast<int>(opts.inner);
+    key.batch_window = opts.batch_window;
+    key.system_small_threshold = opts.system_small_threshold;
+  }
+  const bool explicit_algo = [&] {
+    switch (desc.kind()) {
+      case coll::OpKind::kAlltoall:
+        return desc.alltoall().algo.has_value() || opts.algo.has_value();
+      case coll::OpKind::kAllgather:
+        return desc.allgather().algo.has_value();
+      case coll::OpKind::kAllreduce:
+        return desc.allreduce().algo.has_value();
+      default:
+        return false;  // alltoallv never builds locality comms
+    }
+  }();
+  if (explicit_algo) {
+    // Kept raw: make_plan reads 0 as "one group per node", but folding that
+    // here would need the machine, which contains() deliberately does not
+    // take. Callers mixing the 0 and literal-ppn spellings get two entries
+    // for one plan — harmless beyond the duplicate slot; pick one spelling.
+    key.group_size = opts.group_size;
+  }
   key.comm = reinterpret_cast<std::uintptr_t>(&world);
   return key;
 }
 
-std::shared_ptr<AlltoallPlan> PlanCache::get_or_create(
-    rt::Comm& world, const topo::Machine& machine,
-    const model::NetParams& net, std::size_t block, const PlanOptions& opts) {
-  const PlanKey key = key_of(world, block, opts);
+std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
+    rt::Comm& world, const topo::Machine& machine, const model::NetParams& net,
+    const coll::OpDesc& desc, const PlanOptions& opts) {
+  const PlanKey key = key_of(world, desc, opts);
+  OpStats& op_stats = stats_.per_op[static_cast<int>(desc.kind())];
   const auto it = map_.find(key);
   if (it != map_.end()) {
+    // Alltoallv keys embed only a hash of the count vectors; guard the
+    // astronomically-unlikely collision, where returning the resident plan
+    // would silently exchange with the other shape's displacements.
+    if (desc.kind() == coll::OpKind::kAlltoallv) {
+      const auto& want = desc.alltoallv();
+      const auto& have = it->second->second->desc().alltoallv();
+      if (want.send_counts != have.send_counts ||
+          want.recv_counts != have.recv_counts) {
+        ++stats_.misses;
+        ++op_stats.misses;
+        ++stats_.constructions;
+        return std::make_shared<CollectivePlan>(
+            make_plan(world, machine, net, desc, opts));
+      }
+    }
     ++stats_.hits;
+    ++op_stats.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
     return it->second->second;
   }
 
   ++stats_.misses;
+  ++op_stats.misses;
   ++stats_.constructions;
-  auto plan = std::make_shared<AlltoallPlan>(
-      make_plan(world, machine, net, block, opts));
+  auto plan = std::make_shared<CollectivePlan>(
+      make_plan(world, machine, net, desc, opts));
   lru_.emplace_front(key, plan);
   map_[key] = lru_.begin();
 
@@ -46,9 +99,24 @@ std::shared_ptr<AlltoallPlan> PlanCache::get_or_create(
   return plan;
 }
 
+std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
+    rt::Comm& world, const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, const PlanOptions& opts) {
+  coll::AlltoallDesc d;
+  d.block = block;
+  return get_or_create(world, machine, net, coll::OpDesc(std::move(d)), opts);
+}
+
+bool PlanCache::contains(const rt::Comm& world, const coll::OpDesc& desc,
+                         const PlanOptions& opts) const {
+  return map_.contains(key_of(world, desc, opts));
+}
+
 bool PlanCache::contains(const rt::Comm& world, std::size_t block,
                          const PlanOptions& opts) const {
-  return map_.contains(key_of(world, block, opts));
+  coll::AlltoallDesc d;
+  d.block = block;
+  return contains(world, coll::OpDesc(std::move(d)), opts);
 }
 
 std::size_t PlanCache::erase_comm(const rt::Comm& world) {

@@ -1,18 +1,20 @@
 #pragma once
 /// \file cache.hpp
-/// LRU cache of persistent all-to-all plans.
+/// LRU cache of persistent collective plans — one cache for the whole
+/// family (alltoall, alltoallv, allgather, allreduce).
 ///
-/// A PlanCache maps (algorithm, inner exchange, block size, group size,
-/// communicator identity) to a shared AlltoallPlan, constructing on first
-/// request and recycling afterwards. The machine and network parameters are
-/// deliberately not part of the key: a communicator lives on one machine,
-/// and tuner-picked entries are only meaningful for the NetParams they were
-/// selected with — callers switching network models mid-run must use
-/// separate caches (one per NetParams), the same ownership rule as
-/// TuningTable. The counters make reuse observable: a workload
-/// that executes the same exchange N times must show exactly one
-/// construction and N-1 hits, which is what moves communicator construction
-/// and tuner selection out of every timed region.
+/// A PlanCache maps (descriptor key, plan options, communicator identity)
+/// to a shared CollectivePlan, constructing on first request and recycling
+/// afterwards. The descriptor key is coll::OpDesc::key(), so plans of
+/// different op kinds coexist without aliasing. The machine and network
+/// parameters are deliberately not part of the key: a communicator lives on
+/// one machine, and tuner-picked entries are only meaningful for the
+/// NetParams they were selected with — callers switching network models
+/// mid-run must use separate caches (one per NetParams), the same ownership
+/// rule as TuningTable. The counters make reuse observable — globally and
+/// per op kind: a workload that executes the same exchange N times must
+/// show exactly one construction and N-1 hits, which is what moves
+/// communicator construction and tuner selection out of every timed region.
 ///
 /// Communicator identity is the address of the rt::Comm endpoint object: a
 /// Comm belongs to one rank and one communicator, and cached plans keep
@@ -23,10 +25,12 @@
 ///
 /// Like a Comm, a cache belongs to one rank; it is not thread-safe.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -35,9 +39,11 @@
 namespace mca2a::plan {
 
 struct PlanKey {
-  int algo = -1;  ///< static_cast<int>(coll::Algo), or -1 for tuner-picked
+  /// coll::OpDesc::key() — op tag + descriptor fields, with the legacy
+  /// PlanOptions::algo knob folded in (see PlanCache::key_of), so a plan
+  /// requested through either route is one cache entry.
+  std::string desc;
   int inner = 0;  ///< static_cast<int>(coll::Inner)
-  std::size_t block = 0;
   int group_size = 0;
   int batch_window = 0;
   std::size_t system_small_threshold = 0;
@@ -52,9 +58,8 @@ struct PlanKeyHash {
     const auto mix = [&h](std::size_t v) {
       h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     };
-    mix(static_cast<std::size_t>(k.algo) + 1);
+    mix(std::hash<std::string>{}(k.desc));
     mix(static_cast<std::size_t>(k.inner) + 1);
-    mix(k.block);
     mix(static_cast<std::size_t>(k.group_size));
     mix(static_cast<std::size_t>(k.batch_window) + 1);
     mix(k.system_small_threshold + 1);
@@ -64,29 +69,48 @@ struct PlanKeyHash {
 
 class PlanCache {
  public:
+  /// Per-op-kind slice of the counters (indexed by coll::OpKind).
+  struct OpStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t constructions = 0;  ///< plans built (== misses today)
     std::uint64_t evictions = 0;      ///< plans dropped by the LRU policy
+    std::array<OpStats, coll::kNumOpKinds> per_op{};
   };
 
-  /// `capacity` bounds the number of live plans (>= 1).
+  /// `capacity` bounds the number of live plans (>= 1), across all op kinds.
   explicit PlanCache(std::size_t capacity = 16);
 
-  /// Fetch the plan for (opts, block, world identity), constructing it via
+  /// Fetch the plan for (desc, opts, world identity), constructing it via
   /// make_plan on a miss and evicting the least-recently-used entry when
   /// over capacity. The returned shared_ptr stays valid across evictions.
-  std::shared_ptr<AlltoallPlan> get_or_create(rt::Comm& world,
-                                              const topo::Machine& machine,
-                                              const model::NetParams& net,
-                                              std::size_t block,
-                                              const PlanOptions& opts = {});
+  std::shared_ptr<CollectivePlan> get_or_create(
+      rt::Comm& world, const topo::Machine& machine,
+      const model::NetParams& net, const coll::OpDesc& desc,
+      const PlanOptions& opts = {});
+
+  /// Alltoall shorthand (the PR-1 signature): `block` bytes per rank pair.
+  std::shared_ptr<CollectivePlan> get_or_create(rt::Comm& world,
+                                                const topo::Machine& machine,
+                                                const model::NetParams& net,
+                                                std::size_t block,
+                                                const PlanOptions& opts = {});
 
   const Stats& stats() const noexcept { return stats_; }
+  /// Counters for one op kind.
+  const OpStats& stats(coll::OpKind op) const noexcept {
+    return stats_.per_op[static_cast<int>(op)];
+  }
   std::size_t size() const noexcept { return map_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   /// True if the keyed plan is resident (no LRU touch, no construction).
+  bool contains(const rt::Comm& world, const coll::OpDesc& desc,
+                const PlanOptions& opts = {}) const;
   bool contains(const rt::Comm& world, std::size_t block,
                 const PlanOptions& opts = {}) const;
 
@@ -99,9 +123,9 @@ class PlanCache {
   void clear();
 
  private:
-  using Entry = std::pair<PlanKey, std::shared_ptr<AlltoallPlan>>;
+  using Entry = std::pair<PlanKey, std::shared_ptr<CollectivePlan>>;
 
-  static PlanKey key_of(const rt::Comm& world, std::size_t block,
+  static PlanKey key_of(const rt::Comm& world, const coll::OpDesc& desc,
                         const PlanOptions& opts);
 
   std::size_t capacity_;

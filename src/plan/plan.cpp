@@ -3,63 +3,290 @@
 #include <stdexcept>
 #include <string>
 
+#include "coll_ext/allgather.hpp"
+#include "coll_ext/allreduce.hpp"
+#include "coll_ext/alltoallv.hpp"
+
 namespace mca2a::plan {
 
-rt::Task<void> AlltoallPlan::execute(rt::ConstView send, rt::MutView recv,
-                                     coll::Trace* trace) {
-  const std::size_t total =
-      static_cast<std::size_t>(world_->size()) * block_;
-  if (send.len != total || recv.len != total) {
-    throw std::invalid_argument(
-        "AlltoallPlan::execute: buffers must be size() * block() = " +
-        std::to_string(total) + " bytes (got send " +
-        std::to_string(send.len) + ", recv " + std::to_string(recv.len) +
-        ")");
+namespace {
+
+[[noreturn]] void throw_extent(const char* op, const char* buf,
+                               std::size_t want, std::size_t got) {
+  throw std::invalid_argument(std::string("CollectivePlan::execute(") + op +
+                              "): " + buf + " buffer must be " +
+                              std::to_string(want) + " bytes (got " +
+                              std::to_string(got) + ")");
+}
+
+}  // namespace
+
+std::size_t CollectivePlan::block() const noexcept {
+  switch (kind()) {
+    case coll::OpKind::kAlltoall:
+      return desc_.alltoall().block;
+    case coll::OpKind::kAllgather:
+      return desc_.allgather().block;
+    default:
+      return 0;
   }
+}
+
+rt::Task<void> CollectivePlan::execute(rt::ConstView send, rt::MutView recv,
+                                       coll::Trace* trace) {
+  const int p = world_->size();
+  switch (kind()) {
+    case coll::OpKind::kAlltoall: {
+      const std::size_t total =
+          static_cast<std::size_t>(p) * desc_.alltoall().block;
+      if (send.len != total) throw_extent("alltoall", "send", total, send.len);
+      if (recv.len != total) throw_extent("alltoall", "recv", total, recv.len);
+      break;
+    }
+    case coll::OpKind::kAlltoallv:
+      if (send.len != send_total_) {
+        throw_extent("alltoallv", "send", send_total_, send.len);
+      }
+      if (recv.len != recv_total_) {
+        throw_extent("alltoallv", "recv", recv_total_, recv.len);
+      }
+      break;
+    case coll::OpKind::kAllgather: {
+      const auto& d = desc_.allgather();
+      const std::size_t total = static_cast<std::size_t>(p) * d.block;
+      if (send.len != d.block) {
+        throw_extent("allgather", "send", d.block, send.len);
+      }
+      if (recv.len != total) throw_extent("allgather", "recv", total, recv.len);
+      break;
+    }
+    case coll::OpKind::kAllreduce: {
+      const std::size_t bytes = desc_.allreduce().bytes();
+      if (send.len != bytes) throw_extent("allreduce", "send", bytes, send.len);
+      if (recv.len != bytes) throw_extent("allreduce", "recv", bytes, recv.len);
+      break;
+    }
+    case coll::OpKind::kCount_:
+      break;
+  }
+  co_await run_op(send, recv, trace);
+  ++executions_;
+}
+
+rt::Task<void> CollectivePlan::execute_inplace(rt::MutView data,
+                                               coll::Trace* trace) {
+  if (kind() != coll::OpKind::kAllreduce) {
+    throw std::invalid_argument(
+        "CollectivePlan::execute_inplace: only allreduce plans reduce in "
+        "place (this plan is " +
+        std::string(coll::op_kind_name(kind())) + ")");
+  }
+  const std::size_t bytes = desc_.allreduce().bytes();
+  if (data.len != bytes) throw_extent("allreduce", "data", bytes, data.len);
+  co_await run_op(rt::ConstView{}, data, trace);
+  ++executions_;
+}
+
+rt::Task<void> CollectivePlan::run_op(rt::ConstView send, rt::MutView recv,
+                                      coll::Trace* trace) {
   // Per-call copy so traces don't leak between calls; the scratch pointer
   // is bound here rather than at plan time so it stays valid across moves.
   coll::Options opts = opts_;
   opts.trace = trace;
   opts.scratch = &arena_;
-  co_await coll::run_alltoall(choice_.algo, *world_, bundle(), send, recv,
-                              block_, opts);
-  ++executions_;
+
+  switch (kind()) {
+    case coll::OpKind::kAlltoall:
+      co_await coll::run_alltoall(static_cast<coll::Algo>(algo_), *world_,
+                                  bundle(), send, recv,
+                                  desc_.alltoall().block, opts);
+      co_return;
+    case coll::OpKind::kAlltoallv: {
+      const auto& d = desc_.alltoallv();
+      switch (static_cast<coll::AlltoallvAlgo>(algo_)) {
+        case coll::AlltoallvAlgo::kPairwise:
+          co_await coll::alltoallv_pairwise(*world_, send, d.send_counts,
+                                            send_displs_, recv, d.recv_counts,
+                                            recv_displs_);
+          co_return;
+        case coll::AlltoallvAlgo::kNonblocking:
+          co_await coll::alltoallv_nonblocking(*world_, send, d.send_counts,
+                                               send_displs_, recv,
+                                               d.recv_counts, recv_displs_);
+          co_return;
+        case coll::AlltoallvAlgo::kCount_:
+          break;
+      }
+      throw std::logic_error("CollectivePlan: bad alltoallv algorithm");
+    }
+    case coll::OpKind::kAllgather:
+      switch (static_cast<coll::AllgatherAlgo>(algo_)) {
+        case coll::AllgatherAlgo::kRing:
+          co_await coll::allgather_ring(*world_, send, recv);
+          co_return;
+        case coll::AllgatherAlgo::kBruck:
+          co_await coll::allgather_bruck(*world_, send, recv, &arena_);
+          co_return;
+        case coll::AllgatherAlgo::kHierarchical:
+          co_await coll::allgather_hierarchical(*lc_, send, recv, &arena_);
+          co_return;
+        case coll::AllgatherAlgo::kLocalityAware:
+          co_await coll::allgather_locality_aware(*lc_, send, recv, &arena_);
+          co_return;
+        case coll::AllgatherAlgo::kCount_:
+          break;
+      }
+      throw std::logic_error("CollectivePlan: bad allgather algorithm");
+    case coll::OpKind::kAllreduce: {
+      const auto& d = desc_.allreduce();
+      // The (send, recv) form stages through recv; execute_inplace passes an
+      // empty send and reduces recv directly.
+      if (send.ptr != nullptr || send.len != 0) {
+        world_->copy_and_charge(recv, send);
+      }
+      switch (static_cast<coll::AllreduceAlgo>(algo_)) {
+        case coll::AllreduceAlgo::kRecursiveDoubling:
+          co_await coll::allreduce_recursive_doubling(*world_, recv,
+                                                      d.combiner, &arena_);
+          co_return;
+        case coll::AllreduceAlgo::kRabenseifner:
+          co_await coll::allreduce_rabenseifner(*world_, recv, d.combiner,
+                                                &arena_);
+          co_return;
+        case coll::AllreduceAlgo::kNodeAware:
+          co_await coll::allreduce_node_aware(*lc_, recv, d.combiner, &arena_);
+          co_return;
+        case coll::AllreduceAlgo::kCount_:
+          break;
+      }
+      throw std::logic_error("CollectivePlan: bad allreduce algorithm");
+    }
+    case coll::OpKind::kCount_:
+      break;
+  }
+  throw std::logic_error("CollectivePlan: bad op kind");
 }
 
-AlltoallPlan make_plan(rt::Comm& world, const topo::Machine& machine,
-                       const model::NetParams& net, std::size_t block,
-                       const PlanOptions& opts) {
+CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
+                         const model::NetParams& net, coll::OpDesc desc,
+                         const PlanOptions& opts) {
   if (world.size() != machine.total_ranks()) {
     throw std::invalid_argument(
         "make_plan: world size does not match the machine");
   }
+  desc.validate(world);
 
-  AlltoallPlan p;
+  CollectivePlan p;
   p.world_ = &world;
   p.machine_ = std::make_shared<const topo::Machine>(machine);
-  p.block_ = block;
-
-  if (opts.algo.has_value()) {
-    p.choice_.algo = *opts.algo;
-    p.choice_.group_size =
-        opts.group_size == 0 ? machine.ppn() : opts.group_size;
-    p.choice_.predicted_seconds = 0.0;
-  } else if (opts.table != nullptr) {
-    p.choice_ = opts.table->choose(machine, net, block);
-  } else {
-    p.choice_ = coll::select_algorithm(machine, net, block);
-  }
-
+  p.desc_ = std::move(desc);
   p.opts_.inner = opts.inner;
   p.opts_.batch_window = opts.batch_window;
   p.opts_.system_small_threshold = opts.system_small_threshold;
 
-  if (coll::needs_locality(p.choice_.algo)) {
-    p.lc_.emplace(rt::build_locality_comms(
-        world, *p.machine_, p.choice_.group_size,
-        coll::needs_leader_comms(p.choice_.algo)));
+  const int explicit_group =
+      opts.group_size == 0 ? machine.ppn() : opts.group_size;
+  bool need_lc = false;
+  bool need_leaders = false;
+
+  switch (p.desc_.kind()) {
+    case coll::OpKind::kAlltoall: {
+      const auto& d = p.desc_.alltoall();
+      // Resolution order: descriptor algo, then the legacy PlanOptions
+      // knob, then a memoizing table, then the closed-form tuner.
+      if (d.algo || opts.algo) {
+        p.algo_ = static_cast<int>(d.algo ? *d.algo : *opts.algo);
+        p.group_size_ = explicit_group;
+      } else {
+        const coll::Choice c = opts.table
+                                   ? opts.table->choose(machine, net, d.block)
+                                   : coll::select_algorithm(machine, net,
+                                                            d.block);
+        p.algo_ = static_cast<int>(c.algo);
+        p.group_size_ = c.group_size;
+        p.predicted_seconds_ = c.predicted_seconds;
+      }
+      const auto a = static_cast<coll::Algo>(p.algo_);
+      need_lc = coll::needs_locality(a);
+      need_leaders = coll::needs_leader_comms(a);
+      break;
+    }
+    case coll::OpKind::kAlltoallv: {
+      const auto& d = p.desc_.alltoallv();
+      p.algo_ = static_cast<int>(
+          d.algo.value_or(coll::AlltoallvAlgo::kPairwise));
+      p.group_size_ = explicit_group;
+      p.send_displs_ = coll::displs_from_counts(d.send_counts);
+      p.recv_displs_ = coll::displs_from_counts(d.recv_counts);
+      p.send_total_ = d.send_total();
+      p.recv_total_ = d.recv_total();
+      break;
+    }
+    case coll::OpKind::kAllgather: {
+      const auto& d = p.desc_.allgather();
+      if (d.algo) {
+        p.algo_ = static_cast<int>(*d.algo);
+        p.group_size_ = explicit_group;
+      } else {
+        const coll::AllgatherChoice c =
+            opts.table ? opts.table->choose_allgather(machine, net, d.block)
+                       : coll::select_allgather_algorithm(machine, net,
+                                                          d.block);
+        p.algo_ = static_cast<int>(c.algo);
+        p.group_size_ = c.group_size;
+        p.predicted_seconds_ = c.predicted_seconds;
+      }
+      need_lc =
+          coll::needs_locality(static_cast<coll::AllgatherAlgo>(p.algo_));
+      break;
+    }
+    case coll::OpKind::kAllreduce: {
+      const auto& d = p.desc_.allreduce();
+      if (d.algo) {
+        p.algo_ = static_cast<int>(*d.algo);
+        p.group_size_ = explicit_group;
+      } else {
+        const coll::AllreduceChoice c =
+            opts.table ? opts.table->choose_allreduce(machine, net, d.count,
+                                                      d.combiner.elem_size)
+                       : coll::select_allreduce_algorithm(
+                             machine, net, d.count, d.combiner.elem_size);
+        p.algo_ = static_cast<int>(c.algo);
+        p.group_size_ = c.group_size;
+        p.predicted_seconds_ = c.predicted_seconds;
+      }
+      if (static_cast<coll::AllreduceAlgo>(p.algo_) ==
+              coll::AllreduceAlgo::kRabenseifner &&
+          d.count < static_cast<std::size_t>(world.size()) &&
+          world.size() > 1) {
+        // Fail at plan time, not execute time: the algorithm needs at least
+        // one element per rank to reduce-scatter.
+        throw std::invalid_argument(
+            "make_plan: Rabenseifner allreduce needs count >= ranks (" +
+            std::to_string(d.count) + " < " + std::to_string(world.size()) +
+            ")");
+      }
+      need_lc =
+          coll::needs_locality(static_cast<coll::AllreduceAlgo>(p.algo_));
+      break;
+    }
+    case coll::OpKind::kCount_:
+      throw std::logic_error("make_plan: bad op kind");
+  }
+
+  if (need_lc) {
+    p.lc_.emplace(rt::build_locality_comms(world, *p.machine_, p.group_size_,
+                                           need_leaders));
   }
   return p;
+}
+
+CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
+                         const model::NetParams& net, std::size_t block,
+                         const PlanOptions& opts) {
+  coll::AlltoallDesc d;
+  d.block = block;
+  return make_plan(world, machine, net, coll::OpDesc(std::move(d)), opts);
 }
 
 }  // namespace mca2a::plan

@@ -1,34 +1,45 @@
 #pragma once
 /// \file plan.hpp
-/// Persistent all-to-all collectives in the style of MPI-4's
-/// MPI_Alltoall_init: split the collective into a *plan time* — algorithm
-/// selection, locality-communicator construction, scratch preallocation —
-/// and an *execute time* that does nothing but run the exchange.
+/// Persistent plan/execute collectives for the whole family, in the style
+/// of MPI-4's MPI_*_init: split a collective into a *plan time* — argument
+/// validation, algorithm selection, locality-communicator construction,
+/// scratch preallocation — and an *execute time* that does nothing but run
+/// the exchange.
 ///
-/// Production MPI implementations amortize setup across thousands of calls;
-/// the benchmark harness and any long-lived workload (FFT transposes, ML
-/// shuffles) issue the same (communicator, block size) exchange over and
-/// over. make_plan pays the setup once:
+/// Every collective in the codebase is described by a typed descriptor
+/// (coll_ext/op_desc.hpp) and planned through one entry point:
 ///
-///   plan::AlltoallPlan p = plan::make_plan(world, machine, net, block);
+///   auto p = plan::make_plan(world, machine, net, coll::AlltoallDesc{64});
 ///   for (;;) co_await p.execute(send, recv);
 ///
+///   auto ag = plan::make_plan(world, machine, net, coll::AllgatherDesc{8});
+///   auto ar = plan::make_plan(world, machine, net,
+///                             coll::AllreduceDesc{n, coll::sum_combiner<double>()});
+///   co_await ar.execute_inplace(data);
+///
+/// Leaving the descriptor's algorithm empty consults the tuner (alltoall:
+/// coll::select_algorithm; allgather/allreduce: coll_ext/ext_tuner), or a
+/// PlanOptions::table memoizing those decisions across plans.
+///
 /// A plan belongs to one rank (like the rt::Comm it wraps). Every rank of
-/// the communicator must create a matching plan (same machine, block and
-/// options — mirroring the collective contract of build_locality_comms) and
-/// execute them collectively. The plan's bundle() is borrowable by other
-/// locality collectives (coll_ext allgather/allreduce/alltoallv) so they
-/// need not rebuild communicators either.
+/// the communicator must create a matching plan (same machine, descriptor
+/// and options — mirroring the collective contract of build_locality_comms)
+/// and execute them collectively. The plan's bundle() is borrowable by
+/// other locality collectives on this rank.
 ///
 /// Plans are movable but must not be moved while an execute() task is in
 /// flight (the coroutine captures `this`). PlanCache (plan/cache.hpp) hands
-/// out shared_ptr-managed plans, which never move.
+/// out shared_ptr-managed plans, which never move, and one cache serves all
+/// four collectives (keys come from OpDesc::key()).
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "coll_ext/ext_tuner.hpp"
+#include "coll_ext/op_desc.hpp"
 #include "core/alltoall.hpp"
 #include "core/tuner.hpp"
 #include "model/params.hpp"
@@ -42,54 +53,89 @@
 namespace mca2a::plan {
 
 struct PlanOptions {
-  /// Algorithm to plan for; nullopt lets the tuner pick (algorithm *and*
-  /// group size) from the closed-form cost model.
+  /// Alltoall algorithm to plan for when the descriptor leaves its own
+  /// `algo` empty (legacy knob; ignored by the other op kinds). nullopt
+  /// lets the tuner pick (algorithm *and* group size) from the closed-form
+  /// cost model — for every op kind.
   std::optional<coll::Algo> algo;
   /// Leader/group width for the locality algorithms; 0 means one group or
   /// leader per node (ppn). Ignored when the tuner picks.
   int group_size = 0;
-  /// Inner exchange used by the locality algorithms.
+  /// Inner exchange used by the locality all-to-all algorithms.
   coll::Inner inner = coll::Inner::kPairwise;
   /// Window for the batched algorithm.
   int batch_window = 32;
   /// Bruck-to-pairwise threshold of the System MPI surrogate.
   std::size_t system_small_threshold = 512;
   /// Optional memoization table consulted (and filled) when the tuner
-  /// picks; must outlive the plan creation call.
+  /// picks; must outlive the plan creation call. Serves every op kind.
   TuningTable* table = nullptr;
 };
 
-class AlltoallPlan {
+/// A planned collective of any kind: the descriptor, the resolved
+/// algorithm, the locality communicators it needs, and a reusable scratch
+/// arena. Created by make_plan; executed as many times as you like with
+/// zero construction (and, warm, zero allocation) per call.
+class CollectivePlan {
  public:
-  AlltoallPlan(AlltoallPlan&&) = default;
-  AlltoallPlan& operator=(AlltoallPlan&&) = default;
-  AlltoallPlan(const AlltoallPlan&) = delete;
-  AlltoallPlan& operator=(const AlltoallPlan&) = delete;
+  CollectivePlan(CollectivePlan&&) = default;
+  CollectivePlan& operator=(CollectivePlan&&) = default;
+  CollectivePlan(const CollectivePlan&) = delete;
+  CollectivePlan& operator=(const CollectivePlan&) = delete;
 
-  /// Run the planned exchange. `send` holds size() blocks ordered by
-  /// destination, `recv` receives size() blocks ordered by source; both
-  /// must be exactly size() * block() bytes. `trace` optionally collects
-  /// per-phase timings for this call. Reusable: call as many times as you
-  /// like; no communicators are ever rebuilt, and with the default inner
-  /// exchanges no scratch is allocated after the first call either (the
-  /// Bruck algorithms allocate rotation buffers per call).
+  /// Run the planned exchange. Buffer extents are validated against the
+  /// descriptor (std::invalid_argument on mismatch — the misuse that would
+  /// otherwise corrupt data or deadlock):
+  ///  * alltoall:  send and recv exactly size() * block() bytes.
+  ///  * alltoallv: send exactly sum(send_counts), recv sum(recv_counts);
+  ///               blocks packed contiguously in peer order.
+  ///  * allgather: send exactly block(), recv size() * block().
+  ///  * allreduce: send and recv exactly count * elem_size; recv gets the
+  ///               reduction (send is copied in first; see execute_inplace).
+  /// `trace` optionally collects per-phase timings (alltoall only).
   rt::Task<void> execute(rt::ConstView send, rt::MutView recv,
                          coll::Trace* trace = nullptr);
 
-  /// The planned algorithm (the tuner's pick when PlanOptions.algo was
-  /// empty).
-  coll::Algo algo() const noexcept { return choice_.algo; }
+  /// Allreduce only: reduce `data` in place (the MPI_IN_PLACE form, no
+  /// staging copy). Throws std::invalid_argument for other op kinds or on
+  /// a bad extent.
+  rt::Task<void> execute_inplace(rt::MutView data, coll::Trace* trace = nullptr);
+
+  /// Which collective this plan runs.
+  coll::OpKind kind() const noexcept { return desc_.kind(); }
+  /// The full descriptor the plan was created from.
+  const coll::OpDesc& desc() const noexcept { return desc_; }
+
+  /// The resolved algorithm as its op-specific enum value (the tuner's pick
+  /// when the descriptor left it empty).
+  int algo_id() const noexcept { return algo_; }
+  /// Typed algorithm accessors; meaningful only for the matching kind().
+  coll::Algo algo() const noexcept { return static_cast<coll::Algo>(algo_); }
+  coll::AllgatherAlgo allgather_algo() const noexcept {
+    return static_cast<coll::AllgatherAlgo>(algo_);
+  }
+  coll::AllreduceAlgo allreduce_algo() const noexcept {
+    return static_cast<coll::AllreduceAlgo>(algo_);
+  }
+  coll::AlltoallvAlgo alltoallv_algo() const noexcept {
+    return static_cast<coll::AlltoallvAlgo>(algo_);
+  }
   /// Resolved leader/group width (meaningful for locality algorithms).
-  int group_size() const noexcept { return choice_.group_size; }
-  /// The full tuner decision; predicted_seconds is 0 when the algorithm
-  /// was given explicitly.
-  const coll::Choice& choice() const noexcept { return choice_; }
-  /// Bytes exchanged per rank pair.
-  std::size_t block() const noexcept { return block_; }
+  int group_size() const noexcept { return group_size_; }
+  /// The tuner's predicted time; 0 when the algorithm was given explicitly.
+  double predicted_seconds() const noexcept { return predicted_seconds_; }
+  /// Alltoall view of the decision (compatibility with core/tuner).
+  coll::Choice choice() const noexcept {
+    return coll::Choice{static_cast<coll::Algo>(algo_), group_size_,
+                        predicted_seconds_};
+  }
+  /// Bytes per block: per rank pair (alltoall) or per rank (allgather);
+  /// 0 for the other kinds.
+  std::size_t block() const noexcept;
   /// The communicator the plan executes on.
   rt::Comm& comm() const noexcept { return *world_; }
   /// The locality-communicator bundle, or nullptr for direct algorithms.
-  /// Borrowable by other locality collectives (coll_ext) on this rank.
+  /// Borrowable by other locality collectives on this rank.
   const rt::LocalityComms* bundle() const noexcept {
     return lc_ ? &*lc_ : nullptr;
   }
@@ -99,30 +145,49 @@ class AlltoallPlan {
   std::uint64_t executions() const noexcept { return executions_; }
 
  private:
-  friend AlltoallPlan make_plan(rt::Comm&, const topo::Machine&,
-                                const model::NetParams&, std::size_t,
-                                const PlanOptions&);
-  AlltoallPlan() = default;
+  friend CollectivePlan make_plan(rt::Comm&, const topo::Machine&,
+                                  const model::NetParams&, coll::OpDesc,
+                                  const PlanOptions&);
+  CollectivePlan() : desc_(coll::AlltoallDesc{}) {}
+
+  rt::Task<void> run_op(rt::ConstView send, rt::MutView recv,
+                        coll::Trace* trace);
 
   rt::Comm* world_ = nullptr;
   std::shared_ptr<const topo::Machine> machine_;  ///< heap: stable across moves
-  coll::Choice choice_;
-  std::size_t block_ = 0;
+  coll::OpDesc desc_;
+  int algo_ = 0;                    ///< resolved, as the op-specific enum value
+  int group_size_ = 1;
+  double predicted_seconds_ = 0.0;
   coll::Options opts_;
   std::optional<rt::LocalityComms> lc_;
+  std::vector<std::size_t> send_displs_;  ///< alltoallv: dense prefix sums
+  std::vector<std::size_t> recv_displs_;
+  std::size_t send_total_ = 0;  ///< alltoallv: plan-time count sums
+  std::size_t recv_total_ = 0;
   rt::ScratchArena arena_;
   std::uint64_t executions_ = 0;
 };
 
-/// Plan an all-to-all of `block` bytes per rank pair on `world`. Runs the
-/// tuner (once) unless opts.algo is set, builds the locality communicators
-/// the chosen algorithm needs, and sets up the scratch arena. Collective in
-/// the same sense as build_locality_comms: every rank of `world` must call
-/// with identical machine/net/block/opts. Throws std::invalid_argument when
-/// world.size() != machine.total_ranks() or the group size does not divide
-/// ppn.
-AlltoallPlan make_plan(rt::Comm& world, const topo::Machine& machine,
-                       const model::NetParams& net, std::size_t block,
-                       const PlanOptions& opts = {});
+/// The pre-family name; alltoall call sites keep compiling unchanged.
+using AlltoallPlan = CollectivePlan;
+
+/// Plan any collective described by `desc` on `world`. Validates the
+/// descriptor, runs the matching tuner (once) unless an algorithm is given,
+/// builds the locality communicators the chosen algorithm needs, and sets
+/// up the scratch arena. Collective in the same sense as
+/// build_locality_comms: every rank of `world` must call with identical
+/// machine/net/desc/opts. Throws std::invalid_argument when world.size()
+/// != machine.total_ranks(), the descriptor fails validation, or the group
+/// size does not divide ppn.
+CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
+                         const model::NetParams& net, coll::OpDesc desc,
+                         const PlanOptions& opts = {});
+
+/// Alltoall shorthand: plan `block` bytes per rank pair (the PR-1 entry
+/// point, equivalent to passing coll::AlltoallDesc{block}).
+CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
+                         const model::NetParams& net, std::size_t block,
+                         const PlanOptions& opts = {});
 
 }  // namespace mca2a::plan

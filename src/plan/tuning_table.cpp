@@ -9,8 +9,28 @@
 namespace mca2a::plan {
 
 namespace {
-constexpr char kHeader[] = "mca2a-tuning-table v1";
+
+constexpr char kHeaderV1[] = "mca2a-tuning-table v1";
+constexpr char kHeaderV2[] = "mca2a-tuning-table v2";
+
+/// Valid algorithm-index range per op kind (file-format validation).
+int num_algos(coll::OpKind op) {
+  switch (op) {
+    case coll::OpKind::kAlltoall:
+      return coll::kNumAlgos;
+    case coll::OpKind::kAlltoallv:
+      return coll::kNumAlltoallvAlgos;
+    case coll::OpKind::kAllgather:
+      return coll::kNumAllgatherAlgos;
+    case coll::OpKind::kAllreduce:
+      return coll::kNumAllreduceAlgos;
+    case coll::OpKind::kCount_:
+      break;
+  }
+  return 0;
 }
+
+}  // namespace
 
 std::size_t TuningKeyHash::operator()(const TuningKey& k) const noexcept {
   std::size_t h = std::hash<std::string>{}(k.machine);
@@ -19,11 +39,12 @@ std::size_t TuningKeyHash::operator()(const TuningKey& k) const noexcept {
   };
   mix(static_cast<std::size_t>(k.nodes));
   mix(static_cast<std::size_t>(k.ppn));
+  mix(static_cast<std::size_t>(static_cast<int>(k.op)) + 1);
   mix(k.block);
   return h;
 }
 
-TuningKey TuningTable::key_of(const topo::Machine& machine,
+TuningKey TuningTable::key_of(const topo::Machine& machine, coll::OpKind op,
                               std::size_t block) {
   // Enforced here (every entry path) so save() can never emit a line that
   // load() would reject: names are whitespace-delimited in the file format.
@@ -34,13 +55,13 @@ TuningKey TuningTable::key_of(const topo::Machine& machine,
         "whitespace: '" +
         machine.name() + "'");
   }
-  return TuningKey{machine.name(), machine.nodes(), machine.ppn(), block};
+  return TuningKey{machine.name(), machine.nodes(), machine.ppn(), op, block};
 }
 
-std::optional<coll::Choice> TuningTable::lookup(const topo::Machine& machine,
-                                                std::size_t block) const {
+std::optional<TuningTable::Entry> TuningTable::lookup_entry(
+    const topo::Machine& machine, coll::OpKind op, std::size_t block) const {
   ++lookups_;
-  const auto it = entries_.find(key_of(machine, block));
+  const auto it = entries_.find(key_of(machine, op, block));
   if (it == entries_.end()) {
     return std::nullopt;
   }
@@ -48,9 +69,23 @@ std::optional<coll::Choice> TuningTable::lookup(const topo::Machine& machine,
   return it->second;
 }
 
+// --- alltoall ----------------------------------------------------------------
+
+std::optional<coll::Choice> TuningTable::lookup(const topo::Machine& machine,
+                                                std::size_t block) const {
+  const auto e = lookup_entry(machine, coll::OpKind::kAlltoall, block);
+  if (!e) {
+    return std::nullopt;
+  }
+  return coll::Choice{static_cast<coll::Algo>(e->algo), e->group_size,
+                      e->predicted_seconds};
+}
+
 void TuningTable::insert(const topo::Machine& machine, std::size_t block,
                          const coll::Choice& choice) {
-  entries_[key_of(machine, block)] = choice;
+  entries_[key_of(machine, coll::OpKind::kAlltoall, block)] =
+      Entry{static_cast<int>(choice.algo), choice.group_size,
+            choice.predicted_seconds};
 }
 
 coll::Choice TuningTable::choose(const topo::Machine& machine,
@@ -64,20 +99,88 @@ coll::Choice TuningTable::choose(const topo::Machine& machine,
   return choice;
 }
 
+// --- allgather ---------------------------------------------------------------
+
+std::optional<coll::AllgatherChoice> TuningTable::lookup_allgather(
+    const topo::Machine& machine, std::size_t block) const {
+  const auto e = lookup_entry(machine, coll::OpKind::kAllgather, block);
+  if (!e) {
+    return std::nullopt;
+  }
+  return coll::AllgatherChoice{static_cast<coll::AllgatherAlgo>(e->algo),
+                               e->group_size, e->predicted_seconds};
+}
+
+coll::AllgatherChoice TuningTable::choose_allgather(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block) {
+  if (const auto hit = lookup_allgather(machine, block)) {
+    return *hit;
+  }
+  const coll::AllgatherChoice c =
+      coll::select_allgather_algorithm(machine, net, block);
+  entries_[key_of(machine, coll::OpKind::kAllgather, block)] =
+      Entry{static_cast<int>(c.algo), c.group_size, c.predicted_seconds};
+  return c;
+}
+
+// --- allreduce ---------------------------------------------------------------
+
+std::optional<coll::AllreduceChoice> TuningTable::lookup_allreduce(
+    const topo::Machine& machine, std::size_t bytes) const {
+  const auto e = lookup_entry(machine, coll::OpKind::kAllreduce, bytes);
+  if (!e) {
+    return std::nullopt;
+  }
+  return coll::AllreduceChoice{static_cast<coll::AllreduceAlgo>(e->algo),
+                               e->group_size, e->predicted_seconds};
+}
+
+coll::AllreduceChoice TuningTable::choose_allreduce(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t count, std::size_t elem_size) {
+  const std::size_t bytes = count * elem_size;
+  if (count < static_cast<std::size_t>(machine.total_ranks())) {
+    // Rabenseifner eligibility depends on the element count, which the
+    // byte-keyed table does not record. Restricted shapes (count < ranks —
+    // rare: they alias an unrestricted shape only via jumbo elements) are
+    // never served from or stored into the table, so memoized entries are
+    // always unrestricted selections and query order cannot change results.
+    // Still counted as a lookup (and never a hit) so lookups() keeps its
+    // "total choose()/lookup() calls" meaning.
+    ++lookups_;
+    return coll::select_allreduce_algorithm(machine, net, count, elem_size);
+  }
+  if (const auto hit = lookup_allreduce(machine, bytes)) {
+    return *hit;
+  }
+  const coll::AllreduceChoice c =
+      coll::select_allreduce_algorithm(machine, net, count, elem_size);
+  entries_[key_of(machine, coll::OpKind::kAllreduce, bytes)] =
+      Entry{static_cast<int>(c.algo), c.group_size, c.predicted_seconds};
+  return c;
+}
+
+// --- serialization -----------------------------------------------------------
+
 void TuningTable::save(std::ostream& os) const {
-  os << kHeader << "\n";
+  os << kHeaderV2 << "\n";
   // max_digits10 so predicted times survive the text round-trip exactly.
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  for (const auto& [key, choice] : entries_) {
-    os << key.machine << ' ' << key.nodes << ' ' << key.ppn << ' ' << key.block
-       << ' ' << static_cast<int>(choice.algo) << ' ' << choice.group_size
-       << ' ' << choice.predicted_seconds << "\n";
+  for (const auto& [key, e] : entries_) {
+    os << key.machine << ' ' << key.nodes << ' ' << key.ppn << ' '
+       << coll::op_kind_tag(key.op) << ' ' << key.block << ' ' << e.algo << ' '
+       << e.group_size << ' ' << e.predicted_seconds << "\n";
   }
 }
 
 TuningTable TuningTable::load(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kHeader) {
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("TuningTable::load: empty input");
+  }
+  const bool v1 = line == kHeaderV1;
+  if (!v1 && line != kHeaderV2) {
     throw std::runtime_error("TuningTable::load: bad header: '" + line + "'");
   }
   TuningTable table;
@@ -87,19 +190,31 @@ TuningTable TuningTable::load(std::istream& is) {
     }
     std::istringstream ls(line);
     TuningKey key;
-    int algo = -1;
-    coll::Choice choice;
-    if (!(ls >> key.machine >> key.nodes >> key.ppn >> key.block >> algo >>
-          choice.group_size >> choice.predicted_seconds)) {
+    std::string tag = "a2a";
+    Entry e;
+    const bool ok =
+        v1 ? static_cast<bool>(ls >> key.machine >> key.nodes >> key.ppn >>
+                               key.block >> e.algo >> e.group_size >>
+                               e.predicted_seconds)
+           : static_cast<bool>(ls >> key.machine >> key.nodes >> key.ppn >>
+                               tag >> key.block >> e.algo >> e.group_size >>
+                               e.predicted_seconds);
+    if (!ok) {
       throw std::runtime_error("TuningTable::load: malformed line: '" + line +
                                "'");
     }
-    if (algo < 0 || algo >= coll::kNumAlgos) {
-      throw std::runtime_error("TuningTable::load: unknown algorithm index " +
-                               std::to_string(algo));
+    const auto op = coll::op_kind_from_tag(tag);
+    if (!op) {
+      throw std::runtime_error("TuningTable::load: unknown op tag '" + tag +
+                               "'");
     }
-    choice.algo = static_cast<coll::Algo>(algo);
-    table.entries_[key] = choice;
+    key.op = *op;
+    if (e.algo < 0 || e.algo >= num_algos(key.op)) {
+      throw std::runtime_error("TuningTable::load: algorithm index " +
+                               std::to_string(e.algo) + " out of range for " +
+                               std::string(coll::op_kind_name(key.op)));
+    }
+    table.entries_[key] = e;
   }
   return table;
 }

@@ -606,6 +606,16 @@ void Cluster::start_rendezvous_transfer(std::uint32_t msg_id, double t_ready) {
     chan_rate = m.bytes > 0 ? service / static_cast<double>(m.bytes) : 0.0;
   }
   if (m.send_op != kNil) {
+    // Completing the send releases the user buffer (MPI semantics), but the
+    // simulated bytes only land at the data-arrival event — and completing
+    // the op can reentrantly resume the sender's coroutine, which may free
+    // the buffer src_view points into. Stage the payload first.
+    if (cfg_.carry_data && m.bytes > 0 && m.src_view.ptr != nullptr &&
+        m.payload == nullptr) {
+      m.payload = std::make_unique<std::byte[]>(m.bytes);
+      std::memcpy(m.payload.get(), m.src_view.ptr, m.bytes);
+      m.src_view = rt::ConstView{};
+    }
     complete_op(m.send_op, depart);
     m.send_op = kNil;
   }

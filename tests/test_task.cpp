@@ -70,9 +70,25 @@ TEST(Task, AwaitNestedTask) {
   EXPECT_EQ(sync_wait(outer()), 13);
 }
 
+#if defined(__SANITIZE_ADDRESS__)
+#define MCA2A_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MCA2A_ASAN 1
+#endif
+#endif
+
 TEST(Task, DeepNestingDoesNotOverflowStack) {
+#ifdef MCA2A_ASAN
+  // ASan's instrumentation defeats the symmetric-transfer tail call (every
+  // resume keeps a native frame), so the unbounded-depth guarantee cannot
+  // hold under instrumentation; a shallower chain still exercises the
+  // nesting machinery and catches gross per-frame stack usage.
+  EXPECT_EQ(sync_wait(chain(10000)), 10000);
+#else
   // 100k frames would overflow a native stack without symmetric transfer.
   EXPECT_EQ(sync_wait(chain(100000)), 100000);
+#endif
 }
 
 TEST(Task, ExceptionPropagatesThroughSyncWait) {
