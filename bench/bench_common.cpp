@@ -153,6 +153,15 @@ int figure_main(int argc, char** argv, bench::Figure& fig) {
   if (!csv.empty()) {
     std::cout << "(csv written to " << csv << ")\n";
   }
+  // Machine-readable trajectory data: A2A_BENCH_JSON=dir makes every
+  // figure bench drop a BENCH_<id>.json there.
+  if (const char* dir = std::getenv("A2A_BENCH_JSON");
+      dir != nullptr && *dir != '\0') {
+    const std::string json = fig.write_json_file("BENCH_" + fig.id() + ".json");
+    if (!json.empty()) {
+      std::cout << "(json written to " << json << ")\n";
+    }
+  }
   return 0;
 }
 

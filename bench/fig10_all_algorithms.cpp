@@ -29,5 +29,12 @@ int main(int argc, char** argv) {
   };
   benchx::register_size_sweep(fig, machine, net, series,
                               benchx::default_sizes());
-  return benchx::figure_main(argc, argv, fig);
+  const int rc = benchx::figure_main(argc, argv, fig);
+  // The headline figure drops machine-readable trajectory data even
+  // without A2A_BENCH_JSON (figure_main already writes it when the env
+  // var is set; don't write a second copy, or anything on failure).
+  if (rc == 0 && std::getenv("A2A_BENCH_JSON") == nullptr) {
+    fig.write_json_file("BENCH_fig10.json");
+  }
+  return rc;
 }

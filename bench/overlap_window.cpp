@@ -1,0 +1,93 @@
+/// Overlap window study for the nonblocking-handle path (plan::Schedule):
+/// how much of a batch of exchanges hides behind per-exchange compute as
+/// the compute grain grows, versus the same batch chained serially through
+/// completion dependencies. Sweeps the compute grain (x axis, bytes of
+/// local work charged before each exchange starts) at a small and a large
+/// message size on 4 nodes of Dane, node-aware algorithm, 4 exchanges per
+/// batch.
+///
+/// The "chained" series is the serialized baseline (RunSpec::overlap_chain:
+/// exchange i depends on i-1); "overlapped" starts all four up front. The
+/// "critical path" series is Schedule::critical_path() of the overlapped
+/// run — the dependency lower bound no schedule can beat.
+///
+/// Always writes machine-readable BENCH_overlap.json (into $A2A_BENCH_JSON
+/// if set, else the working directory) so the perf trajectory has data
+/// points; the text table and CSV work like every other figure bench.
+
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+using namespace mca2a;
+
+namespace {
+
+constexpr int kOverlapOps = 4;
+
+void register_point(bench::Figure& fig, const std::string& size_name,
+                    std::size_t block, std::size_t grain, bool chain) {
+  bench::RunSpec spec;
+  spec.machine = topo::dane(4).desc();
+  spec.net = model::omni_path();
+  spec.algo = coll::Algo::kNodeAware;
+  spec.block = block;
+  spec.overlap = kOverlapOps;
+  spec.overlap_chain = chain;
+  spec.compute_bytes = grain;
+  bench::apply_env(spec);
+  const std::string series = size_name + (chain ? " chained" : " overlapped");
+  const std::string bname =
+      "overlap/" + series + "/g" + std::to_string(grain);
+  benchmark::RegisterBenchmark(
+      bname.c_str(),
+      [&fig, series, grain, chain, spec](benchmark::State& state) {
+        bench::RunResult res;
+        for (auto _ : state) {
+          res = bench::run_sim(spec);
+          state.SetIterationTime(res.seconds);
+        }
+        fig.add(series, static_cast<double>(grain), res.seconds);
+        if (!chain) {
+          fig.add(series + " critical-path", static_cast<double>(grain),
+                  res.critical_path_seconds);
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = std::getenv("A2A_FAST") != nullptr;
+  bench::Figure fig(
+      "overlap",
+      "Overlap window: 4 node-aware exchanges, compute grain sweep (Dane, "
+      "4 nodes)",
+      "Compute grain (bytes)");
+  std::vector<std::size_t> grains =
+      fast ? std::vector<std::size_t>{0, 32768}
+           : std::vector<std::size_t>{0, 4096, 32768, 262144, 1048576};
+  std::vector<std::pair<std::string, std::size_t>> sizes =
+      fast ? std::vector<std::pair<std::string, std::size_t>>{{"4 B", 4}}
+           : std::vector<std::pair<std::string, std::size_t>>{{"4 B", 4},
+                                                              {"512 B", 512}};
+  for (const auto& [name, block] : sizes) {
+    for (std::size_t grain : grains) {
+      register_point(fig, name, block, grain, /*chain=*/false);
+      register_point(fig, name, block, grain, /*chain=*/true);
+    }
+  }
+  const int rc = benchx::figure_main(argc, argv, fig);
+  // figure_main already wrote the JSON if A2A_BENCH_JSON is set; this
+  // bench also writes it by default so the trajectory always has points.
+  if (rc == 0 && std::getenv("A2A_BENCH_JSON") == nullptr) {
+    const std::string json = fig.write_json_file("BENCH_overlap.json");
+    if (!json.empty()) {
+      std::printf("(json written to %s)\n", json.c_str());
+    }
+  }
+  return rc;
+}

@@ -7,17 +7,15 @@
 
 namespace mca2a::coll {
 
-namespace {
-constexpr int kTag = rt::kInternalTagBase + 64;
-}
-
 rt::Task<void> allgather_ring(rt::Comm& comm, rt::ConstView send,
-                              rt::MutView recv) {
-  co_await rt::allgather(comm, send, recv);
+                              rt::MutView recv, int tag_stream) {
+  co_await rt::allgather(comm, send, recv, tag_stream);
 }
 
 rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
-                               rt::MutView recv, rt::ScratchArena* scratch) {
+                               rt::MutView recv, rt::ScratchArena* scratch,
+                               int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kExtAllgatherBruck, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
   const std::size_t block = send.len;
@@ -50,7 +48,8 @@ rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
 
 rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
                                       rt::ConstView send, rt::MutView recv,
-                                      rt::ScratchArena* scratch) {
+                                      rt::ScratchArena* scratch,
+                                      int tag_stream) {
   rt::Comm& world = *lc.world;
   rt::Comm& local = *lc.local_comm;
   const int g = lc.group_size;
@@ -67,20 +66,23 @@ rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
     agg = rt::alloc_scratch(world, scratch,
                             static_cast<std::size_t>(g) * block);
   }
-  co_await rt::gather(local, send, agg.view(), /*root=*/0, scratch);
+  co_await rt::gather(local, send, agg.view(), /*root=*/0, scratch,
+                      tag_stream);
 
   // ...leaders allgather aggregated blocks (leaders' group_cross covers all
   // regions in region-major order, which equals world rank order)...
   if (lc.is_leader) {
-    co_await rt::allgather(*lc.group_cross, rt::ConstView(agg.view()), recv);
+    co_await rt::allgather(*lc.group_cross, rt::ConstView(agg.view()), recv,
+                           tag_stream);
   }
   // ...and every group broadcasts the full result.
-  co_await rt::bcast(local, recv, /*root=*/0);
+  co_await rt::bcast(local, recv, /*root=*/0, tag_stream);
 }
 
 rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
                                         rt::ConstView send, rt::MutView recv,
-                                        rt::ScratchArena* scratch) {
+                                        rt::ScratchArena* scratch,
+                                        int tag_stream) {
   rt::Comm& world = *lc.world;
   rt::Comm& local = *lc.local_comm;
   const int g = lc.group_size;
@@ -94,11 +96,12 @@ rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
   // Phase 1: everyone aggregates their group's blocks.
   rt::ScratchBuffer agg =
       rt::alloc_scratch(world, scratch, static_cast<std::size_t>(g) * block);
-  co_await rt::allgather(local, send, agg.view());
+  co_await rt::allgather(local, send, agg.view(), tag_stream);
 
   // Phase 2: exchange group aggregates across regions. Region j's blocks
   // land at offset j*g*block, which is exactly world order.
-  co_await rt::allgather(*lc.group_cross, rt::ConstView(agg.view()), recv);
+  co_await rt::allgather(*lc.group_cross, rt::ConstView(agg.view()), recv,
+                         tag_stream);
 }
 
 }  // namespace mca2a::coll

@@ -29,24 +29,27 @@ namespace mca2a::coll {
 /// Ring allgather (alias of the runtime building block, re-exported here so
 /// the extension API is complete). Allocates nothing.
 rt::Task<void> allgather_ring(rt::Comm& comm, rt::ConstView send,
-                              rt::MutView recv);
+                              rt::MutView recv, int tag_stream = 0);
 
 /// Bruck (recursive doubling) allgather: log2 p steps. The rotation buffer
 /// recycles through `scratch` when given (persistent plans pass theirs).
 rt::Task<void> allgather_bruck(rt::Comm& comm, rt::ConstView send,
                                rt::MutView recv,
-                               rt::ScratchArena* scratch = nullptr);
+                               rt::ScratchArena* scratch = nullptr,
+                               int tag_stream = 0);
 
 /// Hierarchical allgather over a locality bundle. `scratch` as for Bruck.
 rt::Task<void> allgather_hierarchical(const rt::LocalityComms& lc,
                                       rt::ConstView send, rt::MutView recv,
-                                      rt::ScratchArena* scratch = nullptr);
+                                      rt::ScratchArena* scratch = nullptr,
+                                      int tag_stream = 0);
 
 /// Locality-aware allgather: intra-group aggregation, then inter-region
 /// exchange among same-position ranks (every rank participates; no
 /// broadcast phase). `scratch` as for Bruck.
 rt::Task<void> allgather_locality_aware(const rt::LocalityComms& lc,
                                         rt::ConstView send, rt::MutView recv,
-                                        rt::ScratchArena* scratch = nullptr);
+                                        rt::ScratchArena* scratch = nullptr,
+                                        int tag_stream = 0);
 
 }  // namespace mca2a::coll

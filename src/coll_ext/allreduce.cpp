@@ -10,8 +10,6 @@ namespace mca2a::coll {
 
 namespace {
 
-constexpr int kTag = rt::kInternalTagBase + 80;
-
 /// Fold `in` into `acc` when both are real; always charge the arithmetic
 /// (modelled at the packing rate — one pass over the data).
 void combine(rt::Comm& comm, rt::MutView acc, rt::ConstView in,
@@ -28,7 +26,9 @@ void combine(rt::Comm& comm, rt::MutView acc, rt::ConstView in,
 }  // namespace
 
 rt::Task<void> reduce_binomial(rt::Comm& comm, rt::MutView data, Combiner op,
-                               int root, rt::ScratchArena* scratch) {
+                               int root, rt::ScratchArena* scratch,
+                               int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kExtAllreduce, tag_stream);
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -52,7 +52,9 @@ rt::Task<void> reduce_binomial(rt::Comm& comm, rt::MutView data, Combiner op,
 
 rt::Task<void> allreduce_recursive_doubling(rt::Comm& comm, rt::MutView data,
                                             Combiner op,
-                                            rt::ScratchArena* scratch) {
+                                            rt::ScratchArena* scratch,
+                                            int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kExtAllreduce, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
   rt::ScratchBuffer tmp = rt::alloc_scratch(comm, scratch, data.len);
@@ -100,7 +102,9 @@ rt::Task<void> allreduce_recursive_doubling(rt::Comm& comm, rt::MutView data,
 }
 
 rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
-                                      Combiner op, rt::ScratchArena* scratch) {
+                                      Combiner op, rt::ScratchArena* scratch,
+                                      int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kExtAllreduce, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
   const std::size_t elems = data.len / op.elem_size;
@@ -158,17 +162,19 @@ rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
 
 rt::Task<void> allreduce_node_aware(const rt::LocalityComms& lc,
                                     rt::MutView data, Combiner op,
-                                    rt::ScratchArena* scratch) {
+                                    rt::ScratchArena* scratch,
+                                    int tag_stream) {
   rt::Comm& local = *lc.local_comm;
   // Reduce each group's contribution at its leader...
-  co_await reduce_binomial(local, data, op, /*root=*/0, scratch);
+  co_await reduce_binomial(local, data, op, /*root=*/0, scratch, tag_stream);
   // ...combine across all region leaders (their group_cross covers every
   // region, hence every rank's data)...
   if (lc.is_leader) {
-    co_await allreduce_recursive_doubling(*lc.group_cross, data, op, scratch);
+    co_await allreduce_recursive_doubling(*lc.group_cross, data, op, scratch,
+                                          tag_stream);
   }
   // ...and distribute the result within each group.
-  co_await rt::bcast(local, data, /*root=*/0);
+  co_await rt::bcast(local, data, /*root=*/0, tag_stream);
 }
 
 }  // namespace mca2a::coll

@@ -79,26 +79,30 @@ Combiner min_combiner() {
 /// (persistent plans pass theirs).
 rt::Task<void> allreduce_recursive_doubling(rt::Comm& comm, rt::MutView data,
                                             Combiner op,
-                                            rt::ScratchArena* scratch = nullptr);
+                                            rt::ScratchArena* scratch = nullptr,
+                                            int tag_stream = 0);
 
 /// Rabenseifner: ring reduce-scatter then ring allgather. Requires
 /// data.len / op.elem_size >= size(). `scratch` as above.
 rt::Task<void> allreduce_rabenseifner(rt::Comm& comm, rt::MutView data,
                                       Combiner op,
-                                      rt::ScratchArena* scratch = nullptr);
+                                      rt::ScratchArena* scratch = nullptr,
+                                      int tag_stream = 0);
 
 /// Node-/locality-aware allreduce over a locality bundle: binomial reduce
 /// to each group leader, recursive doubling among leaders, binomial
 /// broadcast back. `scratch` as above.
 rt::Task<void> allreduce_node_aware(const rt::LocalityComms& lc,
                                     rt::MutView data, Combiner op,
-                                    rt::ScratchArena* scratch = nullptr);
+                                    rt::ScratchArena* scratch = nullptr,
+                                    int tag_stream = 0);
 
 /// Binomial-tree reduction to `root` (building block, also exposed for
 /// tests): after completion `data` at root holds the reduction; other
 /// ranks' buffers are clobbered with partial results. `scratch` as above.
 rt::Task<void> reduce_binomial(rt::Comm& comm, rt::MutView data, Combiner op,
                                int root,
-                               rt::ScratchArena* scratch = nullptr);
+                               rt::ScratchArena* scratch = nullptr,
+                               int tag_stream = 0);
 
 }  // namespace mca2a::coll

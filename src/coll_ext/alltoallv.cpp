@@ -7,8 +7,6 @@ namespace mca2a::coll {
 
 namespace {
 
-constexpr int kTag = rt::kInternalTagBase + 96;
-
 void check_args(const rt::Comm& comm, rt::ConstView send,
                 std::span<const std::size_t> send_counts,
                 std::span<const std::size_t> send_displs, rt::MutView recv,
@@ -48,9 +46,11 @@ rt::Task<void> alltoallv_pairwise(rt::Comm& comm, rt::ConstView send,
                                   std::span<const std::size_t> send_displs,
                                   rt::MutView recv,
                                   std::span<const std::size_t> recv_counts,
-                                  std::span<const std::size_t> recv_displs) {
+                                  std::span<const std::size_t> recv_displs,
+                                  int tag_stream) {
   check_args(comm, send, send_counts, send_displs, recv, recv_counts,
              recv_displs);
+  const int kTag = rt::tags::make(rt::tags::kExtAlltoallv, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
   comm.copy_and_charge(recv.sub(recv_displs[me], recv_counts[me]),
@@ -70,9 +70,11 @@ rt::Task<void> alltoallv_nonblocking(rt::Comm& comm, rt::ConstView send,
                                      std::span<const std::size_t> send_displs,
                                      rt::MutView recv,
                                      std::span<const std::size_t> recv_counts,
-                                     std::span<const std::size_t> recv_displs) {
+                                     std::span<const std::size_t> recv_displs,
+                                     int tag_stream) {
   check_args(comm, send, send_counts, send_displs, recv, recv_counts,
              recv_displs);
+  const int kTag = rt::tags::make(rt::tags::kExtAlltoallv, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
   comm.copy_and_charge(recv.sub(recv_displs[me], recv_counts[me]),

@@ -24,7 +24,8 @@ rt::Task<void> alltoallv_pairwise(rt::Comm& comm, rt::ConstView send,
                                   std::span<const std::size_t> send_displs,
                                   rt::MutView recv,
                                   std::span<const std::size_t> recv_counts,
-                                  std::span<const std::size_t> recv_displs);
+                                  std::span<const std::size_t> recv_displs,
+                                  int tag_stream = 0);
 
 /// Fully nonblocking alltoallv: post everything, wait once.
 rt::Task<void> alltoallv_nonblocking(rt::Comm& comm, rt::ConstView send,
@@ -32,6 +33,7 @@ rt::Task<void> alltoallv_nonblocking(rt::Comm& comm, rt::ConstView send,
                                      std::span<const std::size_t> send_displs,
                                      rt::MutView recv,
                                      std::span<const std::size_t> recv_counts,
-                                     std::span<const std::size_t> recv_displs);
+                                     std::span<const std::size_t> recv_displs,
+                                     int tag_stream = 0);
 
 }  // namespace mca2a::coll

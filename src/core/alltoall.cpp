@@ -69,16 +69,16 @@ bool needs_leader_comms(Algo a) {
 
 rt::Task<void> alltoall_inner(Inner inner, rt::Comm& comm, rt::ConstView send,
                               rt::MutView recv, std::size_t block,
-                              rt::ScratchArena* scratch) {
+                              rt::ScratchArena* scratch, int tag_stream) {
   switch (inner) {
     case Inner::kPairwise:
-      co_await alltoall_pairwise(comm, send, recv, block);
+      co_await alltoall_pairwise(comm, send, recv, block, tag_stream);
       co_return;
     case Inner::kNonblocking:
-      co_await alltoall_nonblocking(comm, send, recv, block);
+      co_await alltoall_nonblocking(comm, send, recv, block, tag_stream);
       co_return;
     case Inner::kBruck:
-      co_await alltoall_bruck(comm, send, recv, block, scratch);
+      co_await alltoall_bruck(comm, send, recv, block, scratch, tag_stream);
       co_return;
   }
   throw std::invalid_argument("alltoall_inner: unknown inner exchange");
@@ -108,16 +108,18 @@ rt::Task<void> run_alltoall(Algo algo, rt::Comm& world,
       co_await alltoall_multileader_node_aware(*lc, send, recv, block, opts);
       co_return;
     case Algo::kPairwiseDirect:
-      co_await alltoall_pairwise(world, send, recv, block);
+      co_await alltoall_pairwise(world, send, recv, block, opts.tag_stream);
       co_return;
     case Algo::kNonblockingDirect:
-      co_await alltoall_nonblocking(world, send, recv, block);
+      co_await alltoall_nonblocking(world, send, recv, block, opts.tag_stream);
       co_return;
     case Algo::kBruckDirect:
-      co_await alltoall_bruck(world, send, recv, block, opts.scratch);
+      co_await alltoall_bruck(world, send, recv, block, opts.scratch,
+                              opts.tag_stream);
       co_return;
     case Algo::kBatchedDirect:
-      co_await alltoall_batched(world, send, recv, block, opts.batch_window);
+      co_await alltoall_batched(world, send, recv, block, opts.batch_window,
+                                opts.tag_stream);
       co_return;
     case Algo::kCount_:
       break;

@@ -81,30 +81,39 @@ struct Options {
   /// ones per call; persistent plans (plan/plan.hpp) use this so repeated
   /// execute() calls allocate nothing after the first.
   rt::ScratchArena* scratch = nullptr;
+  /// Tag stream (runtime/tags.hpp) this collective's internal traffic runs
+  /// in. Started plans draw a fresh stream per operation so concurrent
+  /// collectives on one communicator never cross-match; direct callers can
+  /// leave the default (stream 0).
+  int tag_stream = 0;
 };
 
 // --- direct algorithms ------------------------------------------------------
 
 /// Algorithm 1: p-1 synchronous sendrecv steps, one partner at a time.
 rt::Task<void> alltoall_pairwise(rt::Comm& comm, rt::ConstView send,
-                                 rt::MutView recv, std::size_t block);
+                                 rt::MutView recv, std::size_t block,
+                                 int tag_stream = 0);
 /// Algorithm 2: post every isend/irecv, then a single waitall.
 rt::Task<void> alltoall_nonblocking(rt::Comm& comm, rt::ConstView send,
-                                    rt::MutView recv, std::size_t block);
+                                    rt::MutView recv, std::size_t block,
+                                    int tag_stream = 0);
 /// Bruck: ceil(log2 p) steps exchanging half the buffer each step. The
 /// rotation and pack/unpack buffers recycle through `scratch` when given.
 rt::Task<void> alltoall_bruck(rt::Comm& comm, rt::ConstView send,
                               rt::MutView recv, std::size_t block,
-                              rt::ScratchArena* scratch = nullptr);
+                              rt::ScratchArena* scratch = nullptr,
+                              int tag_stream = 0);
 /// Batched [16]: nonblocking with at most `window` outstanding pairs.
 rt::Task<void> alltoall_batched(rt::Comm& comm, rt::ConstView send,
                                 rt::MutView recv, std::size_t block,
-                                int window);
+                                int window, int tag_stream = 0);
 /// Dispatch one of the three inner exchanges. `scratch` reaches the Bruck
 /// buffers (the other inner exchanges allocate nothing).
 rt::Task<void> alltoall_inner(Inner inner, rt::Comm& comm, rt::ConstView send,
                               rt::MutView recv, std::size_t block,
-                              rt::ScratchArena* scratch = nullptr);
+                              rt::ScratchArena* scratch = nullptr,
+                              int tag_stream = 0);
 
 // --- locality algorithms (paper Algorithms 3-5) -----------------------------
 

@@ -15,13 +15,10 @@
 
 namespace mca2a::coll {
 
-namespace {
-constexpr int kTag = rt::kInternalTagBase + 34;
-}
-
 rt::Task<void> alltoall_bruck(rt::Comm& comm, rt::ConstView send,
                               rt::MutView recv, std::size_t block,
-                              rt::ScratchArena* scratch) {
+                              rt::ScratchArena* scratch, int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kAlltoallBruck, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
 

@@ -44,13 +44,14 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
                                  static_cast<std::size_t>(g) * psz);
   }
   double t0 = world.now();
-  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch);
+  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch,
+                      opts.tag_stream);
   if (trace) trace->add(Phase::kGather, world.now() - t0);
 
   if (!lc.is_leader) {
     t0 = world.now();
     co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0,
-                         opts.scratch);
+                         opts.scratch, opts.tag_stream);
     if (trace) trace->add(Phase::kScatter, world.now() - t0);
     co_return;
   }
@@ -84,7 +85,7 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.group_cross,
                           rt::ConstView(lsend.view()), lrecv.view(), gg,
-                          opts.scratch);
+                          opts.scratch, opts.tag_stream);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack received region blocks into per-member scatter blocks ---------
@@ -116,7 +117,7 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
   // --- scatter per-member results -------------------------------------------
   t0 = world.now();
   co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
-                       opts.scratch);
+                       opts.scratch, opts.tag_stream);
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 

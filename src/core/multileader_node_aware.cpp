@@ -53,13 +53,14 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
                                  static_cast<std::size_t>(g) * psz);
   }
   double t0 = world.now();
-  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch);
+  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch,
+                      opts.tag_stream);
   if (trace) trace->add(Phase::kGather, world.now() - t0);
 
   if (!lc.is_leader) {
     t0 = world.now();
     co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0,
-                         opts.scratch);
+                         opts.scratch, opts.tag_stream);
     if (trace) trace->add(Phase::kScatter, world.now() - t0);
     co_return;
   }
@@ -97,7 +98,7 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.leader_cross,
                           rt::ConstView(bsend.view()), crecv.view(), node_blk,
-                          opts.scratch);
+                          opts.scratch, opts.tag_stream);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack: per-node-local-leader blocks ----------------------------------
@@ -136,7 +137,7 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   t0 = world.now();
   co_await alltoall_inner(opts.inner, *lc.leaders_node,
                           rt::ConstView(dsend.view()), erecv.view(), intra_blk,
-                          opts.scratch);
+                          opts.scratch, opts.tag_stream);
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- repack into per-member, source-ordered scatter blocks ----------------
@@ -175,7 +176,7 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   // --- scatter ---------------------------------------------------------------
   t0 = world.now();
   co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
-                       opts.scratch);
+                       opts.scratch, opts.tag_stream);
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 

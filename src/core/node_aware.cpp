@@ -37,7 +37,8 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   rt::ScratchBuffer t1 = rt::alloc_scratch(world, opts.scratch, psz);
   double t0 = world.now();
   co_await alltoall_inner(opts.inner, cross, send, t1.view(),
-                          static_cast<std::size_t>(g) * s, opts.scratch);
+                          static_cast<std::size_t>(g) * s, opts.scratch,
+                          opts.tag_stream);
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- pack per-local-peer blocks -------------------------------------------
@@ -65,7 +66,7 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   t0 = world.now();
   co_await alltoall_inner(opts.inner, local, rt::ConstView(t2.view()),
                           t3.view(), static_cast<std::size_t>(nreg) * s,
-                          opts.scratch);
+                          opts.scratch, opts.tag_stream);
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- unpack into source-rank order -----------------------------------------

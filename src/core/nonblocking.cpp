@@ -14,12 +14,10 @@
 
 namespace mca2a::coll {
 
-namespace {
-constexpr int kTag = rt::kInternalTagBase + 33;
-}
-
 rt::Task<void> alltoall_nonblocking(rt::Comm& comm, rt::ConstView send,
-                                    rt::MutView recv, std::size_t block) {
+                                    rt::MutView recv, std::size_t block,
+                                    int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kAlltoallNonblocking, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
   comm.copy_and_charge(recv.sub(me * block, block),
@@ -41,7 +39,8 @@ rt::Task<void> alltoall_nonblocking(rt::Comm& comm, rt::ConstView send,
 
 rt::Task<void> alltoall_batched(rt::Comm& comm, rt::ConstView send,
                                 rt::MutView recv, std::size_t block,
-                                int window) {
+                                int window, int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kAlltoallNonblocking, tag_stream);
   if (window < 1) {
     throw std::invalid_argument("alltoall_batched: window must be >= 1");
   }

@@ -8,12 +8,10 @@
 
 namespace mca2a::coll {
 
-namespace {
-constexpr int kTag = rt::kInternalTagBase + 32;
-}
-
 rt::Task<void> alltoall_pairwise(rt::Comm& comm, rt::ConstView send,
-                                 rt::MutView recv, std::size_t block) {
+                                 rt::MutView recv, std::size_t block,
+                                 int tag_stream) {
+  const int kTag = rt::tags::make(rt::tags::kAlltoallPairwise, tag_stream);
   const int p = comm.size();
   const int me = comm.rank();
   // Own block moves locally.

@@ -17,9 +17,10 @@ rt::Task<void> alltoall_system_mpi(rt::Comm& comm, rt::ConstView send,
                                    rt::MutView recv, std::size_t block,
                                    const Options& opts) {
   if (block <= opts.system_small_threshold) {
-    co_await alltoall_bruck(comm, send, recv, block, opts.scratch);
+    co_await alltoall_bruck(comm, send, recv, block, opts.scratch,
+                            opts.tag_stream);
   } else {
-    co_await alltoall_pairwise(comm, send, recv, block);
+    co_await alltoall_pairwise(comm, send, recv, block, opts.tag_stream);
   }
 }
 

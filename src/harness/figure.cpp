@@ -1,6 +1,7 @@
 #include "harness/figure.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -108,6 +109,78 @@ void Figure::write_csv(std::ostream& os) const {
     }
     os << '\n';
   }
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Figure::write_json(std::ostream& os) const {
+  os << std::setprecision(12);
+  os << "{\n";
+  os << "  \"id\": \"" << json_escape(id_) << "\",\n";
+  os << "  \"title\": \"" << json_escape(title_) << "\",\n";
+  os << "  \"xlabel\": \"" << json_escape(xlabel_) << "\",\n";
+  os << "  \"series\": [";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(series_[i]) << '"';
+  }
+  os << "],\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    os << "    {\"series\": \"" << json_escape(series_[p.series])
+       << "\", \"x\": " << p.x << ", \"seconds\": " << p.seconds << '}'
+       << (i + 1 < points_.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+std::string Figure::write_json_file(const std::string& path) const {
+  std::string out = path;
+  if (const char* dir = std::getenv("A2A_BENCH_JSON");
+      dir != nullptr && *dir != '\0') {
+    const std::size_t slash = path.find_last_of('/');
+    out = std::string(dir) + "/" +
+          (slash == std::string::npos ? path : path.substr(slash + 1));
+  }
+  std::ofstream f(out);
+  if (!f) {
+    return {};
+  }
+  write_json(f);
+  return out;
 }
 
 std::string Figure::write_csv_env() const {

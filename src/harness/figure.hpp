@@ -29,6 +29,17 @@ class Figure {
   /// <dir>/<id>.csv; otherwise do nothing. Returns the path written.
   std::string write_csv_env() const;
 
+  /// Machine-readable JSON: {"id", "title", "xlabel", "series": [...],
+  /// "points": [{"series", "x", "seconds"}, ...]} — the format the perf
+  /// trajectory tooling ingests (BENCH_*.json files).
+  void write_json(std::ostream& os) const;
+
+  /// Write JSON to `path` (e.g. "BENCH_overlap.json"); if the environment
+  /// variable A2A_BENCH_JSON names a directory the file goes there
+  /// instead, keeping the same basename. Returns the path written, empty
+  /// on failure.
+  std::string write_json_file(const std::string& path) const;
+
   const std::string& id() const { return id_; }
 
  private:

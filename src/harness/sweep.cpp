@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "plan/plan.hpp"
+#include "plan/schedule.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm_bundle.hpp"
 #include "sim/cluster.hpp"
@@ -46,6 +48,69 @@ RunResult run_sim(const RunSpec& spec) {
   if (spec.collect_trace) {
     traces.assign(reps, std::vector<coll::Trace>(p));
   }
+  const int overlap = std::max(1, spec.overlap);
+  if (overlap >= 2 && spec.collect_trace) {
+    // The overlap path reports per-op and critical-path times instead of
+    // phase traces; silently returning zeroed phases would read as data.
+    throw std::invalid_argument(
+        "run_sim: collect_trace is not supported with overlap >= 2");
+  }
+  // Overlap runs: per-(rep, rank) critical path and per-(rep, op, rank)
+  // exchange durations.
+  std::vector<std::vector<double>> cpath;
+  std::vector<std::vector<std::vector<double>>> op_secs;
+  if (overlap >= 2) {
+    cpath.assign(reps, std::vector<double>(p, 0.0));
+    op_secs.assign(
+        reps, std::vector<std::vector<double>>(overlap,
+                                               std::vector<double>(p, 0.0)));
+  }
+
+  auto overlap_main = [&](rt::Comm& world) -> rt::Task<void> {
+    const int me = world.rank();
+    if (spec.algo == coll::Algo::kSystemMpi) {
+      if (auto* sc = dynamic_cast<sim::SimComm*>(&world)) {
+        sc->set_cost_scale(spec.net.vendor_factor);
+      }
+    }
+    const std::size_t total = static_cast<std::size_t>(p) * spec.block;
+    // One plan, one send/recv pair per concurrent exchange: distinct plans
+    // overlap (a single plan admits one in-flight op), distinct buffers
+    // keep the exchanges independent.
+    coll::AlltoallDesc desc;
+    desc.block = spec.block;
+    desc.algo = spec.algo;
+    plan::PlanOptions popts;
+    popts.group_size = g;
+    popts.inner = spec.inner;
+    std::vector<plan::CollectivePlan> plans;
+    std::vector<rt::Buffer> sbufs;
+    std::vector<rt::Buffer> rbufs;
+    plans.reserve(overlap);
+    for (int k = 0; k < overlap; ++k) {
+      plans.push_back(plan::make_plan(world, machine, spec.net, desc, popts));
+      sbufs.push_back(world.alloc_buffer(total));
+      rbufs.push_back(world.alloc_buffer(total));
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      co_await rt::barrier(world);
+      start[rep][me] = world.now();
+      plan::Schedule sched;
+      for (int k = 0; k < overlap; ++k) {
+        sched.add(plans[k], rt::ConstView(sbufs[k].view()), rbufs[k].view(),
+                  spec.compute_bytes);
+        if (spec.overlap_chain && k > 0) {
+          sched.add_dependency(k - 1, k);
+        }
+      }
+      co_await sched.run();
+      end[rep][me] = world.now();
+      cpath[rep][me] = sched.critical_path();
+      for (int k = 0; k < overlap; ++k) {
+        op_secs[rep][k][me] = sched.stats(k).seconds();
+      }
+    }
+  };
 
   auto rank_main = [&](rt::Comm& world) -> rt::Task<void> {
     const int me = world.rank();
@@ -97,7 +162,11 @@ RunResult run_sim(const RunSpec& spec) {
     }
   };
 
-  cluster.run(rank_main);
+  if (overlap >= 2) {
+    cluster.run(overlap_main);
+  } else {
+    cluster.run(rank_main);
+  }
 
   RunResult res;
   res.seconds = std::numeric_limits<double>::infinity();
@@ -118,6 +187,21 @@ RunResult run_sim(const RunSpec& spec) {
   }
   if (!spec.collect_trace) {
     res.phase_seconds.fill(0.0);
+  }
+  if (overlap >= 2) {
+    res.critical_path_seconds = std::numeric_limits<double>::infinity();
+    res.op_seconds.assign(overlap,
+                          std::numeric_limits<double>::infinity());
+    for (int rep = 0; rep < reps; ++rep) {
+      res.critical_path_seconds =
+          std::min(res.critical_path_seconds,
+                   *std::max_element(cpath[rep].begin(), cpath[rep].end()));
+      for (int k = 0; k < overlap; ++k) {
+        res.op_seconds[k] = std::min(
+            res.op_seconds[k], *std::max_element(op_secs[rep][k].begin(),
+                                                 op_secs[rep][k].end()));
+      }
+    }
   }
   res.messages = cluster.messages_sent();
   res.sim_wall_seconds =

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/alltoall.hpp"
 #include "model/params.hpp"
@@ -38,6 +39,19 @@ struct RunSpec {
   /// before the timed repetitions. The figure benches enable this; direct
   /// run_sim callers default to the legacy per-run path.
   bool use_plan = false;
+  /// Nonblocking overlap: when >= 2, each timed repetition runs `overlap`
+  /// independent exchanges of the spec's shape — each through its own
+  /// persistent plan and tag stream — batched in a plan::Schedule
+  /// (schedule.hpp). 0/1 keeps the classic single-exchange repetition.
+  int overlap = 1;
+  /// With overlap: chain the exchanges with completion dependencies
+  /// (exchange i starts only after i-1 completes) — the serialized
+  /// baseline running identical ops through the identical machinery.
+  bool overlap_chain = false;
+  /// With overlap: local work charged to each rank immediately before each
+  /// exchange starts (the compute grain the overlap is meant to hide,
+  /// e.g. producing a gradient bucket).
+  std::size_t compute_bytes = 0;
 };
 
 struct RunResult {
@@ -49,6 +63,12 @@ struct RunResult {
   std::uint64_t messages = 0;
   /// Host wall time spent simulating (diagnostics).
   double sim_wall_seconds = 0.0;
+  /// Overlap runs only: per-exchange elapsed time, max over ranks, min
+  /// over reps (index = exchange position in the schedule).
+  std::vector<double> op_seconds;
+  /// Overlap runs only: Schedule::critical_path(), max over ranks, min
+  /// over reps — the dependency-chain lower bound of the batch.
+  double critical_path_seconds = 0.0;
 };
 
 /// Run the spec in a fresh simulated cluster.

@@ -32,8 +32,51 @@ std::size_t CollectivePlan::block() const noexcept {
   }
 }
 
-rt::Task<void> CollectivePlan::execute(rt::ConstView send, rt::MutView recv,
-                                       coll::Trace* trace) {
+void CollectiveHandle::reset() noexcept {
+  if (!st_) {
+    return;
+  }
+  if (!st_->op->done()) {
+    // Abandoning a started operation: abort the coroutine mid-exchange.
+    // Peers that already matched its traffic are left hanging — this is a
+    // bug in the caller, hence the assert; the abort merely avoids leaking
+    // the frame.
+    assert(!"CollectiveHandle dropped before the operation completed");
+    --st_->plan->in_flight_;
+    st_->op->abort();
+  }
+  st_.reset();
+}
+
+void CollectivePlan::check_idle(const char* what) const {
+  if (in_flight_ > 0) {
+    throw std::logic_error(
+        std::string("CollectivePlan: cannot ") + what +
+        " a plan with an operation in flight (wait on the handle first)");
+  }
+}
+
+void CollectivePlan::move_from(CollectivePlan&& other) {
+  other.check_idle("move from");
+  world_ = other.world_;
+  machine_ = std::move(other.machine_);
+  desc_ = std::move(other.desc_);
+  algo_ = other.algo_;
+  group_size_ = other.group_size_;
+  predicted_seconds_ = other.predicted_seconds_;
+  opts_ = other.opts_;
+  lc_ = std::move(other.lc_);
+  send_displs_ = std::move(other.send_displs_);
+  recv_displs_ = std::move(other.recv_displs_);
+  send_total_ = other.send_total_;
+  recv_total_ = other.recv_total_;
+  arena_ = std::move(other.arena_);
+  executions_ = other.executions_;
+  in_flight_ = 0;
+}
+
+void CollectivePlan::validate_extents(rt::ConstView send,
+                                      rt::MutView recv) const {
   const int p = world_->size();
   switch (kind()) {
     case coll::OpKind::kAlltoall: {
@@ -69,31 +112,113 @@ rt::Task<void> CollectivePlan::execute(rt::ConstView send, rt::MutView recv,
     case coll::OpKind::kCount_:
       break;
   }
-  co_await run_op(send, recv, trace);
-  ++executions_;
 }
 
-rt::Task<void> CollectivePlan::execute_inplace(rt::MutView data,
+CollectiveHandle CollectivePlan::start(rt::ConstView send, rt::MutView recv,
+                                       coll::Trace* trace) {
+  // Every rejection comes before the stream draw: a failed start must not
+  // consume a draw (the counter is part of the cross-rank contract).
+  validate_extents(send, recv);
+  check_can_start();
+  return launch(send, recv, trace, world_->acquire_tag_stream());
+}
+
+CollectiveHandle CollectivePlan::start_inplace(rt::MutView data,
                                                coll::Trace* trace) {
+  validate_inplace(data);
+  check_can_start();
+  return launch(rt::ConstView{}, data, trace, world_->acquire_tag_stream());
+}
+
+CollectiveHandle CollectivePlan::start_in_stream(rt::ConstView send,
+                                                 rt::MutView recv,
+                                                 coll::Trace* trace,
+                                                 int tag_stream) {
+  validate_extents(send, recv);
+  return launch(send, recv, trace, tag_stream);
+}
+
+CollectiveHandle CollectivePlan::start_inplace_in_stream(rt::MutView data,
+                                                         coll::Trace* trace,
+                                                         int tag_stream) {
+  validate_inplace(data);
+  return launch(rt::ConstView{}, data, trace, tag_stream);
+}
+
+void CollectivePlan::validate_inplace(rt::MutView data) const {
   if (kind() != coll::OpKind::kAllreduce) {
     throw std::invalid_argument(
-        "CollectivePlan::execute_inplace: only allreduce plans reduce in "
+        "CollectivePlan::start_inplace: only allreduce plans reduce in "
         "place (this plan is " +
         std::string(coll::op_kind_name(kind())) + ")");
   }
   const std::size_t bytes = desc_.allreduce().bytes();
   if (data.len != bytes) throw_extent("allreduce", "data", bytes, data.len);
-  co_await run_op(rt::ConstView{}, data, trace);
+}
+
+void CollectivePlan::check_can_start() const {
+  if (in_flight_ > 0) {
+    // MPI_Start on an active persistent request is erroneous; so is this.
+    // Overlap distinct exchanges through distinct plans (or a Schedule).
+    throw std::logic_error(
+        "CollectivePlan::start: an operation is already in flight on this "
+        "plan");
+  }
+}
+
+CollectiveHandle CollectivePlan::launch(rt::ConstView send, rt::MutView recv,
+                                        coll::Trace* trace, int tag_stream) {
+  check_can_start();
+  auto st = std::make_shared<CollectiveHandle::State>();
+  st->op = std::make_shared<rt::AsyncOp>();
+  st->plan = this;
+  st->stream = tag_stream;
+  st->started_at = world_->now();
+  ++in_flight_;
+  rt::spawn_detached(run_started(st, send, recv, trace), st->op);
+  return CollectiveHandle(std::move(st));
+}
+
+rt::Task<void> CollectivePlan::run_started(
+    std::shared_ptr<CollectiveHandle::State> st, rt::ConstView send,
+    rt::MutView recv, coll::Trace* trace) {
+  std::exception_ptr err;
+  try {
+    co_await run_op(send, recv, trace, st->stream);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  // Bookkeeping runs whether or not the exchange failed: the plan is idle
+  // again either way. `this` is valid because move/destroy are barred
+  // while in_flight_ > 0.
+  st->finished_at = world_->now();
+  --in_flight_;
+  if (err) {
+    std::rethrow_exception(err);  // lands in the handle's AsyncOp
+  }
   ++executions_;
 }
 
+rt::Task<void> CollectivePlan::execute(rt::ConstView send, rt::MutView recv,
+                                       coll::Trace* trace) {
+  CollectiveHandle h = start(send, recv, trace);
+  co_await h.wait();
+}
+
+rt::Task<void> CollectivePlan::execute_inplace(rt::MutView data,
+                                               coll::Trace* trace) {
+  CollectiveHandle h = start_inplace(data, trace);
+  co_await h.wait();
+}
+
 rt::Task<void> CollectivePlan::run_op(rt::ConstView send, rt::MutView recv,
-                                      coll::Trace* trace) {
+                                      coll::Trace* trace, int tag_stream) {
   // Per-call copy so traces don't leak between calls; the scratch pointer
   // is bound here rather than at plan time so it stays valid across moves.
   coll::Options opts = opts_;
   opts.trace = trace;
   opts.scratch = &arena_;
+  opts.tag_stream = tag_stream;
 
   switch (kind()) {
     case coll::OpKind::kAlltoall:
@@ -107,12 +232,13 @@ rt::Task<void> CollectivePlan::run_op(rt::ConstView send, rt::MutView recv,
         case coll::AlltoallvAlgo::kPairwise:
           co_await coll::alltoallv_pairwise(*world_, send, d.send_counts,
                                             send_displs_, recv, d.recv_counts,
-                                            recv_displs_);
+                                            recv_displs_, tag_stream);
           co_return;
         case coll::AlltoallvAlgo::kNonblocking:
           co_await coll::alltoallv_nonblocking(*world_, send, d.send_counts,
                                                send_displs_, recv,
-                                               d.recv_counts, recv_displs_);
+                                               d.recv_counts, recv_displs_,
+                                               tag_stream);
           co_return;
         case coll::AlltoallvAlgo::kCount_:
           break;
@@ -122,16 +248,19 @@ rt::Task<void> CollectivePlan::run_op(rt::ConstView send, rt::MutView recv,
     case coll::OpKind::kAllgather:
       switch (static_cast<coll::AllgatherAlgo>(algo_)) {
         case coll::AllgatherAlgo::kRing:
-          co_await coll::allgather_ring(*world_, send, recv);
+          co_await coll::allgather_ring(*world_, send, recv, tag_stream);
           co_return;
         case coll::AllgatherAlgo::kBruck:
-          co_await coll::allgather_bruck(*world_, send, recv, &arena_);
+          co_await coll::allgather_bruck(*world_, send, recv, &arena_,
+                                         tag_stream);
           co_return;
         case coll::AllgatherAlgo::kHierarchical:
-          co_await coll::allgather_hierarchical(*lc_, send, recv, &arena_);
+          co_await coll::allgather_hierarchical(*lc_, send, recv, &arena_,
+                                                tag_stream);
           co_return;
         case coll::AllgatherAlgo::kLocalityAware:
-          co_await coll::allgather_locality_aware(*lc_, send, recv, &arena_);
+          co_await coll::allgather_locality_aware(*lc_, send, recv, &arena_,
+                                                  tag_stream);
           co_return;
         case coll::AllgatherAlgo::kCount_:
           break;
@@ -146,15 +275,16 @@ rt::Task<void> CollectivePlan::run_op(rt::ConstView send, rt::MutView recv,
       }
       switch (static_cast<coll::AllreduceAlgo>(algo_)) {
         case coll::AllreduceAlgo::kRecursiveDoubling:
-          co_await coll::allreduce_recursive_doubling(*world_, recv,
-                                                      d.combiner, &arena_);
+          co_await coll::allreduce_recursive_doubling(
+              *world_, recv, d.combiner, &arena_, tag_stream);
           co_return;
         case coll::AllreduceAlgo::kRabenseifner:
           co_await coll::allreduce_rabenseifner(*world_, recv, d.combiner,
-                                                &arena_);
+                                                &arena_, tag_stream);
           co_return;
         case coll::AllreduceAlgo::kNodeAware:
-          co_await coll::allreduce_node_aware(*lc_, recv, d.combiner, &arena_);
+          co_await coll::allreduce_node_aware(*lc_, recv, d.combiner, &arena_,
+                                              tag_stream);
           co_return;
         case coll::AllreduceAlgo::kCount_:
           break;

@@ -27,15 +27,31 @@
 /// and execute them collectively. The plan's bundle() is borrowable by
 /// other locality collectives on this rank.
 ///
-/// Plans are movable but must not be moved while an execute() task is in
-/// flight (the coroutine captures `this`). PlanCache (plan/cache.hpp) hands
-/// out shared_ptr-managed plans, which never move, and one cache serves all
-/// four collectives (keys come from OpDesc::key()).
+/// Execution is nonblocking, MPI_Start style: start() (or start_inplace())
+/// posts the exchange and returns a CollectiveHandle with test() and an
+/// awaitable wait(); execute() is a thin start().wait() shim. Every started
+/// operation draws a fresh tag stream from its communicator
+/// (runtime/tags.hpp), so multiple collectives — on the same communicator
+/// or on overlapping locality sub-communicators — can be in flight at once
+/// without cross-matching, provided every rank starts them in the same
+/// order. A plan itself admits one in-flight operation at a time (exactly
+/// MPI-4's persistent-request rule); overlap two exchanges by starting two
+/// plans, or batch them with dependencies via plan::Schedule
+/// (plan/schedule.hpp).
+///
+/// Plans are movable but must not be moved or destroyed while an operation
+/// is in flight (the started coroutine captures `this`): moving then throws
+/// std::logic_error, destruction debug-asserts. PlanCache (plan/cache.hpp)
+/// hands out shared_ptr-managed plans, which never move, and one cache
+/// serves all four collectives (keys come from OpDesc::key()).
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "coll_ext/ext_tuner.hpp"
@@ -44,6 +60,7 @@
 #include "core/tuner.hpp"
 #include "model/params.hpp"
 #include "plan/tuning_table.hpp"
+#include "runtime/async.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/comm_bundle.hpp"
 #include "runtime/scratch.hpp"
@@ -51,6 +68,82 @@
 #include "topo/machine.hpp"
 
 namespace mca2a::plan {
+
+class CollectivePlan;
+
+/// An in-flight started collective. Move-only; obtained from
+/// CollectivePlan::start / start_inplace. The exchange progresses whenever
+/// the backend runs (immediately and synchronously on the threads backend;
+/// event by event on the simulator), independent of whether the starter is
+/// waiting.
+///
+/// Dropping a handle before completion aborts the operation mid-exchange
+/// (debug-asserts first) — always test()/wait() started work.
+class CollectiveHandle {
+ public:
+  CollectiveHandle() noexcept = default;
+  CollectiveHandle(CollectiveHandle&&) noexcept = default;
+  CollectiveHandle& operator=(CollectiveHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      st_ = std::move(other.st_);
+    }
+    return *this;
+  }
+  CollectiveHandle(const CollectiveHandle&) = delete;
+  CollectiveHandle& operator=(const CollectiveHandle&) = delete;
+  ~CollectiveHandle() { reset(); }
+
+  /// True if this handle refers to a started operation.
+  bool valid() const noexcept { return st_ != nullptr; }
+  /// True once the operation has completed (also when it failed — wait()
+  /// reports the error). Never advances time: a poll, not a progress call.
+  bool test() const noexcept { return st_ && st_->op->done(); }
+
+  /// Await completion. Multiple coroutines may wait on one handle (the
+  /// Schedule does); an operation that ended with an exception rethrows it
+  /// at every wait. Throws std::logic_error on an invalid (default- or
+  /// moved-from) handle.
+  rt::AsyncOp::WaitAwaiter wait() {
+    if (!st_) {
+      throw std::logic_error("CollectiveHandle::wait: invalid handle");
+    }
+    return st_->op->wait();
+  }
+
+  /// Tag stream (runtime/tags.hpp) this operation's traffic runs in; -1
+  /// on an invalid handle.
+  int tag_stream() const noexcept { return st_ ? st_->stream : -1; }
+  /// comm().now() when the operation was started (0 on an invalid handle).
+  double started_at() const noexcept { return st_ ? st_->started_at : 0.0; }
+  /// comm().now() when it completed; 0 until then.
+  double finished_at() const noexcept { return st_ ? st_->finished_at : 0.0; }
+  /// Completion stats: elapsed virtual (simulator) or wall (threads)
+  /// seconds of the exchange on this rank; 0 until complete.
+  double seconds() const noexcept {
+    return !st_ || st_->finished_at == 0.0
+               ? 0.0
+               : st_->finished_at - st_->started_at;
+  }
+
+ private:
+  friend class CollectivePlan;
+
+  struct State {
+    std::shared_ptr<rt::AsyncOp> op;
+    CollectivePlan* plan = nullptr;
+    int stream = 0;
+    double started_at = 0.0;
+    double finished_at = 0.0;
+  };
+
+  explicit CollectiveHandle(std::shared_ptr<State> st) noexcept
+      : st_(std::move(st)) {}
+
+  void reset() noexcept;
+
+  std::shared_ptr<State> st_;
+};
 
 struct PlanOptions {
   /// Alltoall algorithm to plan for when the descriptor leaves its own
@@ -78,12 +171,31 @@ struct PlanOptions {
 /// zero construction (and, warm, zero allocation) per call.
 class CollectivePlan {
  public:
-  CollectivePlan(CollectivePlan&&) = default;
-  CollectivePlan& operator=(CollectivePlan&&) = default;
+  /// Plans are movable, but never while an operation is in flight: the
+  /// started coroutine holds `this`. Violations throw std::logic_error.
+  CollectivePlan(CollectivePlan&& other) : CollectivePlan() {
+    move_from(std::move(other));
+  }
+  CollectivePlan& operator=(CollectivePlan&& other) {
+    if (this != &other) {
+      check_idle("move-assign over");
+      move_from(std::move(other));
+    }
+    return *this;
+  }
   CollectivePlan(const CollectivePlan&) = delete;
   CollectivePlan& operator=(const CollectivePlan&) = delete;
+  ~CollectivePlan() {
+    // Destroying a plan with a live handle leaves a coroutine holding a
+    // dangling `this`; the handle's own destructor would then abort an
+    // exchange mid-flight. Can't throw here, so: debug-assert.
+    assert(in_flight_ == 0 &&
+           "CollectivePlan destroyed with an operation in flight");
+  }
 
-  /// Run the planned exchange. Buffer extents are validated against the
+  /// Start the planned exchange nonblocking (MPI_Start on a persistent
+  /// op): posts the exchange in a fresh tag stream and returns a handle to
+  /// test()/wait(). Buffer extents are validated up front against the
   /// descriptor (std::invalid_argument on mismatch — the misuse that would
   /// otherwise corrupt data or deadlock):
   ///  * alltoall:  send and recv exactly size() * block() bytes.
@@ -91,15 +203,29 @@ class CollectivePlan {
   ///               blocks packed contiguously in peer order.
   ///  * allgather: send exactly block(), recv size() * block().
   ///  * allreduce: send and recv exactly count * elem_size; recv gets the
-  ///               reduction (send is copied in first; see execute_inplace).
+  ///               reduction (send is copied in first; see start_inplace).
+  /// Buffers must stay valid until the handle completes. At most one
+  /// operation per plan may be in flight (std::logic_error otherwise).
   /// `trace` optionally collects per-phase timings (alltoall only).
+  CollectiveHandle start(rt::ConstView send, rt::MutView recv,
+                         coll::Trace* trace = nullptr);
+
+  /// Allreduce only: start reducing `data` in place (the MPI_IN_PLACE
+  /// form, no staging copy). Throws std::invalid_argument for other op
+  /// kinds or on a bad extent.
+  CollectiveHandle start_inplace(rt::MutView data,
+                                 coll::Trace* trace = nullptr);
+
+  /// Blocking form: start(...) then await the handle. Kept as the simple
+  /// entry point; identical results and timing to the nonblocking form.
   rt::Task<void> execute(rt::ConstView send, rt::MutView recv,
                          coll::Trace* trace = nullptr);
 
-  /// Allreduce only: reduce `data` in place (the MPI_IN_PLACE form, no
-  /// staging copy). Throws std::invalid_argument for other op kinds or on
-  /// a bad extent.
+  /// Blocking form of start_inplace.
   rt::Task<void> execute_inplace(rt::MutView data, coll::Trace* trace = nullptr);
+
+  /// Operations currently in flight on this plan (0 or 1).
+  int in_flight() const noexcept { return in_flight_; }
 
   /// Which collective this plan runs.
   coll::OpKind kind() const noexcept { return desc_.kind(); }
@@ -145,14 +271,37 @@ class CollectivePlan {
   std::uint64_t executions() const noexcept { return executions_; }
 
  private:
+  friend class CollectiveHandle;
+  friend class Schedule;  ///< pre-draws tag streams (start_in_stream)
   friend CollectivePlan make_plan(rt::Comm&, const topo::Machine&,
                                   const model::NetParams&, coll::OpDesc,
                                   const PlanOptions&);
   CollectivePlan() : desc_(coll::AlltoallDesc{}) {}
 
+  void check_idle(const char* what) const;
+  void move_from(CollectivePlan&& other);
+  void check_can_start() const;
+  void validate_extents(rt::ConstView send, rt::MutView recv) const;
+  void validate_inplace(rt::MutView data) const;
+  /// start()/start_inplace() with a caller-reserved tag stream instead of
+  /// a fresh draw. The Schedule reserves its ops' streams up front in
+  /// batch order, because its dependency-driven *start* order is
+  /// rank-local (op completion order differs across ranks) and must not
+  /// influence which stream an op gets.
+  CollectiveHandle start_in_stream(rt::ConstView send, rt::MutView recv,
+                                   coll::Trace* trace, int tag_stream);
+  CollectiveHandle start_inplace_in_stream(rt::MutView data,
+                                           coll::Trace* trace,
+                                           int tag_stream);
+  CollectiveHandle launch(rt::ConstView send, rt::MutView recv,
+                          coll::Trace* trace, int tag_stream);
+  rt::Task<void> run_started(std::shared_ptr<CollectiveHandle::State> st,
+                             rt::ConstView send, rt::MutView recv,
+                             coll::Trace* trace);
   rt::Task<void> run_op(rt::ConstView send, rt::MutView recv,
-                        coll::Trace* trace);
+                        coll::Trace* trace, int tag_stream);
 
+  int in_flight_ = 0;
   rt::Comm* world_ = nullptr;
   std::shared_ptr<const topo::Machine> machine_;  ///< heap: stable across moves
   coll::OpDesc desc_;

@@ -1,0 +1,65 @@
+#include "runtime/async.hpp"
+
+#include <utility>
+
+namespace mca2a::rt {
+
+namespace detail {
+
+/// Fire-and-forget coroutine type for spawn_detached. Starts eagerly
+/// (suspend_never initial suspend); at final suspend it destroys its own
+/// frame first and only then marks the AsyncOp done and resumes the
+/// waiters, so a waiter may safely release anything — including the last
+/// reference to the object that owned this operation.
+struct SpawnTask {
+  struct promise_type {
+    std::shared_ptr<AsyncOp> op;
+
+    // Promise construction from the coroutine's arguments (the standard's
+    // P0914 hook): grabs the shared state before the body runs.
+    promise_type(std::shared_ptr<AsyncOp>& o, Task<void>&) : op(o) {}
+
+    SpawnTask get_return_object() {
+      op->frame_ = std::coroutine_handle<promise_type>::from_promise(*this);
+      return {};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Copy everything needed onto the machine stack: after destroy()
+        // the promise (and this awaiter, which lives in the frame) is gone.
+        std::shared_ptr<AsyncOp> op = std::move(h.promise().op);
+        op->frame_ = {};
+        h.destroy();
+        op->done_ = true;
+        std::vector<std::coroutine_handle<>> waiters =
+            std::move(op->waiters_);
+        for (std::coroutine_handle<> w : waiters) {
+          w.resume();
+        }
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      op->error_ = std::current_exception();
+    }
+  };
+};
+
+SpawnTask spawn_runner(std::shared_ptr<AsyncOp> op, Task<void> task) {
+  (void)op;  // owned by the promise; the parameter keeps the state alive
+  co_await std::move(task);
+}
+
+}  // namespace detail
+
+void spawn_detached(Task<void> task, std::shared_ptr<AsyncOp> op) {
+  detail::spawn_runner(std::move(op), std::move(task));
+}
+
+}  // namespace mca2a::rt

@@ -10,12 +10,6 @@ namespace mca2a::rt {
 
 namespace {
 
-constexpr int kBarrierTag = kInternalTagBase + 1;
-constexpr int kBcastTag = kInternalTagBase + 2;
-constexpr int kGatherTag = kInternalTagBase + 3;
-constexpr int kScatterTag = kInternalTagBase + 4;
-constexpr int kAllgatherTag = kInternalTagBase + 5;
-
 /// Total gathered bytes below which the tree algorithms win.
 constexpr std::size_t kTreeThresholdBytes = 64 * 1024;
 
@@ -24,18 +18,19 @@ int absolute_rank(int vrank, int root, int n) { return (vrank + root) % n; }
 
 }  // namespace
 
-Task<void> barrier(Comm& comm) {
+Task<void> barrier(Comm& comm, int tag_stream) {
   const int n = comm.size();
   const int me = comm.rank();
+  const int tag = tags::make(tags::kBarrier, tag_stream);
   for (int k = 1; k < n; k <<= 1) {
     const int dst = (me + k) % n;
     const int src = (me - k % n + n) % n;
-    co_await comm.sendrecv(ConstView{}, dst, kBarrierTag, MutView{}, src,
-                           kBarrierTag);
+    co_await comm.sendrecv(ConstView{}, dst, tag, MutView{}, src, tag);
   }
 }
 
-Task<void> bcast(Comm& comm, MutView buf, int root) {
+Task<void> bcast(Comm& comm, MutView buf, int root, int tag_stream) {
+  const int tag = tags::make(tags::kBcast, tag_stream);
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -47,7 +42,7 @@ Task<void> bcast(Comm& comm, MutView buf, int root) {
   while (mask < n) {
     if (vr & mask) {
       const int parent = absolute_rank(vr - mask, root, n);
-      co_await comm.recv(buf, parent, kBcastTag);
+      co_await comm.recv(buf, parent, tag);
       break;
     }
     mask <<= 1;
@@ -57,7 +52,7 @@ Task<void> bcast(Comm& comm, MutView buf, int root) {
   while (mask > 0) {
     if (vr + mask < n) {
       const int child = absolute_rank(vr + mask, root, n);
-      co_await comm.send(buf, child, kBcastTag);
+      co_await comm.send(buf, child, tag);
     }
     mask >>= 1;
   }
@@ -67,7 +62,9 @@ Task<void> bcast(Comm& comm, MutView buf, int root) {
 // Gather
 // ---------------------------------------------------------------------------
 
-Task<void> gather_linear(Comm& comm, ConstView send, MutView recv, int root) {
+Task<void> gather_linear(Comm& comm, ConstView send, MutView recv, int root,
+                         int tag_stream) {
+  const int tag = tags::make(tags::kGather, tag_stream);
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -75,7 +72,7 @@ Task<void> gather_linear(Comm& comm, ConstView send, MutView recv, int root) {
   }
   const std::size_t block = send.len;
   if (me != root) {
-    co_await comm.send(send, root, kGatherTag);
+    co_await comm.send(send, root, tag);
     co_return;
   }
   if (recv.len < block * static_cast<std::size_t>(n)) {
@@ -87,14 +84,15 @@ Task<void> gather_linear(Comm& comm, ConstView send, MutView recv, int root) {
     if (r == root) {
       comm.copy_and_charge(recv.sub(r * block, block), send);
     } else {
-      reqs.push_back(comm.irecv(recv.sub(r * block, block), r, kGatherTag));
+      reqs.push_back(comm.irecv(recv.sub(r * block, block), r, tag));
     }
   }
   co_await comm.wait_all(reqs);
 }
 
 Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root,
-                           ScratchArena* scratch) {
+                           ScratchArena* scratch, int tag_stream) {
+  const int tag = tags::make(tags::kGather, tag_stream);
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -124,7 +122,7 @@ Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root,
     if (vr & mask) {
       // Ship the accumulated subtree [vr, vr+have) to the parent and stop.
       const int parent = absolute_rank(vr - mask, root, n);
-      co_await comm.send(tmp.view(0, have * block), parent, kGatherTag);
+      co_await comm.send(tmp.view(0, have * block), parent, tag);
       co_return;
     }
     const int child = vr + mask;
@@ -133,7 +131,7 @@ Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root,
       co_await comm.recv(
           tmp.view(static_cast<std::size_t>(child - vr) * block,
                    static_cast<std::size_t>(child_cnt) * block),
-          absolute_rank(child, root, n), kGatherTag);
+          absolute_rank(child, root, n), tag);
       have += child_cnt;
     }
     mask <<= 1;
@@ -150,12 +148,12 @@ Task<void> gather_binomial(Comm& comm, ConstView send, MutView recv, int root,
 }
 
 Task<void> gather(Comm& comm, ConstView send, MutView recv, int root,
-                  ScratchArena* scratch) {
+                  ScratchArena* scratch, int tag_stream) {
   const std::size_t total = send.len * static_cast<std::size_t>(comm.size());
   if (total <= kTreeThresholdBytes) {
-    co_await gather_binomial(comm, send, recv, root, scratch);
+    co_await gather_binomial(comm, send, recv, root, scratch, tag_stream);
   } else {
-    co_await gather_linear(comm, send, recv, root);
+    co_await gather_linear(comm, send, recv, root, tag_stream);
   }
 }
 
@@ -163,7 +161,9 @@ Task<void> gather(Comm& comm, ConstView send, MutView recv, int root,
 // Scatter
 // ---------------------------------------------------------------------------
 
-Task<void> scatter_linear(Comm& comm, ConstView send, MutView recv, int root) {
+Task<void> scatter_linear(Comm& comm, ConstView send, MutView recv, int root,
+                          int tag_stream) {
+  const int tag = tags::make(tags::kScatter, tag_stream);
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -171,7 +171,7 @@ Task<void> scatter_linear(Comm& comm, ConstView send, MutView recv, int root) {
   }
   const std::size_t block = recv.len;
   if (me != root) {
-    co_await comm.recv(recv, root, kScatterTag);
+    co_await comm.recv(recv, root, tag);
     co_return;
   }
   if (send.len < block * static_cast<std::size_t>(n)) {
@@ -183,14 +183,15 @@ Task<void> scatter_linear(Comm& comm, ConstView send, MutView recv, int root) {
     if (r == root) {
       comm.copy_and_charge(recv, send.sub(r * block, block));
     } else {
-      reqs.push_back(comm.isend(send.sub(r * block, block), r, kScatterTag));
+      reqs.push_back(comm.isend(send.sub(r * block, block), r, tag));
     }
   }
   co_await comm.wait_all(reqs);
 }
 
 Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv, int root,
-                            ScratchArena* scratch) {
+                            ScratchArena* scratch, int tag_stream) {
+  const int tag = tags::make(tags::kScatter, tag_stream);
   const int n = comm.size();
   const int me = comm.rank();
   if (root < 0 || root >= n) {
@@ -221,7 +222,7 @@ Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv, int root,
   } else {
     const int parent = absolute_rank(vr - mask, root, n);
     co_await comm.recv(tmp.view(0, static_cast<std::size_t>(span) * block),
-                       parent, kScatterTag);
+                       parent, tag);
   }
 
   for (int child_mask = mask >> 1; child_mask > 0; child_mask >>= 1) {
@@ -231,19 +232,19 @@ Task<void> scatter_binomial(Comm& comm, ConstView send, MutView recv, int root,
       co_await comm.send(
           tmp.view(static_cast<std::size_t>(child - vr) * block,
                    static_cast<std::size_t>(child_cnt) * block),
-          absolute_rank(child, root, n), kScatterTag);
+          absolute_rank(child, root, n), tag);
     }
   }
   comm.copy_and_charge(recv, ConstView(tmp.view(0, block)));
 }
 
 Task<void> scatter(Comm& comm, ConstView send, MutView recv, int root,
-                   ScratchArena* scratch) {
+                   ScratchArena* scratch, int tag_stream) {
   const std::size_t total = recv.len * static_cast<std::size_t>(comm.size());
   if (total <= kTreeThresholdBytes) {
-    co_await scatter_binomial(comm, send, recv, root, scratch);
+    co_await scatter_binomial(comm, send, recv, root, scratch, tag_stream);
   } else {
-    co_await scatter_linear(comm, send, recv, root);
+    co_await scatter_linear(comm, send, recv, root, tag_stream);
   }
 }
 
@@ -251,7 +252,9 @@ Task<void> scatter(Comm& comm, ConstView send, MutView recv, int root,
 // Allgather / split
 // ---------------------------------------------------------------------------
 
-Task<void> allgather(Comm& comm, ConstView send, MutView recv) {
+Task<void> allgather(Comm& comm, ConstView send, MutView recv,
+                     int tag_stream) {
+  const int tag = tags::make(tags::kAllgather, tag_stream);
   const int n = comm.size();
   const int me = comm.rank();
   const std::size_t block = send.len;
@@ -266,8 +269,8 @@ Task<void> allgather(Comm& comm, ConstView send, MutView recv) {
     const int send_idx = (me - s + n) % n;
     const int recv_idx = (me - s - 1 + n) % n;
     co_await comm.sendrecv(ConstView(recv.sub(send_idx * block, block)), right,
-                           kAllgatherTag, recv.sub(recv_idx * block, block),
-                           left, kAllgatherTag);
+                           tag, recv.sub(recv_idx * block, block),
+                           left, tag);
   }
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "runtime/buffer.hpp"
+#include "runtime/tags.hpp"
 #include "runtime/task.hpp"
 
 namespace mca2a::rt {
@@ -29,8 +30,6 @@ namespace mca2a::rt {
 inline constexpr int kAnySource = -1;
 /// Wildcard tag (MPI_ANY_TAG).
 inline constexpr int kAnyTag = -1;
-/// Tags at or above this value are reserved for library-internal collectives.
-inline constexpr int kInternalTagBase = 1 << 20;
 
 /// Handle to an in-flight nonblocking operation. Backend-owned slot plus a
 /// serial number to catch use-after-completion bugs.
@@ -150,11 +149,28 @@ class Comm {
     charge_copy(copy_bytes(dst, src));
   }
 
+  /// Draw a fresh tag stream for a collective about to start on this
+  /// communicator (see runtime/tags.hpp). Deterministic and local: the n-th
+  /// draw returns the same value on every rank, so ranks that start
+  /// collectives on a communicator in the same order — the collective
+  /// contract — agree on the stream without any communication. Stream 0 is
+  /// never handed out: it belongs to direct (non-started) collective calls,
+  /// which default to it, so a started operation can also overlap those.
+  int acquire_tag_stream() noexcept {
+    const int s = next_tag_stream_;
+    next_tag_stream_ =
+        next_tag_stream_ + 1 < tags::kNumStreams ? next_tag_stream_ + 1 : 1;
+    return s;
+  }
+
  protected:
   Comm(int rank, int size) noexcept : rank_(rank), size_(size) {}
 
   int rank_;
   int size_;
+
+ private:
+  int next_tag_stream_ = 1;  ///< stream 0 is reserved for direct calls
 };
 
 inline bool WaitAwaiter::await_ready() { return comm_->wait_try(reqs_); }

@@ -1,0 +1,70 @@
+#pragma once
+/// \file tags.hpp
+/// Central registry of library-internal message tags.
+///
+/// Every internal collective tags its point-to-point traffic as
+///
+///   kInternalTagBase + tag_stream * tags::kStreamStride + <op offset>
+///
+/// The op offsets below are the single source of truth; they used to be
+/// ad-hoc `kInternalTagBase + 33`-style literals spread across files, with
+/// nothing preventing a silent collision. The *tag stream* dimension
+/// isolates concurrent collectives: every started collective draws a fresh
+/// stream from its communicator (rt::Comm::acquire_tag_stream), so two
+/// operations in flight on the same communicator — or on overlapping
+/// sub-communicators they share — can never cross-match, even when they run
+/// the same algorithm with the same offsets.
+
+#include <cstdint>
+
+namespace mca2a::rt {
+
+/// Tags at or above this value are reserved for library-internal
+/// collectives; user point-to-point traffic must stay below it.
+inline constexpr int kInternalTagBase = 1 << 20;
+
+namespace tags {
+
+/// Per-operation offsets within one tag stream. Offset 0 is never used so
+/// a raw kInternalTagBase tag from pre-registry code can't alias stream 0.
+enum : int {
+  // runtime/collectives.cpp building blocks
+  kBarrier = 1,
+  kBcast = 2,
+  kGather = 3,
+  kScatter = 4,
+  kAllgather = 5,
+  // core/ all-to-all family
+  kAlltoallPairwise = 32,
+  kAlltoallNonblocking = 33,
+  kAlltoallBruck = 34,
+  // coll_ext/ extensions
+  kExtAllgatherBruck = 64,
+  kExtAllreduce = 80,
+  kExtAlltoallv = 96,
+  kMaxOffset_ = 97,  ///< one past the highest offset in use
+};
+
+/// Tag values one stream owns; consecutive streams never overlap.
+inline constexpr int kStreamStride = 128;
+/// Streams per communicator before acquire_tag_stream wraps. Wrapping is
+/// harmless as long as fewer than this many collectives are in flight on
+/// one communicator at once.
+inline constexpr int kNumStreams = 4096;
+
+static_assert(kMaxOffset_ <= kStreamStride,
+              "tag offsets overflow their stream: bump kStreamStride");
+static_assert(kBarrier > 0, "offset 0 is reserved (see above)");
+static_assert(static_cast<std::int64_t>(kInternalTagBase) +
+                      static_cast<std::int64_t>(kNumStreams) * kStreamStride <=
+                  INT32_MAX,
+              "tag space exceeds a positive int: shrink kNumStreams");
+
+/// The wire tag for op offset `op` in stream `stream`.
+constexpr int make(int op, int stream = 0) noexcept {
+  return kInternalTagBase + stream * kStreamStride + op;
+}
+
+}  // namespace tags
+
+}  // namespace mca2a::rt

@@ -1,10 +1,14 @@
 /// Tests for the unified collective API: typed op descriptors
 /// (coll_ext/op_desc.hpp), family-wide CollectivePlan plan/execute,
-/// plan-vs-direct equivalence for every op kind on both backends, execute
-/// argument validation, cross-op PlanCache behavior (coexistence, LRU
-/// across kinds, per-op counters), zero post-warmup allocations (including
-/// the Bruck rotation buffers), the extension tuner, and the op-tagged
-/// v2 TuningTable serialization with backward-compatible v1 loading.
+/// plan-vs-direct equivalence for every op kind on both backends (execute()
+/// is now a start().wait() shim over nonblocking handles, so these
+/// equivalences also pin the handle path to the PR-2 results and virtual
+/// times bit-for-bit), execute argument validation, cross-op PlanCache
+/// behavior (coexistence, LRU across kinds, per-op counters), zero
+/// post-warmup allocations (including the Bruck rotation buffers), the
+/// extension tuner, and the op-tagged v2 TuningTable serialization with
+/// backward-compatible v1 loading. The nonblocking layer itself
+/// (concurrency, tag streams, Schedule) is covered in test_handles.cpp.
 
 #include <gtest/gtest.h>
 
@@ -384,6 +388,35 @@ TEST(CollectivePlan, AlltoallvMatchesDirectOnBothBackends) {
       }
     });
   }
+}
+
+// ---------------------------------------------------------------------------
+// execute() == start().wait(): the blocking shim adds nothing
+// ---------------------------------------------------------------------------
+
+TEST(CollectivePlan, ExecuteIsStartWaitBitForBit) {
+  const topo::Machine machine = topo::generic(2, 4);
+  const std::size_t block = 64;
+  const auto timed = [&](bool nonblocking) {
+    return test::run_sim(machine, [&](Comm& world) -> Task<void> {
+      coll::AlltoallDesc d;
+      d.block = block;
+      d.algo = coll::Algo::kNodeAware;
+      plan::CollectivePlan plan =
+          plan::make_plan(world, machine, model::test_params(), d);
+      Buffer s = world.alloc_buffer(block * world.size());
+      Buffer r = world.alloc_buffer(block * world.size());
+      co_await rt::barrier(world);
+      if (nonblocking) {
+        plan::CollectiveHandle h =
+            plan.start(rt::ConstView(s.view()), r.view());
+        co_await h.wait();
+      } else {
+        co_await plan.execute(rt::ConstView(s.view()), r.view());
+      }
+    });
+  };
+  EXPECT_DOUBLE_EQ(timed(false), timed(true));
 }
 
 // ---------------------------------------------------------------------------
