@@ -1,0 +1,184 @@
+/// Vector-skew study for the locality-aware alltoallv family: how the
+/// algorithms respond as the count matrix's max/mean imbalance factor
+/// grows at a fixed mean message size. Sweeps imbalance (x axis) at a
+/// small and a large mean size on 2 nodes of Dane (simulator, virtual
+/// time), plus a threads-backend wall-clock series at a test-scale
+/// machine, so both backends produce data points.
+///
+/// Counts come from bench::vector_count — one hot pair per source row
+/// carrying imbalance * mean bytes, cold pairs scaled so the matrix mean
+/// stays put — and the "tuned" series lets the skew-aware tuner pick from
+/// the exact global signature (bench::vector_skew). The count metadata
+/// must genuinely travel, so vector runs carry real payloads (run_sim
+/// forces carry_data; keep A2A_FAST for quick smoke runs).
+///
+/// Always writes machine-readable BENCH_vector_skew.json (into
+/// $A2A_BENCH_JSON if set, else the working directory); the text table
+/// and CSV work like every other figure bench.
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "coll_ext/alltoallv.hpp"
+#include "plan/plan.hpp"
+#include "runtime/collectives.hpp"
+#include "smp/smp_runtime.hpp"
+
+using namespace mca2a;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  coll::AlltoallvAlgo algo;
+  int group_size;  ///< 0 = ppn
+  bool tuned;
+};
+
+constexpr Variant kVariants[] = {
+    {"pairwise", coll::AlltoallvAlgo::kPairwise, 0, false},
+    {"nonblocking", coll::AlltoallvAlgo::kNonblocking, 0, false},
+    {"hierarchical g=4", coll::AlltoallvAlgo::kHierarchical, 4, false},
+    {"mlna g=4", coll::AlltoallvAlgo::kMultileaderNodeAware, 4, false},
+    {"tuned", coll::AlltoallvAlgo::kPairwise, 0, true},
+};
+
+void register_sim_point(bench::Figure& fig, const Variant& v,
+                        std::size_t mean, double imb) {
+  bench::RunSpec spec;
+  spec.machine = topo::dane(2).desc();
+  spec.net = model::omni_path();
+  spec.vector = true;
+  spec.vector_algo = v.algo;
+  spec.vector_tuned = v.tuned;
+  spec.group_size = v.group_size;
+  spec.block = mean;
+  spec.vector_imbalance = imb;
+  spec.use_plan = std::getenv("A2A_NO_PLAN") == nullptr;
+  bench::apply_env(spec);
+  const std::string series =
+      std::string(v.name) + " " + std::to_string(mean) + " B";
+  const std::string bname = "vector_skew/" + series + "/imb" +
+                            std::to_string(static_cast<int>(imb));
+  benchmark::RegisterBenchmark(
+      bname.c_str(), [&fig, series, imb, spec](benchmark::State& state) {
+        bench::RunResult res;
+        for (auto _ : state) {
+          res = bench::run_sim(spec);
+          state.SetIterationTime(res.seconds);
+        }
+        fig.add(series, imb, res.seconds);
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Threads-backend wall-clock point: the same exchange on real OS threads
+/// (test-scale machine; max over ranks of the exchange's elapsed time).
+double smp_seconds(coll::AlltoallvAlgo algo, int group_size,
+                   const topo::Machine& machine, std::size_t mean,
+                   double imb) {
+  const int p = machine.total_ranks();
+  std::vector<double> elapsed(p, 0.0);
+  smp::run_threads(p, [&](rt::Comm& world) -> rt::Task<void> {
+    const int me = world.rank();
+    std::vector<std::size_t> scounts(p), rcounts(p);
+    for (int d = 0; d < p; ++d) {
+      scounts[d] = bench::vector_count(me, d, p, mean, imb, /*seed=*/1);
+      rcounts[d] = bench::vector_count(d, me, p, mean, imb, /*seed=*/1);
+    }
+    const auto sdispls = coll::displs_from_counts(scounts);
+    const auto rdispls = coll::displs_from_counts(rcounts);
+    rt::Buffer send = rt::Buffer::real(
+        std::accumulate(scounts.begin(), scounts.end(), std::size_t{0}));
+    rt::Buffer recv = rt::Buffer::real(
+        std::accumulate(rcounts.begin(), rcounts.end(), std::size_t{0}));
+    std::optional<rt::LocalityComms> lc;
+    if (coll::needs_locality(algo)) {
+      lc.emplace(rt::build_locality_comms(world, machine, group_size,
+                                          coll::needs_leader_comms(algo)));
+    }
+    // One warmup, then the timed exchange.
+    for (int rep = 0; rep < 2; ++rep) {
+      co_await rt::barrier(world);
+      const auto t0 = std::chrono::steady_clock::now();
+      co_await coll::run_alltoallv(algo, world, lc ? &*lc : nullptr,
+                                   rt::ConstView(send.view()), scounts,
+                                   sdispls, recv.view(), rcounts, rdispls);
+      elapsed[me] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+  });
+  double worst = 0.0;
+  for (double e : elapsed) {
+    worst = std::max(worst, e);
+  }
+  return worst;
+}
+
+void register_smp_point(bench::Figure& fig, const Variant& v,
+                        std::size_t mean, double imb) {
+  const std::string series =
+      "smp " + std::string(v.name) + " " + std::to_string(mean) + " B";
+  const std::string bname = "vector_skew/" + series + "/imb" +
+                            std::to_string(static_cast<int>(imb));
+  benchmark::RegisterBenchmark(
+      bname.c_str(), [&fig, series, v, mean, imb](benchmark::State& state) {
+        const topo::Machine machine = topo::generic(2, 8);
+        double secs = 0.0;
+        for (auto _ : state) {
+          secs = smp_seconds(v.algo, v.group_size == 0 ? machine.ppn()
+                                                       : v.group_size,
+                             machine, mean, imb);
+          state.SetIterationTime(secs);
+        }
+        fig.add(series, imb, secs);
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = std::getenv("A2A_FAST") != nullptr;
+  bench::Figure fig("vector_skew",
+                    "Locality-aware alltoallv vs count imbalance (Dane, 2 "
+                    "nodes; smp series: 2x8 threads)",
+                    "Imbalance factor (max/mean)");
+  const std::vector<double> imbs =
+      fast ? std::vector<double>{1.0, 32.0}
+           : std::vector<double>{1.0, 4.0, 16.0, 64.0};
+  const std::vector<std::size_t> means =
+      fast ? std::vector<std::size_t>{64} : std::vector<std::size_t>{64, 512};
+  for (const Variant& v : kVariants) {
+    for (std::size_t mean : means) {
+      for (double imb : imbs) {
+        register_sim_point(fig, v, mean, imb);
+      }
+    }
+  }
+  // Threads-backend series: pairwise vs one locality algorithm, small case.
+  for (double imb : imbs) {
+    register_smp_point(fig, kVariants[0], 256, imb);
+    register_smp_point(fig, kVariants[3], 256, imb);
+  }
+  const int rc = benchx::figure_main(argc, argv, fig);
+  // figure_main already wrote the JSON if A2A_BENCH_JSON is set; also
+  // write it by default so the perf trajectory always has data points.
+  if (rc == 0 && std::getenv("A2A_BENCH_JSON") == nullptr) {
+    const std::string json = fig.write_json_file("BENCH_vector_skew.json");
+    if (!json.empty()) {
+      std::printf("(json written to %s)\n", json.c_str());
+    }
+  }
+  return rc;
+}

@@ -4,14 +4,20 @@
 /// of tokens to the rank owning the chosen expert, processes the tokens it
 /// receives, and routes them back — two all-to-all exchanges per layer.
 ///
-/// Token counts per destination are unequal, so this example shows the
-/// standard padded-alltoall recipe (capacity = max tokens per pair,
-/// header carries the real count), which is how fixed-size all-to-all
-/// underpins MPI_Alltoallv-style workloads.
+/// Token counts per destination are unequal, so this is exactly the
+/// irregular workload the locality-aware alltoallv targets. The example
+/// runs the standard recipe end to end:
 ///
-/// Both shuffles of a layer repeat the same (communicator, block)
-/// exchange, so one persistent CollectivePlan serves the route-out and the
-/// route-back (A2A_NO_PLAN=1 restores the direct per-call path).
+///   1. a regular 8-byte alltoall of per-peer byte counts (every rank
+///      learns what it will receive);
+///   2. an allgather of per-rank (total, max) so every rank agrees on the
+///      global AlltoallvSkew signature — the tuner's collective input;
+///   3. the shuffle itself through a locality-aware alltoallv plan
+///      (multi-leader node-aware when the node width allows, hierarchical
+///      otherwise), no padding, no capacity factor.
+///
+/// The imbalance factor the tuner saw, and what it would have picked, are
+/// printed. A2A_NO_PLAN=1 restores the direct pairwise path.
 ///
 /// After the shuffle, the example switches to the data-parallel view of
 /// the same training step: the backward pass fills gradient *buckets*, and
@@ -29,10 +35,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <optional>
 #include <random>
 #include <vector>
 
+#include "coll_ext/alltoallv.hpp"
+#include "coll_ext/ext_tuner.hpp"
 #include "coll_ext/op_desc.hpp"
 #include "core/alltoall.hpp"
 #include "model/presets.hpp"
@@ -52,6 +61,44 @@ struct Token {
   float activation;
 };
 
+/// One persistent alltoallv per traffic direction: planning (leader
+/// communicators, displacement tables, scratch) happens here, outside any
+/// timed region, exactly what the plan machinery is for. Absent under
+/// A2A_NO_PLAN, where the shuffles run direct pairwise instead.
+std::optional<plan::CollectivePlan> make_shuffle_plan(
+    rt::Comm& world, const topo::Machine& machine,
+    const std::vector<std::size_t>& scounts,
+    const std::vector<std::size_t>& rcounts, const coll::AlltoallvSkew& skew,
+    coll::AlltoallvAlgo algo, int group_size) {
+  if (std::getenv("A2A_NO_PLAN") != nullptr) {
+    return std::nullopt;
+  }
+  coll::AlltoallvDesc desc;
+  desc.send_counts = scounts;
+  desc.recv_counts = rcounts;
+  desc.algo = algo;
+  desc.skew = skew;
+  plan::PlanOptions popts;
+  popts.group_size = group_size;
+  return plan::make_plan(world, machine, model::test_params(), desc, popts);
+}
+
+/// Execute one shuffle through its plan, or direct pairwise without one.
+rt::Task<void> shuffle(rt::Comm& world,
+                       std::optional<plan::CollectivePlan>& pl,
+                       const std::vector<std::size_t>& scounts,
+                       const std::vector<std::size_t>& rcounts,
+                       rt::ConstView send, rt::MutView recv) {
+  if (pl) {
+    co_await pl->execute(send, recv);
+    co_return;
+  }
+  const auto sdispls = coll::displs_from_counts(scounts);
+  const auto rdispls = coll::displs_from_counts(rcounts);
+  co_await coll::alltoallv_pairwise(world, send, scounts, sdispls, recv,
+                                    rcounts, rdispls);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,11 +107,18 @@ int main(int argc, char** argv) {
   std::printf("ml_shuffle: %d experts (ranks), %d tokens per rank\n", ranks,
               tokens);
 
-  // Capacity per (src, dst) pair: tokens routed roughly uniformly, with
-  // slack (the "capacity factor" of MoE systems). Overflowing tokens would
-  // be dropped — we size generously and assert nothing drops.
-  const int capacity = 2 * (tokens / ranks) + 8;
-  const std::size_t block = sizeof(int) + capacity * sizeof(Token);
+  // Machine view of the thread pool: two "nodes" when the rank count
+  // splits evenly (so the locality algorithms have an inter-node
+  // dimension), one otherwise.
+  const int nodes = (ranks >= 4 && ranks % 2 == 0) ? 2 : 1;
+  const topo::Machine machine = topo::generic(nodes, ranks / nodes);
+  const int ppn = machine.ppn();
+  // Multi-leader node-aware when the node splits into 2 leader groups,
+  // classic hierarchical (one leader per node) otherwise.
+  const coll::AlltoallvAlgo algo =
+      ppn % 2 == 0 ? coll::AlltoallvAlgo::kMultileaderNodeAware
+                   : coll::AlltoallvAlgo::kHierarchical;
+  const int group_size = ppn % 2 == 0 ? ppn / 2 : ppn;
 
   std::vector<long> checksums(ranks, 0);
   std::vector<long> expected(ranks, 0);
@@ -73,15 +127,6 @@ int main(int argc, char** argv) {
   smp::run_threads(ranks, [&](rt::Comm& world) -> rt::Task<void> {
     const int me = world.rank();
     const int p = world.size();
-    // One plan serves every shuffle of the run (two per MoE layer).
-    std::optional<plan::CollectivePlan> pl;
-    if (std::getenv("A2A_NO_PLAN") == nullptr) {
-      coll::AlltoallDesc desc;
-      desc.block = block;
-      desc.algo = coll::Algo::kNonblockingDirect;
-      pl.emplace(plan::make_plan(world, topo::generic(1, p),
-                                 model::test_params(), desc));
-    }
     std::mt19937 rng(1234 + me);
     std::uniform_int_distribution<int> expert(0, p - 1);
 
@@ -94,62 +139,100 @@ int main(int argc, char** argv) {
       expected[me] += e;  // every token contributes its expert id
     }
 
-    // Pack: [count:int][tokens...] per destination, padded to capacity.
-    rt::Buffer send = rt::Buffer::real(block * p);
-    rt::Buffer recv = rt::Buffer::real(block * p);
+    // --- count-metadata exchange: the alltoallv preamble ------------------
+    // A regular 8-byte alltoall tells every rank how much it will receive
+    // from whom — the counts MPI_Alltoallv requires up front.
+    std::vector<std::size_t> scounts(p), rcounts(p);
     for (int d = 0; d < p; ++d) {
-      auto* base = send.data() + d * block;
-      const int count = static_cast<int>(outbox[d].size());
-      if (count > capacity) {
-        std::fprintf(stderr, "capacity overflow (%d > %d)\n", count, capacity);
-        std::abort();
-      }
-      std::memcpy(base, &count, sizeof(int));
-      std::memcpy(base + sizeof(int), outbox[d].data(),
-                  outbox[d].size() * sizeof(Token));
+      scounts[d] = outbox[d].size() * sizeof(Token);
+    }
+    {
+      rt::Buffer cs = rt::Buffer::real(p * sizeof(std::size_t));
+      rt::Buffer cr = rt::Buffer::real(p * sizeof(std::size_t));
+      std::memcpy(cs.data(), scounts.data(), p * sizeof(std::size_t));
+      co_await coll::alltoall_nonblocking(world, cs.view(), cr.view(),
+                                          sizeof(std::size_t));
+      std::memcpy(rcounts.data(), cr.data(), p * sizeof(std::size_t));
     }
 
+    // --- agree on the global skew signature -------------------------------
+    // The tuner's input is collective: allgather per-rank (row total, row
+    // max) and reduce locally, so every rank sees the same AlltoallvSkew.
+    coll::AlltoallvSkew skew;
+    {
+      std::size_t row[2] = {0, 0};
+      for (int d = 0; d < p; ++d) {
+        row[0] += scounts[d];
+        row[1] = std::max(row[1], scounts[d]);
+      }
+      rt::Buffer mine = rt::Buffer::real(sizeof(row));
+      rt::Buffer all = rt::Buffer::real(p * sizeof(row));
+      std::memcpy(mine.data(), row, sizeof(row));
+      co_await rt::allgather(world, mine.view(), all.view());
+      const auto* rows = reinterpret_cast<const std::size_t*>(all.data());
+      for (int r = 0; r < p; ++r) {
+        skew.total_bytes += rows[2 * r];
+        skew.max_bytes = std::max(skew.max_bytes, rows[2 * r + 1]);
+      }
+    }
+    if (me == 0) {
+      const auto choice = coll::select_alltoallv_algorithm(
+          machine, model::test_params(), skew);
+      std::printf(
+          "  tuner saw imbalance %.2f (total %zu B); it would pick %s, "
+          "this run uses %s (g=%d)\n",
+          choice.imbalance, skew.total_bytes,
+          std::string(coll::alltoallv_algo_name(choice.algo)).c_str(),
+          std::string(coll::alltoallv_algo_name(algo)).c_str(), group_size);
+    }
+
+    // --- route out: locality-aware alltoallv, no padding ------------------
+    // One persistent plan per direction (route-out and route-back have
+    // transposed counts), built before the timed region so the measured
+    // time is the exchange, not plan construction.
+    auto out_plan = make_shuffle_plan(world, machine, scounts, rcounts, skew,
+                                      algo, group_size);
+    auto back_plan = make_shuffle_plan(world, machine, rcounts, scounts, skew,
+                                       algo, group_size);
+    const std::size_t stotal =
+        std::accumulate(scounts.begin(), scounts.end(), std::size_t{0});
+    const std::size_t rtotal =
+        std::accumulate(rcounts.begin(), rcounts.end(), std::size_t{0});
+    rt::Buffer send = rt::Buffer::real(stotal);
+    rt::Buffer recv = rt::Buffer::real(rtotal);
+    {
+      std::size_t off = 0;
+      for (int d = 0; d < p; ++d) {
+        std::memcpy(send.data() + off, outbox[d].data(), scounts[d]);
+        off += scounts[d];
+      }
+    }
     co_await rt::barrier(world);
     const auto t0 = std::chrono::steady_clock::now();
-    if (pl) {
-      co_await pl->execute(rt::ConstView(send.view()), recv.view());
-    } else {
-      co_await coll::alltoall_nonblocking(world, send.view(), recv.view(),
-                                          block);
-    }
+    co_await shuffle(world, out_plan, scounts, rcounts,
+                     rt::ConstView(send.view()), recv.view());
     elapsed[me] =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
-    // "Expert" work: accumulate which tokens arrived (checksum by expert id
-    // = my rank), then bounce them home through a second all-to-all.
-    rt::Buffer back_send = rt::Buffer::real(block * p);
+    // "Expert" work: every received token contributes my expert id, then
+    // bounce everything home — the return counts are the transpose of the
+    // outbound ones, already in hand.
     for (int s = 0; s < p; ++s) {
-      const auto* base = recv.data() + s * block;
-      int count = 0;
-      std::memcpy(&count, base, sizeof(int));
-      checksums[me] += static_cast<long>(count) * me;
-      // Return the same tokens to their origin.
-      std::memcpy(back_send.data() + s * block, base, block);
+      checksums[me] +=
+          static_cast<long>(rcounts[s] / sizeof(Token)) * me;
     }
-    rt::Buffer back = rt::Buffer::real(block * p);
-    if (pl) {
-      co_await pl->execute(rt::ConstView(back_send.view()), back.view());
-    } else {
-      co_await coll::alltoall_nonblocking(world, back_send.view(), back.view(),
-                                          block);
-    }
+    rt::Buffer back = rt::Buffer::real(stotal);
+    co_await shuffle(world, back_plan, rcounts, scounts,
+                     rt::ConstView(recv.view()), back.view());
 
     // Every token must arrive back with its origin intact.
     int mine_back = 0;
-    for (int s = 0; s < p; ++s) {
-      const auto* base = back.data() + s * block;
-      int count = 0;
-      std::memcpy(&count, base, sizeof(int));
-      std::vector<Token> toks(count);
-      std::memcpy(toks.data(), base + sizeof(int), count * sizeof(Token));
-      for (const Token& t : toks) {
-        if (t.origin_rank != me) {
+    {
+      const auto* toks = reinterpret_cast<const Token*>(back.data());
+      const int count = static_cast<int>(stotal / sizeof(Token));
+      for (int t = 0; t < count; ++t) {
+        if (toks[t].origin_rank != me) {
           std::fprintf(stderr, "token returned to the wrong rank\n");
           std::abort();
         }

@@ -41,6 +41,71 @@ std::vector<std::size_t> displs_from_counts(
   return displs;
 }
 
+bool alltoallv_dense_layout(std::span<const std::size_t> counts,
+                            std::span<const std::size_t> displs) {
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (displs[i] != off) {
+      return false;
+    }
+    off += counts[i];
+  }
+  return true;
+}
+
+rt::Task<void> alltoallv_inner(Inner inner, rt::Comm& comm, rt::ConstView send,
+                               std::span<const std::size_t> send_counts,
+                               std::span<const std::size_t> send_displs,
+                               rt::MutView recv,
+                               std::span<const std::size_t> recv_counts,
+                               std::span<const std::size_t> recv_displs,
+                               int tag_stream) {
+  if (inner == Inner::kPairwise) {
+    co_await alltoallv_pairwise(comm, send, send_counts, send_displs, recv,
+                                recv_counts, recv_displs, tag_stream);
+  } else {
+    co_await alltoallv_nonblocking(comm, send, send_counts, send_displs, recv,
+                                   recv_counts, recv_displs, tag_stream);
+  }
+}
+
+rt::Task<void> run_alltoallv(AlltoallvAlgo algo, rt::Comm& world,
+                             const rt::LocalityComms* lc, rt::ConstView send,
+                             std::span<const std::size_t> send_counts,
+                             std::span<const std::size_t> send_displs,
+                             rt::MutView recv,
+                             std::span<const std::size_t> recv_counts,
+                             std::span<const std::size_t> recv_displs,
+                             const Options& opts) {
+  if (needs_locality(algo) && lc == nullptr) {
+    throw std::invalid_argument(
+        "run_alltoallv: this algorithm needs a LocalityComms bundle");
+  }
+  switch (algo) {
+    case AlltoallvAlgo::kPairwise:
+      co_await alltoallv_pairwise(world, send, send_counts, send_displs, recv,
+                                  recv_counts, recv_displs, opts.tag_stream);
+      co_return;
+    case AlltoallvAlgo::kNonblocking:
+      co_await alltoallv_nonblocking(world, send, send_counts, send_displs,
+                                     recv, recv_counts, recv_displs,
+                                     opts.tag_stream);
+      co_return;
+    case AlltoallvAlgo::kHierarchical:
+      co_await alltoallv_hierarchical(*lc, send, send_counts, send_displs,
+                                      recv, recv_counts, recv_displs, opts);
+      co_return;
+    case AlltoallvAlgo::kMultileaderNodeAware:
+      co_await alltoallv_multileader_node_aware(*lc, send, send_counts,
+                                                send_displs, recv, recv_counts,
+                                                recv_displs, opts);
+      co_return;
+    case AlltoallvAlgo::kCount_:
+      break;
+  }
+  throw std::invalid_argument("run_alltoallv: unknown algorithm");
+}
+
 rt::Task<void> alltoallv_pairwise(rt::Comm& comm, rt::ConstView send,
                                   std::span<const std::size_t> send_counts,
                                   std::span<const std::size_t> send_displs,

@@ -136,6 +136,96 @@ double predict_allreduce_seconds(AllreduceAlgo algo,
   throw std::invalid_argument("predict_allreduce: unknown algorithm");
 }
 
+double predict_alltoallv_seconds(AlltoallvAlgo algo,
+                                 const topo::Machine& machine,
+                                 const model::NetParams& net,
+                                 const AlltoallvSkew& skew, int group_size) {
+  const int p = machine.total_ranks();
+  const int ppn = machine.ppn();
+  const double mean =
+      p > 0 ? static_cast<double>(skew.total_bytes) /
+                  (static_cast<double>(p) * p)
+            : 0.0;
+  const double imb = skew.imbalance(p);
+  const auto fixed = [&](Algo a, double block, int g) {
+    return predict_alltoall_seconds(
+        a, machine, net, static_cast<std::size_t>(std::max(0.0, block)), g);
+  };
+  // Skew model: interpolate between the uniform estimate at the mean block
+  // and the (pessimistic) one at the max block. `exposure` is how much of
+  // the worst case an algorithm actually sees: pairwise synchronizes on
+  // the heaviest transfer of many steps (1/2); nonblocking pays the hot
+  // transfer once, through one NIC (1/8); the locality funnels carry hot
+  // pairs inside aggregated blocks whose sizes concentrate around the mean
+  // (1/16).
+  const auto skewed = [&](Algo a, int g, double exposure) {
+    const double at_mean = fixed(a, mean, g);
+    return at_mean + exposure * (fixed(a, mean * imb, g) - at_mean);
+  };
+  // The count-metadata exchange the locality variants prepay: a regular
+  // alltoall of per-peer byte counts through the same leader structure.
+  const auto count_cost = [&](Algo a, int g) {
+    return fixed(a, static_cast<double>(sizeof(std::size_t)), g);
+  };
+
+  switch (algo) {
+    case AlltoallvAlgo::kPairwise:
+      return skewed(Algo::kPairwiseDirect, ppn, 0.5);
+    case AlltoallvAlgo::kNonblocking:
+      return skewed(Algo::kNonblockingDirect, ppn, 0.125);
+    case AlltoallvAlgo::kHierarchical: {
+      const Algo a =
+          group_size == ppn ? Algo::kHierarchical : Algo::kMultileader;
+      return skewed(a, group_size, 1.0 / 16.0) + count_cost(a, group_size);
+    }
+    case AlltoallvAlgo::kMultileaderNodeAware:
+      return skewed(Algo::kMultileaderNodeAware, group_size, 1.0 / 16.0) +
+             count_cost(Algo::kMultileaderNodeAware, group_size);
+    case AlltoallvAlgo::kCount_:
+      break;
+  }
+  throw std::invalid_argument("predict_alltoallv: unknown algorithm");
+}
+
+AlltoallvChoice select_alltoallv_algorithm(
+    const topo::Machine& machine, const model::NetParams& net,
+    const AlltoallvSkew& skew, std::vector<int> candidate_group_sizes) {
+  const int ppn = machine.ppn();
+  AlltoallvChoice best;
+  best.imbalance = skew.imbalance(machine.total_ranks());
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  const auto consider = [&](AlltoallvAlgo a, int g) {
+    const double t = predict_alltoallv_seconds(a, machine, net, skew, g);
+    if (t < best.predicted_seconds) {
+      best.algo = a;
+      best.group_size = g;
+      best.predicted_seconds = t;
+    }
+  };
+  consider(AlltoallvAlgo::kPairwise, ppn);
+  consider(AlltoallvAlgo::kNonblocking, ppn);
+  consider(AlltoallvAlgo::kHierarchical, ppn);
+  for (int g : candidate_groups(machine, std::move(candidate_group_sizes))) {
+    if (g < ppn) {
+      consider(AlltoallvAlgo::kHierarchical, g);
+      consider(AlltoallvAlgo::kMultileaderNodeAware, g);
+    }
+  }
+  return best;
+}
+
+std::size_t alltoallv_size_class(const topo::Machine& machine,
+                                 const AlltoallvSkew& skew) {
+  std::size_t tb = 0;
+  while (tb < 63 && (std::size_t{1} << tb) < skew.total_bytes + 1) {
+    ++tb;
+  }
+  const double imb = skew.imbalance(machine.total_ranks());
+  const auto ib = static_cast<std::size_t>(
+      std::min(255.0, std::max(0.0, std::round(4.0 * std::log2(imb)))));
+  return (tb << 8) | ib;
+}
+
 AllgatherChoice select_allgather_algorithm(
     const topo::Machine& machine, const model::NetParams& net,
     std::size_t block, std::vector<int> candidate_group_sizes) {

@@ -5,8 +5,16 @@
 /// (algorithm, group size) candidate from the same model::NetParams the
 /// simulator charges, and pick the fastest. This is what lets
 /// plan::make_plan resolve `algo = nullopt` family-wide — the paper's §5
-/// dynamic selection applied to the allgather ([1]) and allreduce ([3])
-/// extensions as well.
+/// dynamic selection applied to the allgather ([1]), allreduce ([3]) and
+/// alltoallv extensions as well.
+///
+/// The alltoallv selection is *skew-aware*: its input is an AlltoallvSkew
+/// signature (total bytes + max/mean imbalance factor) rather than a block
+/// size. Pairwise exchange synchronizes on the heaviest transfer of every
+/// step, so its estimate scales with the imbalance; the locality
+/// algorithms aggregate many (src, dst) pairs per message, which averages
+/// the skew away — at high imbalance the leader funnels win even after
+/// paying for their count-metadata exchange. See docs/tuning.md.
 
 #include <cstddef>
 #include <vector>
@@ -31,6 +39,14 @@ double predict_allreduce_seconds(AllreduceAlgo algo,
                                  const topo::Machine& machine,
                                  const model::NetParams& net, std::size_t bytes,
                                  int group_size);
+
+/// Closed-form time estimate for one alltoallv variant under `skew`.
+/// `group_size` is the leader-group width (ignored by the direct
+/// variants). The estimate covers the count-metadata exchange too.
+double predict_alltoallv_seconds(AlltoallvAlgo algo,
+                                 const topo::Machine& machine,
+                                 const model::NetParams& net,
+                                 const AlltoallvSkew& skew, int group_size);
 
 struct AllgatherChoice {
   AllgatherAlgo algo = AllgatherAlgo::kRing;
@@ -58,5 +74,28 @@ AllreduceChoice select_allreduce_algorithm(
     const topo::Machine& machine, const model::NetParams& net,
     std::size_t count, std::size_t elem_size,
     std::vector<int> candidate_group_sizes = {});
+
+struct AlltoallvChoice {
+  AlltoallvAlgo algo = AlltoallvAlgo::kPairwise;
+  int group_size = 1;
+  double predicted_seconds = 0.0;
+  /// The max/mean imbalance factor the decision was made for.
+  double imbalance = 1.0;
+};
+
+/// Pick the fastest alltoallv (algorithm, group size) for a traffic shape
+/// summarized by `skew` (see AlltoallvSkew for the cross-rank agreement
+/// contract). Candidate group sizes as for the other selectors.
+AlltoallvChoice select_alltoallv_algorithm(
+    const topo::Machine& machine, const model::NetParams& net,
+    const AlltoallvSkew& skew, std::vector<int> candidate_group_sizes = {});
+
+/// Quantized size class a skew signature falls into — the TuningTable key
+/// for alltoallv entries (one decision per class, and coarse enough that
+/// ranks estimating the signature locally still land in the same class):
+/// bits [8..) hold ceil(log2(total_bytes + 1)), bits [0..8) the imbalance
+/// bucket round(4 * log2(max/mean)).
+std::size_t alltoallv_size_class(const topo::Machine& machine,
+                                 const AlltoallvSkew& skew);
 
 }  // namespace mca2a::coll

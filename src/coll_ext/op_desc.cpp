@@ -1,5 +1,6 @@
 #include "coll_ext/op_desc.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 
@@ -108,10 +109,50 @@ std::string_view alltoallv_algo_name(AlltoallvAlgo a) {
       return "Pairwise";
     case AlltoallvAlgo::kNonblocking:
       return "Nonblocking";
+    case AlltoallvAlgo::kHierarchical:
+      return "Hierarchical";
+    case AlltoallvAlgo::kMultileaderNodeAware:
+      return "Multileader Node-Aware";
     case AlltoallvAlgo::kCount_:
       break;
   }
   return "?";
+}
+
+bool needs_locality(AlltoallvAlgo a) {
+  return a == AlltoallvAlgo::kHierarchical ||
+         a == AlltoallvAlgo::kMultileaderNodeAware;
+}
+
+bool needs_leader_comms(AlltoallvAlgo a) {
+  return a == AlltoallvAlgo::kMultileaderNodeAware;
+}
+
+double AlltoallvSkew::imbalance(int ranks) const {
+  if (total_bytes == 0 || ranks <= 0) {
+    return 1.0;
+  }
+  const double mean = static_cast<double>(total_bytes) /
+                      (static_cast<double>(ranks) * ranks);
+  return mean > 0.0 ? static_cast<double>(max_bytes) / mean : 1.0;
+}
+
+AlltoallvSkew estimate_alltoallv_skew(
+    std::span<const std::size_t> send_counts,
+    std::span<const std::size_t> recv_counts) {
+  AlltoallvSkew sk;
+  std::size_t row = 0;
+  for (std::size_t c : send_counts) {
+    row += c;
+    sk.max_bytes = std::max(sk.max_bytes, c);
+  }
+  for (std::size_t c : recv_counts) {
+    sk.max_bytes = std::max(sk.max_bytes, c);
+  }
+  // This rank sees one row (its sends) of the matrix; assume the other
+  // rows carry comparable volume.
+  sk.total_bytes = row * std::max<std::size_t>(send_counts.size(), 1);
+  return sk;
 }
 
 // --- AlltoallDesc ------------------------------------------------------------
@@ -172,6 +213,11 @@ std::string AlltoallvDesc::key() const {
                   std::to_string(fnv1a(recv_counts));
   if (algo) {
     k += ",alg=" + std::to_string(static_cast<int>(*algo));
+  } else if (skew) {
+    // The skew signature feeds the tuner, so two descriptors differing only
+    // in it can resolve to different algorithms — it must not alias.
+    k += ",sk=" + std::to_string(skew->total_bytes) + "." +
+         std::to_string(skew->max_bytes);
   }
   return k;
 }

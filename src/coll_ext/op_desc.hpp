@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -81,14 +82,50 @@ inline constexpr int kNumAllreduceAlgos = static_cast<int>(AllreduceAlgo::kCount
 std::string_view allreduce_algo_name(AllreduceAlgo a);
 bool needs_locality(AllreduceAlgo a);
 
-/// Alltoallv variants (coll_ext/alltoallv.hpp).
+/// Alltoallv variants (coll_ext/alltoallv.hpp). The locality variants are
+/// the vector counterparts of the paper's Algorithms 3 and 5: they
+/// aggregate per-node traffic at leaders (preceded by a count-metadata
+/// exchange) and need a rt::LocalityComms bundle plus a data-carrying
+/// transport (counts must actually move).
 enum class AlltoallvAlgo : int {
   kPairwise = 0,
   kNonblocking,
+  kHierarchical,          ///< leader gather / leader exchange / scatter
+  kMultileaderNodeAware,  ///< G leaders per node, node-aware leader exchange
   kCount_,
 };
 inline constexpr int kNumAlltoallvAlgos = static_cast<int>(AlltoallvAlgo::kCount_);
 std::string_view alltoallv_algo_name(AlltoallvAlgo a);
+/// True if the variant needs a rt::LocalityComms bundle.
+bool needs_locality(AlltoallvAlgo a);
+/// True if the variant uses the leader communicators (Algorithm 5 shape).
+bool needs_leader_comms(AlltoallvAlgo a);
+
+/// Collective skew signature of an alltoallv: the tuner's input. Unlike a
+/// fixed block size, one rank's count vectors do not determine the global
+/// traffic shape, so the signature summarizes the whole p x p count matrix:
+/// total bytes and the largest single (src, dst) transfer. Like every other
+/// make_plan argument it is part of the collective contract — every rank
+/// must pass the same values for the tuner to reach the same decision on
+/// every rank. estimate_alltoallv_skew() derives it from one rank's vectors
+/// (exact only when traffic is statistically homogeneous across ranks);
+/// workloads with systematic per-rank structure should agree on the real
+/// signature first (e.g. an allgather of per-rank totals/maxima, see
+/// examples/ml_shuffle.cpp).
+struct AlltoallvSkew {
+  std::size_t total_bytes = 0;  ///< sum over the whole count matrix
+  std::size_t max_bytes = 0;    ///< largest single (src, dst) count
+
+  /// max/mean imbalance factor over the p*p matrix entries (>= 1.0; 1.0
+  /// for an empty exchange). `ranks` is the communicator size.
+  double imbalance(int ranks) const;
+};
+
+/// Local-view estimate: scales this rank's send row (and recv column) up to
+/// the full matrix. Every rank of a statistically homogeneous exchange gets
+/// approximately — not bit-exactly — the same signature; see AlltoallvSkew.
+AlltoallvSkew estimate_alltoallv_skew(std::span<const std::size_t> send_counts,
+                                      std::span<const std::size_t> recv_counts);
 
 // --- descriptors -------------------------------------------------------------
 
@@ -112,6 +149,10 @@ struct AlltoallvDesc {
   std::vector<std::size_t> send_counts;
   std::vector<std::size_t> recv_counts;
   std::optional<AlltoallvAlgo> algo;
+  /// Collective skew signature consulted when `algo` is empty; when absent
+  /// the tuner falls back to estimate_alltoallv_skew over this rank's
+  /// vectors (see AlltoallvSkew for the cross-rank agreement caveat).
+  std::optional<AlltoallvSkew> skew;
 
   std::size_t send_total() const;
   std::size_t recv_total() const;

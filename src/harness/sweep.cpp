@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "coll_ext/alltoallv.hpp"
 #include "plan/plan.hpp"
 #include "plan/schedule.hpp"
 #include "runtime/collectives.hpp"
@@ -16,6 +19,44 @@
 #include "sim/sim_comm.hpp"
 
 namespace mca2a::bench {
+
+std::size_t vector_count(int s, int d, int p, std::size_t mean,
+                         double imbalance, std::uint64_t seed) {
+  if (p <= 0 || mean == 0) {
+    return 0;
+  }
+  if (imbalance <= 1.0) {
+    return mean;
+  }
+  const bool hot =
+      (static_cast<std::uint64_t>(s) + static_cast<std::uint64_t>(d) + seed) %
+          static_cast<std::uint64_t>(p) ==
+      0;
+  if (hot) {
+    return static_cast<std::size_t>(
+        std::llround(imbalance * static_cast<double>(mean)));
+  }
+  // One hot pair per row: shrink the p-1 cold pairs so the row (and
+  // matrix) mean stays `mean`. Negative shrink (imbalance > p) clamps to
+  // zero-count cold pairs.
+  const double lo = static_cast<double>(mean) *
+                    (static_cast<double>(p) - imbalance) /
+                    static_cast<double>(p - 1);
+  return lo > 0.0 ? static_cast<std::size_t>(std::llround(lo)) : 0;
+}
+
+coll::AlltoallvSkew vector_skew(int p, std::size_t mean, double imbalance,
+                                std::uint64_t seed) {
+  coll::AlltoallvSkew sk;
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      const std::size_t c = vector_count(s, d, p, mean, imbalance, seed);
+      sk.total_bytes += c;
+      sk.max_bytes = std::max(sk.max_bytes, c);
+    }
+  }
+  return sk;
+}
 
 void apply_env(RunSpec& spec) {
   if (const char* reps = std::getenv("A2A_BENCH_REPS")) {
@@ -32,7 +73,10 @@ RunResult run_sim(const RunSpec& spec) {
   sim::ClusterConfig cfg;
   cfg.machine = spec.machine;
   cfg.net = spec.net;
-  cfg.carry_data = spec.carry_data;
+  // Vector runs move real bytes: the locality alltoallv algorithms learn
+  // the aggregated message sizes from count metadata that must genuinely
+  // travel, so virtual payloads are not an option.
+  cfg.carry_data = spec.carry_data || spec.vector;
   cfg.noise_seed = spec.seed;
   sim::Cluster cluster(cfg);
 
@@ -112,6 +156,73 @@ RunResult run_sim(const RunSpec& spec) {
     }
   };
 
+  // Vector (alltoallv) mode: identical protocol, irregular counts.
+  coll::AlltoallvSkew vskew;
+  if (spec.vector) {
+    if (overlap >= 2) {
+      throw std::invalid_argument(
+          "run_sim: vector mode is not supported with overlap >= 2");
+    }
+    vskew = vector_skew(p, spec.block, spec.vector_imbalance, spec.seed);
+  }
+  auto vector_main = [&](rt::Comm& world) -> rt::Task<void> {
+    const int me = world.rank();
+    std::vector<std::size_t> scounts(p), rcounts(p);
+    for (int d = 0; d < p; ++d) {
+      scounts[d] =
+          vector_count(me, d, p, spec.block, spec.vector_imbalance, spec.seed);
+      rcounts[d] =
+          vector_count(d, me, p, spec.block, spec.vector_imbalance, spec.seed);
+    }
+    const auto sdispls = coll::displs_from_counts(scounts);
+    const auto rdispls = coll::displs_from_counts(rcounts);
+    rt::Buffer sbuf = world.alloc_buffer(
+        std::accumulate(scounts.begin(), scounts.end(), std::size_t{0}));
+    rt::Buffer rbuf = world.alloc_buffer(
+        std::accumulate(rcounts.begin(), rcounts.end(), std::size_t{0}));
+
+    std::optional<plan::CollectivePlan> pl;
+    std::optional<rt::LocalityComms> lc;
+    coll::Options opts;
+    opts.inner = spec.inner;
+    if (spec.use_plan || spec.vector_tuned) {
+      coll::AlltoallvDesc desc;
+      desc.send_counts = scounts;
+      desc.recv_counts = rcounts;
+      if (!spec.vector_tuned) {
+        desc.algo = spec.vector_algo;
+      }
+      desc.skew = vskew;  // exact global signature, identical on every rank
+      plan::PlanOptions popts;
+      popts.group_size = g;
+      popts.inner = spec.inner;
+      pl.emplace(plan::make_plan(world, machine, spec.net, desc, popts));
+    } else if (coll::needs_locality(spec.vector_algo)) {
+      lc.emplace(rt::build_locality_comms(
+          world, machine, g, coll::needs_leader_comms(spec.vector_algo)));
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      coll::Trace trace;
+      coll::Trace* tr = spec.collect_trace ? &trace : nullptr;
+      co_await rt::barrier(world);
+      start[rep][me] = world.now();
+      if (pl) {
+        co_await pl->execute(rt::ConstView(sbuf.view()), rbuf.view(), tr);
+      } else {
+        opts.trace = tr;
+        co_await coll::run_alltoallv(spec.vector_algo, world,
+                                     lc ? &*lc : nullptr,
+                                     rt::ConstView(sbuf.view()), scounts,
+                                     sdispls, rbuf.view(), rcounts, rdispls,
+                                     opts);
+      }
+      end[rep][me] = world.now();
+      if (spec.collect_trace) {
+        traces[rep][me] = trace;
+      }
+    }
+  };
+
   auto rank_main = [&](rt::Comm& world) -> rt::Task<void> {
     const int me = world.rank();
     if (spec.algo == coll::Algo::kSystemMpi) {
@@ -164,6 +275,8 @@ RunResult run_sim(const RunSpec& spec) {
 
   if (overlap >= 2) {
     cluster.run(overlap_main);
+  } else if (spec.vector) {
+    cluster.run(vector_main);
   } else {
     cluster.run(rank_main);
   }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "coll_ext/op_desc.hpp"
 #include "core/alltoall.hpp"
 #include "model/params.hpp"
 #include "topo/machine.hpp"
@@ -52,6 +53,23 @@ struct RunSpec {
   /// exchange starts (the compute grain the overlap is meant to hide,
   /// e.g. producing a gradient bucket).
   std::size_t compute_bytes = 0;
+  /// Vector (alltoallv) mode: time the irregular exchange instead of the
+  /// fixed-size one. `block` becomes the *mean* bytes per (src, dst) pair;
+  /// the count matrix is generated deterministically from `seed` with a
+  /// max/mean imbalance of `vector_imbalance` (see vector_count). The
+  /// algorithms' count metadata must genuinely travel, so vector runs
+  /// force carry_data (real payloads — keep the machine small). Not
+  /// combinable with overlap >= 2.
+  bool vector = false;
+  /// Which alltoallv algorithm a vector run times (ignored when
+  /// vector_tuned is set).
+  coll::AlltoallvAlgo vector_algo = coll::AlltoallvAlgo::kPairwise;
+  /// Target max/mean imbalance factor of the generated counts (>= 1;
+  /// realized imbalance caps at the rank count — see vector_count).
+  double vector_imbalance = 1.0;
+  /// Let the skew-aware tuner pick the algorithm (through the plan path,
+  /// with the exact global skew signature of the generated matrix).
+  bool vector_tuned = false;
 };
 
 struct RunResult {
@@ -76,5 +94,20 @@ RunResult run_sim(const RunSpec& spec);
 
 /// Apply environment overrides: A2A_BENCH_REPS (int), A2A_NOISE (sigma).
 void apply_env(RunSpec& spec);
+
+/// Deterministic skewed count matrix used by vector (alltoallv) runs:
+/// bytes rank `s` sends rank `d` on a `p`-rank communicator. One hot pair
+/// per source row ((s + d + seed) % p == 0) carries imbalance * mean
+/// bytes; the rest are scaled down so the matrix mean stays `mean`. With
+/// imbalance > p the cold pairs clamp at zero and the realized max/mean
+/// caps at p. Every rank (and the host) can evaluate any entry, which is
+/// how benches compute the exact global skew signature.
+std::size_t vector_count(int s, int d, int p, std::size_t mean,
+                         double imbalance, std::uint64_t seed);
+
+/// Exact skew signature of the vector_count matrix (what vector_tuned
+/// passes to the tuner as AlltoallvDesc::skew).
+coll::AlltoallvSkew vector_skew(int p, std::size_t mean, double imbalance,
+                                std::uint64_t seed);
 
 }  // namespace mca2a::bench

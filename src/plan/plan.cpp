@@ -228,22 +228,11 @@ rt::Task<void> CollectivePlan::run_op(rt::ConstView send, rt::MutView recv,
       co_return;
     case coll::OpKind::kAlltoallv: {
       const auto& d = desc_.alltoallv();
-      switch (static_cast<coll::AlltoallvAlgo>(algo_)) {
-        case coll::AlltoallvAlgo::kPairwise:
-          co_await coll::alltoallv_pairwise(*world_, send, d.send_counts,
-                                            send_displs_, recv, d.recv_counts,
-                                            recv_displs_, tag_stream);
-          co_return;
-        case coll::AlltoallvAlgo::kNonblocking:
-          co_await coll::alltoallv_nonblocking(*world_, send, d.send_counts,
-                                               send_displs_, recv,
-                                               d.recv_counts, recv_displs_,
-                                               tag_stream);
-          co_return;
-        case coll::AlltoallvAlgo::kCount_:
-          break;
-      }
-      throw std::logic_error("CollectivePlan: bad alltoallv algorithm");
+      co_await coll::run_alltoallv(static_cast<coll::AlltoallvAlgo>(algo_),
+                                   *world_, bundle(), send, d.send_counts,
+                                   send_displs_, recv, d.recv_counts,
+                                   recv_displs_, opts);
+      co_return;
     }
     case coll::OpKind::kAllgather:
       switch (static_cast<coll::AllgatherAlgo>(algo_)) {
@@ -343,9 +332,27 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
     }
     case coll::OpKind::kAlltoallv: {
       const auto& d = p.desc_.alltoallv();
-      p.algo_ = static_cast<int>(
-          d.algo.value_or(coll::AlltoallvAlgo::kPairwise));
-      p.group_size_ = explicit_group;
+      if (d.algo) {
+        p.algo_ = static_cast<int>(*d.algo);
+        p.group_size_ = explicit_group;
+      } else {
+        // Skew-aware selection: the descriptor's collective signature when
+        // given, this rank's local estimate otherwise (see AlltoallvSkew
+        // for the cross-rank agreement caveat).
+        const coll::AlltoallvSkew skew =
+            d.skew ? *d.skew
+                   : coll::estimate_alltoallv_skew(d.send_counts,
+                                                   d.recv_counts);
+        const coll::AlltoallvChoice c =
+            opts.table ? opts.table->choose_alltoallv(machine, net, skew)
+                       : coll::select_alltoallv_algorithm(machine, net, skew);
+        p.algo_ = static_cast<int>(c.algo);
+        p.group_size_ = c.group_size;
+        p.predicted_seconds_ = c.predicted_seconds;
+      }
+      const auto va = static_cast<coll::AlltoallvAlgo>(p.algo_);
+      need_lc = coll::needs_locality(va);
+      need_leaders = coll::needs_leader_comms(va);
       p.send_displs_ = coll::displs_from_counts(d.send_counts);
       p.recv_displs_ = coll::displs_from_counts(d.recv_counts);
       p.send_total_ = d.send_total();

@@ -18,7 +18,8 @@
 ///   co_await ar.execute_inplace(data);
 ///
 /// Leaving the descriptor's algorithm empty consults the tuner (alltoall:
-/// coll::select_algorithm; allgather/allreduce: coll_ext/ext_tuner), or a
+/// coll::select_algorithm; allgather/allreduce/alltoallv:
+/// coll_ext/ext_tuner — skew-aware for alltoallv, see AlltoallvSkew), or a
 /// PlanOptions::table memoizing those decisions across plans.
 ///
 /// A plan belongs to one rank (like the rt::Comm it wraps). Every rank of
@@ -206,7 +207,8 @@ class CollectivePlan {
   ///               reduction (send is copied in first; see start_inplace).
   /// Buffers must stay valid until the handle completes. At most one
   /// operation per plan may be in flight (std::logic_error otherwise).
-  /// `trace` optionally collects per-phase timings (alltoall only).
+  /// `trace` optionally collects per-phase timings (alltoall and the
+  /// locality alltoallv algorithms; leaders only for the latter).
   CollectiveHandle start(rt::ConstView send, rt::MutView recv,
                          coll::Trace* trace = nullptr);
 

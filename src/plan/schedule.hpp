@@ -2,15 +2,16 @@
 /// \file schedule.hpp
 /// Dependency-aware batch execution of started collective plans.
 ///
-/// A Schedule takes N planned launches plus happens-before edges, starts
-/// every operation whose dependencies are satisfied, progresses all of them
+/// A Schedule takes N planned launches — of any op kind the plan layer
+/// knows, alltoallv included — plus happens-before edges, starts every
+/// operation whose dependencies are satisfied, progresses all of them
 /// concurrently (each in its own tag stream — reserved up front in add
 /// order, since dependency-completion order is rank-local — so nothing
-/// cross-matches), and reports per-op and critical-path virtual time. The precomputed-schedule
-/// execution model of Basu et al. ("Efficient All-to-All Collective
-/// Communication Schedules for Direct-Connect Topologies") is the shape;
-/// the motivating workload is gradient-bucket overlap in data-parallel
-/// training (see examples/ml_shuffle.cpp).
+/// cross-matches), and reports per-op and critical-path virtual time. The
+/// precomputed-schedule execution model of Basu et al. ("Efficient
+/// All-to-All Collective Communication Schedules for Direct-Connect
+/// Topologies") is the shape; the motivating workload is gradient-bucket
+/// overlap in data-parallel training (see examples/ml_shuffle.cpp).
 ///
 ///   plan::Schedule s;
 ///   const int a = s.add(bucket0_plan, send0, recv0);

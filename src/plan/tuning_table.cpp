@@ -161,6 +161,37 @@ coll::AllreduceChoice TuningTable::choose_allreduce(
   return c;
 }
 
+// --- alltoallv ---------------------------------------------------------------
+
+std::optional<coll::AlltoallvChoice> TuningTable::lookup_alltoallv(
+    const topo::Machine& machine, const coll::AlltoallvSkew& skew) const {
+  const auto e = lookup_entry(machine, coll::OpKind::kAlltoallv,
+                              coll::alltoallv_size_class(machine, skew));
+  if (!e) {
+    return std::nullopt;
+  }
+  coll::AlltoallvChoice c;
+  c.algo = static_cast<coll::AlltoallvAlgo>(e->algo);
+  c.group_size = e->group_size;
+  c.predicted_seconds = e->predicted_seconds;
+  c.imbalance = skew.imbalance(machine.total_ranks());
+  return c;
+}
+
+coll::AlltoallvChoice TuningTable::choose_alltoallv(
+    const topo::Machine& machine, const model::NetParams& net,
+    const coll::AlltoallvSkew& skew) {
+  if (const auto hit = lookup_alltoallv(machine, skew)) {
+    return *hit;
+  }
+  const coll::AlltoallvChoice c =
+      coll::select_alltoallv_algorithm(machine, net, skew);
+  entries_[key_of(machine, coll::OpKind::kAlltoallv,
+                  coll::alltoallv_size_class(machine, skew))] =
+      Entry{static_cast<int>(c.algo), c.group_size, c.predicted_seconds};
+  return c;
+}
+
 // --- serialization -----------------------------------------------------------
 
 void TuningTable::save(std::ostream& os) const {

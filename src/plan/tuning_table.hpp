@@ -40,7 +40,8 @@ namespace mca2a::plan {
 
 /// Lookup key: machine shape, collective kind, payload size in bytes (per
 /// rank pair for alltoall, per rank for allgather, the whole vector for
-/// allreduce).
+/// allreduce, and coll::alltoallv_size_class — a quantized total-bytes ×
+/// imbalance class — for alltoallv).
 struct TuningKey {
   /// topo::Machine::name(); names with whitespace are rejected (they could
   /// not round-trip through the whitespace-delimited file format).
@@ -97,6 +98,15 @@ class TuningTable {
                                          const model::NetParams& net,
                                          std::size_t count,
                                          std::size_t elem_size);
+
+  /// Alltoallv entries are keyed by coll::alltoallv_size_class(machine,
+  /// skew) — a quantized (total bytes, imbalance) class, since exact count
+  /// vectors would never repeat — stored in the file format's block column.
+  std::optional<coll::AlltoallvChoice> lookup_alltoallv(
+      const topo::Machine& machine, const coll::AlltoallvSkew& skew) const;
+  coll::AlltoallvChoice choose_alltoallv(const topo::Machine& machine,
+                                         const model::NetParams& net,
+                                         const coll::AlltoallvSkew& skew);
 
   // --- observability / serialization ----------------------------------------
 

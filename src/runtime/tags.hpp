@@ -42,7 +42,14 @@ enum : int {
   kExtAllgatherBruck = 64,
   kExtAllreduce = 80,
   kExtAlltoallv = 96,
-  kMaxOffset_ = 97,  ///< one past the highest offset in use
+  // locality-aware alltoallv (coll_ext/alltoallv_locality.cpp): the
+  // variable-size leader gather/scatter funnels. The count-metadata and
+  // aggregated-payload exchanges reuse the regular alltoall / kExtAlltoallv
+  // offsets (they run sequentially on their sub-communicators, which is
+  // safe within one stream: matching is FIFO and non-overtaking per pair).
+  kExtAlltoallvGatherv = 97,
+  kExtAlltoallvScatterv = 98,
+  kMaxOffset_ = 99,  ///< one past the highest offset in use
 };
 
 /// Tag values one stream owns; consecutive streams never overlap.

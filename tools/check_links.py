@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the docs/ site and README.
+
+Walks the markdown files named on the command line (files or directories)
+and verifies that every relative link target exists in the repository.
+External links (http/https/mailto) are skipped — CI must not depend on
+the network — and pure in-page anchors (#...) are checked against the
+headings of the same file.
+
+Exit status 1 (with one line per problem) when anything is broken, so the
+CI docs job fails loudly.
+
+Usage: tools/check_links.py README.md docs
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced blocks and inline code spans: markdown-syntax examples
+    inside them are not links and must not fail the check."""
+    return INLINE_CODE_RE.sub("", FENCE_RE.sub("", text))
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, punctuation out."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_in(path: Path) -> set:
+    return {anchor_of(h) for h in HEADING_RE.findall(path.read_text())}
+
+
+def collect(argv):
+    for arg in argv:
+        p = Path(arg)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.md"))
+        elif p.suffix == ".md":
+            yield p
+
+
+def main(argv) -> int:
+    problems = []
+    for md in collect(argv or ["README.md", "docs"]):
+        text = strip_code(md.read_text())
+        for target in LINK_RE.findall(text):
+            if target.startswith(EXTERNAL):
+                continue
+            if target.startswith("#"):
+                # Compare the raw fragment: GitHub anchor matching is
+                # case-sensitive, so '#Tag-Streams' is dead even when
+                # '## Tag Streams' exists.
+                if target[1:] not in anchors_in(md):
+                    problems.append(f"{md}: broken anchor '{target}'")
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{md}: broken link '{target}'")
+            elif anchor and resolved.suffix == ".md":
+                if anchor not in anchors_in(resolved):
+                    problems.append(
+                        f"{md}: broken anchor '{target}' (no such heading)")
+    for p in problems:
+        print(p)
+    if not problems:
+        print("all markdown links OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
