@@ -1,0 +1,343 @@
+/// Convergence study for the online autotuner (src/autotune/): how many
+/// executions does measurement-driven selection need to match the best
+/// static algorithm? Each case runs N back-to-back exchanges of one shape
+/// in adapt mode — every execution re-plans through one shared
+/// OnlineSelector with the algorithm left empty, so the selector explores
+/// the model-plausible candidates and then exploits the measured winner —
+/// and plots the per-execution time (x = execution index) against two
+/// constant reference lines: the best static algorithm (oracle: every
+/// plausible candidate measured, minimum taken) and the closed-form
+/// model's static choice.
+///
+/// Cases cover both backends: Dane (2 nodes, simulator, virtual time,
+/// deterministic) and a 2x8-thread generic machine (threads backend, wall
+/// clock). Back-to-back exchanges pipeline through residual clock skew, so
+/// a session's in-flight times are history-dependent; the comparable
+/// quantity is the *converged choice* re-measured under the identical
+/// static protocol. The printed summary reports, per case, the algorithm
+/// the selector settled on after its bounded exploration and how its
+/// static time compares to the oracle's (the 5% target).
+///
+/// A2A_AUTOTUNE does not gate this bench (the selectors here are explicit;
+/// adapt is the point), but CI runs it under A2A_AUTOTUNE=adapt to smoke
+/// the env-configured global path too. Always writes BENCH_autotune.json
+/// (build tree by default, $A2A_BENCH_JSON overrides).
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autotune/selector.hpp"
+#include "plan/plan.hpp"
+#include "runtime/collectives.hpp"
+#include "smp/smp_runtime.hpp"
+
+using namespace mca2a;
+
+namespace {
+
+/// Executions per case: enough to explore every plausible candidate
+/// (max_candidates x explore_target = 12 by default) plus an exploit tail
+/// long enough for a stable steady-state estimate.
+constexpr int kExecs = 20;
+
+struct Summary {
+  std::string name;
+  double best_static = 0.0;    ///< best candidate's steady mean (oracle)
+  double model_static = 0.0;   ///< model choice's steady mean
+  double winner_static = 0.0;  ///< converged choice's steady mean
+  double online_steady = 0.0;  ///< in-session mean of the exploit tail
+  int explore_execs = 0;       ///< executions the selector spent exploring
+  bool converged = false;      ///< winner_static within 5% of best_static
+  std::string final_algo;
+};
+
+std::vector<Summary>& summaries() {
+  static std::vector<Summary> s;
+  return s;
+}
+
+/// Mean of times[from..end) — the steady-state estimate. (Single
+/// executions in a back-to-back session carry residual-skew noise either
+/// way; steady means are the comparable quantity.)
+double steady_mean(const std::vector<double>& times, std::size_t from) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = from; i < times.size(); ++i) {
+    sum += times[i];
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+void add_case(bench::Figure& fig, const std::string& name,
+              const std::vector<double>& online, int explore_execs,
+              double best_static, double model_static, double winner_static,
+              const std::string& final_algo) {
+  for (int i = 0; i < static_cast<int>(online.size()); ++i) {
+    fig.add(name + " online", i + 1, online[i]);
+    fig.add(name + " best-static", i + 1, best_static);
+    fig.add(name + " model", i + 1, model_static);
+  }
+  Summary s;
+  s.name = name;
+  s.best_static = best_static;
+  s.model_static = model_static;
+  s.winner_static = winner_static;
+  s.explore_execs = explore_execs;
+  s.online_steady = steady_mean(online, explore_execs);
+  s.converged = winner_static <= 1.05 * best_static;
+  s.final_algo = final_algo;
+  summaries().push_back(s);
+}
+
+// --- simulator cases ---------------------------------------------------------
+
+void register_sim_case(bench::Figure& fig, std::size_t block) {
+  const std::string name = "dane2 " + std::to_string(block) + " B sim";
+  benchmark::RegisterBenchmark(
+      ("autotune/" + name).c_str(),
+      [&fig, name, block](benchmark::State& state) {
+        const topo::Machine machine = topo::dane(2);
+        const model::NetParams net = model::omni_path();
+        // Static reference, measured with the identical in-session
+        // protocol (kExecs back-to-back reps, steady mean of the per-rep
+        // trajectory, first rep dropped as warmup): back-to-back
+        // exchanges pipeline through residual clock skew, so a fresh
+        // one-shot run is not comparable.
+        const auto static_seconds = [&](coll::Algo algo, int g) {
+          bench::RunSpec spec;
+          spec.machine = machine.desc();
+          spec.net = net;
+          spec.algo = algo;
+          spec.group_size = g;
+          spec.block = block;
+          spec.reps = kExecs;
+          spec.use_plan = true;
+          const bench::RunResult r = bench::run_sim(spec);
+          return steady_mean(r.rep_seconds, 1);
+        };
+        autotune::OnlineSelector sel(autotune::Mode::kAdapt);
+        std::vector<double> online;
+        double total = 0.0;
+        for (auto _ : state) {
+          bench::RunSpec spec;
+          spec.machine = machine.desc();
+          spec.net = net;
+          spec.block = block;
+          spec.reps = kExecs;
+          spec.autotune = true;
+          spec.selector = &sel;
+          const bench::RunResult r = bench::run_sim(spec);
+          online = r.rep_seconds;
+          total = 0.0;
+          for (double t : online) {
+            total += t;
+          }
+          state.SetIterationTime(total);
+          // The oracle and the model reference, over the same candidate
+          // set the selector explored.
+          const auto ranked = coll::rank_alltoall_candidates(
+              machine, net, block, sel.config().plausible_factor,
+              sel.config().max_candidates);
+          const auto winner = static_cast<coll::Algo>(r.rep_algos.back());
+          const int winner_group = r.rep_groups.back();
+          double best = std::numeric_limits<double>::infinity();
+          double model = 0.0;
+          double winner_static = 0.0;
+          for (const coll::Choice& c : ranked) {
+            const double t = static_seconds(c.algo, c.group_size);
+            best = std::min(best, t);
+            if (&c == &ranked.front()) {
+              model = t;
+            }
+            if (c.algo == winner && c.group_size == winner_group) {
+              winner_static = t;
+            }
+          }
+          const int explore_execs = static_cast<int>(ranked.size()) *
+                                    sel.config().explore_target;
+          add_case(fig, name, online, std::min(explore_execs, kExecs - 1),
+                   best, model, winner_static,
+                   std::string(coll::algo_name(winner)));
+        }
+        state.counters["sim_s"] = total;
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+// --- threads-backend case ----------------------------------------------------
+
+/// One online adapt-mode trajectory on real OS threads: `execs` rounds of
+/// barrier -> plan (selector decides) -> timed exchange. Returns the
+/// per-round max-over-ranks wall time; `final_algo` gets the last round's
+/// resolved algorithm.
+std::vector<double> smp_online(autotune::OnlineSelector& sel,
+                               const topo::Machine& machine,
+                               const model::NetParams& net, std::size_t block,
+                               int execs, int* final_algo, int* final_group) {
+  const int p = machine.total_ranks();
+  std::vector<std::vector<double>> elapsed(execs, std::vector<double>(p, 0.0));
+  smp::run_threads(p, [&](rt::Comm& world) -> rt::Task<void> {
+    const int me = world.rank();
+    const std::size_t total = static_cast<std::size_t>(p) * block;
+    rt::Buffer sbuf = rt::Buffer::real(total);
+    rt::Buffer rbuf = rt::Buffer::real(total);
+    for (int e = 0; e < execs; ++e) {
+      // Barrier-separated rounds: all ranks consult the selector against
+      // the same profiler state (its determinism contract).
+      co_await rt::barrier(world);
+      coll::AlltoallDesc desc;
+      desc.block = block;
+      plan::PlanOptions popts;
+      popts.autotune = &sel;
+      plan::CollectivePlan pl = plan::make_plan(world, machine, net, desc,
+                                                popts);
+      if (me == 0 && final_algo != nullptr) {
+        *final_algo = pl.algo_id();
+        *final_group = pl.group_size();
+      }
+      co_await rt::barrier(world);
+      const auto t0 = std::chrono::steady_clock::now();
+      co_await pl.execute(rt::ConstView(sbuf.view()), rbuf.view());
+      elapsed[e][me] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+  });
+  std::vector<double> out(execs, 0.0);
+  for (int e = 0; e < execs; ++e) {
+    out[e] = *std::max_element(elapsed[e].begin(), elapsed[e].end());
+  }
+  return out;
+}
+
+/// Static wall time of one candidate, measured with the online loop's
+/// protocol: kExecs barrier-separated rounds in one session, steady mean
+/// of the per-round max-over-ranks times (first round dropped as warmup).
+double smp_static(const topo::Machine& machine, const model::NetParams& net,
+                  std::size_t block, coll::Algo algo, int g) {
+  const int p = machine.total_ranks();
+  std::vector<std::vector<double>> elapsed(kExecs,
+                                           std::vector<double>(p, 0.0));
+  smp::run_threads(p, [&](rt::Comm& world) -> rt::Task<void> {
+    const int me = world.rank();
+    const std::size_t total = static_cast<std::size_t>(p) * block;
+    rt::Buffer sbuf = rt::Buffer::real(total);
+    rt::Buffer rbuf = rt::Buffer::real(total);
+    coll::AlltoallDesc desc;
+    desc.block = block;
+    desc.algo = algo;
+    plan::PlanOptions popts;
+    popts.group_size = g;
+    plan::CollectivePlan pl =
+        plan::make_plan(world, machine, net, desc, popts);
+    for (int rep = 0; rep < kExecs; ++rep) {
+      co_await rt::barrier(world);
+      const auto t0 = std::chrono::steady_clock::now();
+      co_await pl.execute(rt::ConstView(sbuf.view()), rbuf.view());
+      elapsed[rep][me] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+  });
+  std::vector<double> per_rep(kExecs, 0.0);
+  for (int rep = 0; rep < kExecs; ++rep) {
+    per_rep[rep] =
+        *std::max_element(elapsed[rep].begin(), elapsed[rep].end());
+  }
+  return steady_mean(per_rep, 1);
+}
+
+void register_smp_case(bench::Figure& fig, std::size_t block) {
+  const std::string name = "smp 2x8 " + std::to_string(block) + " B";
+  benchmark::RegisterBenchmark(
+      ("autotune/" + name).c_str(),
+      [&fig, name, block](benchmark::State& state) {
+        const topo::Machine machine = topo::generic(2, 8);
+        const model::NetParams net = model::test_params();
+        autotune::OnlineSelector sel(autotune::Mode::kAdapt);
+        std::vector<double> online;
+        int final_algo = 0;
+        int final_group = 0;
+        for (auto _ : state) {
+          online = smp_online(sel, machine, net, block, kExecs, &final_algo,
+                              &final_group);
+          double total = 0.0;
+          for (double t : online) {
+            total += t;
+          }
+          state.SetIterationTime(total);
+          const auto ranked = coll::rank_alltoall_candidates(
+              machine, net, block, sel.config().plausible_factor,
+              sel.config().max_candidates);
+          const auto winner = static_cast<coll::Algo>(final_algo);
+          double best = std::numeric_limits<double>::infinity();
+          double model = 0.0;
+          double winner_static = 0.0;
+          for (const coll::Choice& c : ranked) {
+            const double t =
+                smp_static(machine, net, block, c.algo, c.group_size);
+            best = std::min(best, t);
+            if (&c == &ranked.front()) {
+              model = t;
+            }
+            if (c.algo == winner && c.group_size == final_group) {
+              winner_static = t;
+            }
+          }
+          const int explore_execs = static_cast<int>(ranked.size()) *
+                                    sel.config().explore_target;
+          add_case(fig, name, online, std::min(explore_execs, kExecs - 1),
+                   best, model, winner_static,
+                   std::string(coll::algo_name(winner)));
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = std::getenv("A2A_FAST") != nullptr;
+  bench::Figure fig("autotune",
+                    "Online autotuning convergence: per-execution time vs "
+                    "best static algorithm (Dane 2-node sim; 2x8-thread smp)",
+                    "Execution index");
+  const std::vector<std::size_t> sim_blocks =
+      fast ? std::vector<std::size_t>{64}
+           : std::vector<std::size_t>{4, 512, 4096};
+  for (std::size_t block : sim_blocks) {
+    register_sim_case(fig, block);
+  }
+  register_smp_case(fig, 256);
+  const int rc = benchx::figure_main(argc, argv, fig);
+  if (rc == 0 && !summaries().empty()) {
+    std::printf(
+        "\nConvergence summary (converged choice re-measured under the "
+        "static protocol; target: within 5%% of the best static "
+        "algorithm):\n");
+    for (const Summary& s : summaries()) {
+      std::printf(
+          "  %-18s oracle %s, model pick %s, converged pick %s -> %s "
+          "after %d exploration execs: %s (%+.1f%%); in-session steady "
+          "%s\n",
+          s.name.c_str(), bench::format_time(s.best_static).c_str(),
+          bench::format_time(s.model_static).c_str(), s.final_algo.c_str(),
+          bench::format_time(s.winner_static).c_str(), s.explore_execs,
+          s.converged ? "converged" : "NOT within 5%",
+          100.0 * (s.winner_static / s.best_static - 1.0),
+          bench::format_time(s.online_steady).c_str());
+    }
+  }
+  return rc;
+}

@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
+#include <array>
 #include <iostream>
+#include <string_view>
 
 namespace mca2a::benchx {
 
@@ -141,7 +143,67 @@ void register_breakdown_point(bench::Figure& fig, const topo::Machine& machine,
                        make_spec(machine.desc(), net, algo, block, true));
 }
 
+std::string default_bench_out_dir() {
+#ifdef MCA2A_BENCH_OUT_DIR
+  return MCA2A_BENCH_OUT_DIR;
+#else
+  return ".";
+#endif
+}
+
+std::string write_bench_json(const bench::Figure& fig) {
+  // Figure::write_json_file redirects into $A2A_BENCH_JSON when set.
+  return fig.write_json_file(default_bench_out_dir() + "/BENCH_" + fig.id() +
+                             ".json");
+}
+
+namespace {
+
+void print_usage(std::ostream& os, const bench::Figure& fig,
+                 const char* prog) {
+  os << prog << " — figure bench '" << fig.id() << "'\n\n"
+     << "Flags:\n"
+        "  --list        enumerate every registered (series, x) point\n"
+        "                without running anything\n"
+        "  --help, -h    this text\n"
+        "  (anything else is passed to google-benchmark, e.g.\n"
+        "   --benchmark_filter=<regex>)\n\n"
+        "Environment knobs (docs/tuning.md has the full list):\n"
+        "  A2A_FAST=1          subsample sweeps (quick smoke run)\n"
+        "  A2A_BENCH_REPS=n    repetitions inside the simulator\n"
+        "  A2A_NOISE=sigma     log-normal noise on latencies/overheads\n"
+        "  A2A_BENCH_CSV=dir   also write <fig>.csv into dir\n"
+        "  A2A_BENCH_JSON=dir  BENCH_<fig>.json destination (default: "
+     << default_bench_out_dir()
+     << ")\n"
+        "  A2A_NO_PLAN=1       bypass persistent plans\n"
+        "  A2A_AUTOTUNE=mode   online autotuning: off|observe|adapt\n"
+        "  A2A_PROFILE=path    persist the autotune profile across runs\n";
+}
+
+}  // namespace
+
 int figure_main(int argc, char** argv, bench::Figure& fig) {
+  // Our flags first: google-benchmark rejects argv it does not know.
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, fig, argv[0]);
+      return 0;
+    }
+    if (arg == "--list") {
+      // Every registered (series, x) point is one google-benchmark entry;
+      // delegate the enumeration to its list mode (no benchmark runs).
+      std::string prog = argv[0];
+      std::string flag = "--benchmark_list_tests=true";
+      std::array<char*, 2> av = {prog.data(), flag.data()};
+      int ac = static_cast<int>(av.size());
+      benchmark::Initialize(&ac, av.data());
+      benchmark::RunSpecifiedBenchmarks();
+      benchmark::Shutdown();
+      return 0;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
@@ -153,14 +215,12 @@ int figure_main(int argc, char** argv, bench::Figure& fig) {
   if (!csv.empty()) {
     std::cout << "(csv written to " << csv << ")\n";
   }
-  // Machine-readable trajectory data: A2A_BENCH_JSON=dir makes every
-  // figure bench drop a BENCH_<id>.json there.
-  if (const char* dir = std::getenv("A2A_BENCH_JSON");
-      dir != nullptr && *dir != '\0') {
-    const std::string json = fig.write_json_file("BENCH_" + fig.id() + ".json");
-    if (!json.empty()) {
-      std::cout << "(json written to " << json << ")\n";
-    }
+  // Machine-readable trajectory data, always: into $A2A_BENCH_JSON when
+  // set, the build tree's bench/ directory otherwise (never the source
+  // tree — bench artifacts are not for committing).
+  const std::string json = write_bench_json(fig);
+  if (!json.empty()) {
+    std::cout << "(json written to " << json << ")\n";
   }
   return 0;
 }

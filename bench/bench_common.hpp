@@ -5,15 +5,25 @@
 /// Each binary registers one google-benchmark entry per (series, x) point;
 /// the benchmark's manual time IS the simulated collective time, so the
 /// usual benchmark tooling (filters, JSON output, repetitions) works
-/// unchanged. After the run the binary prints the paper-style table and,
-/// if A2A_BENCH_CSV names a directory, writes <fig>.csv there.
+/// unchanged. After the run the binary prints the paper-style table,
+/// writes machine-readable BENCH_<fig>.json into the build tree (or
+/// $A2A_BENCH_JSON) and, if A2A_BENCH_CSV names a directory, <fig>.csv
+/// there.
+///
+/// Flags handled by figure_main (anything else goes to google-benchmark,
+/// e.g. --benchmark_filter):
+///   --list            enumerate every registered (series, x) point
+///                     without running anything
+///   --help / -h       usage, flags and environment knobs
 ///
 /// Environment knobs:
 ///   A2A_FAST=1        subsample sizes/node counts (quick smoke run)
 ///   A2A_BENCH_REPS=n  repetitions inside the simulator (paper: min of 3)
 ///   A2A_NOISE=sigma   log-normal noise on latencies/overheads
 ///   A2A_BENCH_CSV=dir CSV output directory
+///   A2A_BENCH_JSON=dir JSON output directory (default: build tree bench/)
 ///   A2A_NO_PLAN=1     bypass persistent plans (legacy per-run construction)
+///   A2A_AUTOTUNE / A2A_PROFILE  online autotuning (docs/tuning.md)
 
 #include <benchmark/benchmark.h>
 
@@ -80,7 +90,17 @@ void register_breakdown_point(bench::Figure& fig, const topo::Machine& machine,
                               const std::vector<PhaseSeries>& phases, double x,
                               std::size_t block);
 
-/// Run registered benchmarks, then print the figure and write CSV.
+/// Where BENCH_*.json files land when A2A_BENCH_JSON is unset: the build
+/// tree's bench/ directory (compiled in at configure time), never the
+/// source tree or the working directory.
+std::string default_bench_out_dir();
+
+/// Write the figure's BENCH_<id>.json into $A2A_BENCH_JSON (when set) or
+/// default_bench_out_dir(). Returns the path written, empty on failure.
+std::string write_bench_json(const bench::Figure& fig);
+
+/// Handle --list/--help, run registered benchmarks, then print the figure
+/// and write JSON (always) and CSV (A2A_BENCH_CSV).
 int figure_main(int argc, char** argv, bench::Figure& fig);
 
 }  // namespace mca2a::benchx

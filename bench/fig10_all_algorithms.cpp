@@ -29,12 +29,7 @@ int main(int argc, char** argv) {
   };
   benchx::register_size_sweep(fig, machine, net, series,
                               benchx::default_sizes());
-  const int rc = benchx::figure_main(argc, argv, fig);
-  // The headline figure drops machine-readable trajectory data even
-  // without A2A_BENCH_JSON (figure_main already writes it when the env
-  // var is set; don't write a second copy, or anything on failure).
-  if (rc == 0 && std::getenv("A2A_BENCH_JSON") == nullptr) {
-    fig.write_json_file("BENCH_fig10.json");
-  }
-  return rc;
+  // figure_main always writes BENCH_fig10.json (build tree by default,
+  // $A2A_BENCH_JSON overrides).
+  return benchx::figure_main(argc, argv, fig);
 }

@@ -12,8 +12,9 @@
 /// run — the dependency lower bound no schedule can beat.
 ///
 /// Always writes machine-readable BENCH_overlap.json (into $A2A_BENCH_JSON
-/// if set, else the working directory) so the perf trajectory has data
-/// points; the text table and CSV work like every other figure bench.
+/// if set, else the build tree's bench/ directory) so the perf trajectory
+/// has data points; the text table and CSV work like every other figure
+/// bench.
 
 #include "bench_common.hpp"
 
@@ -80,14 +81,7 @@ int main(int argc, char** argv) {
       register_point(fig, name, block, grain, /*chain=*/true);
     }
   }
-  const int rc = benchx::figure_main(argc, argv, fig);
-  // figure_main already wrote the JSON if A2A_BENCH_JSON is set; this
-  // bench also writes it by default so the trajectory always has points.
-  if (rc == 0 && std::getenv("A2A_BENCH_JSON") == nullptr) {
-    const std::string json = fig.write_json_file("BENCH_overlap.json");
-    if (!json.empty()) {
-      std::printf("(json written to %s)\n", json.c_str());
-    }
-  }
-  return rc;
+  // figure_main always writes BENCH_overlap.json (build tree by default,
+  // $A2A_BENCH_JSON overrides).
+  return benchx::figure_main(argc, argv, fig);
 }

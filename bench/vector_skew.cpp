@@ -13,8 +13,8 @@
 /// forces carry_data; keep A2A_FAST for quick smoke runs).
 ///
 /// Always writes machine-readable BENCH_vector_skew.json (into
-/// $A2A_BENCH_JSON if set, else the working directory); the text table
-/// and CSV work like every other figure bench.
+/// $A2A_BENCH_JSON if set, else the build tree's bench/ directory); the
+/// text table and CSV work like every other figure bench.
 
 #include "bench_common.hpp"
 
@@ -171,14 +171,7 @@ int main(int argc, char** argv) {
     register_smp_point(fig, kVariants[0], 256, imb);
     register_smp_point(fig, kVariants[3], 256, imb);
   }
-  const int rc = benchx::figure_main(argc, argv, fig);
-  // figure_main already wrote the JSON if A2A_BENCH_JSON is set; also
-  // write it by default so the perf trajectory always has data points.
-  if (rc == 0 && std::getenv("A2A_BENCH_JSON") == nullptr) {
-    const std::string json = fig.write_json_file("BENCH_vector_skew.json");
-    if (!json.empty()) {
-      std::printf("(json written to %s)\n", json.c_str());
-    }
-  }
-  return rc;
+  // figure_main always writes BENCH_vector_skew.json (build tree by
+  // default, $A2A_BENCH_JSON overrides).
+  return benchx::figure_main(argc, argv, fig);
 }

@@ -11,6 +11,13 @@
 /// persistent plans (RunSpec::use_plan), keeping communicator construction
 /// out of the timed region.
 ///
+/// The final section is the static-vs-online showdown (src/autotune/):
+/// an adapt-mode OnlineSelector runs a bounded exploration of the
+/// model-plausible candidates against real (simulated) executions, then
+/// exploits the measured winner — and its warmed profile round-trips
+/// through the TuningTable v3 format, so a restarted process picks the
+/// measured winner immediately, zero re-exploration.
+///
 ///   ./build/examples/tuner_demo [machine] [nodes]
 
 #include <cstdio>
@@ -19,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "autotune/selector.hpp"
 #include "coll_ext/ext_tuner.hpp"
 #include "core/tuner.hpp"
 #include "harness/figure.hpp"
@@ -99,5 +107,58 @@ int main(int argc, char** argv) {
                 ar.group_size);
   }
   std::printf("table now: %zu entries\n", loaded.size());
+
+  // --- static vs online showdown (src/autotune/) ----------------------------
+  // Adapt mode: each size class explores the model-plausible candidates
+  // against real executions (bounded: candidates x explore_target), then
+  // exploits the measured winner. The model's pick is the baseline.
+  std::printf("\nstatic vs online (adapt mode, %d executions per size):\n",
+              20);
+  autotune::OnlineSelector sel(autotune::Mode::kAdapt);
+  for (std::size_t block : sizes) {
+    bench::RunSpec spec;
+    spec.machine = machine.desc();
+    spec.net = net;
+    spec.block = block;
+    spec.reps = 20;
+    spec.autotune = true;
+    spec.selector = &sel;
+    const bench::RunResult r = bench::run_sim(spec);
+    const coll::Choice model_pick = loaded.choose(machine, net, block);
+    std::printf(
+        "  %-8zu model %-24s online %-24s (g=%-3d, steady %s)\n", block,
+        std::string(coll::algo_name(model_pick.algo)).c_str(),
+        std::string(
+            coll::algo_name(static_cast<coll::Algo>(r.rep_algos.back())))
+            .c_str(),
+        r.rep_groups.back(),
+        bench::format_time(r.rep_seconds.back()).c_str());
+  }
+  std::printf(
+      "selector: %llu explorations, %llu exploitations; profile holds %zu "
+      "entries / %llu samples\n",
+      static_cast<unsigned long long>(sel.explorations()),
+      static_cast<unsigned long long>(sel.exploitations()),
+      sel.profiler().size(),
+      static_cast<unsigned long long>(sel.profiler().total_samples()));
+
+  // Persistence: the measured profile ships inside the TuningTable (v3
+  // section). A restarted process that loads it exploits immediately.
+  plan::TuningTable with_profile;
+  with_profile.profile().merge(sel.profiler());
+  std::stringstream profile_file;
+  with_profile.save(profile_file);
+  const plan::TuningTable reloaded = plan::TuningTable::load(profile_file);
+  autotune::OnlineSelector warm(autotune::Mode::kAdapt);
+  warm.profiler().merge(reloaded.profile());
+  const auto warm_choice =
+      warm.choose_alltoall(machine, net, sizes.back(), "sim");
+  const std::string warm_name =
+      warm_choice ? std::string(coll::algo_name(warm_choice->algo)) : "?";
+  std::printf(
+      "restart: profile reloaded from a v3 table (%zu entries); warm "
+      "selector picks %s for %zu B with %llu explorations\n",
+      reloaded.profile().size(), warm_name.c_str(), sizes.back(),
+      static_cast<unsigned long long>(warm.explorations()));
   return 0;
 }

@@ -1,0 +1,181 @@
+#include "autotune/calibrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "coll_ext/ext_tuner.hpp"
+#include "core/tuner.hpp"
+
+namespace mca2a::autotune {
+
+namespace {
+
+constexpr double kScaleMin = 0.05;
+constexpr double kScaleMax = 20.0;
+
+/// The model's prediction for one profile entry, or a negative value when
+/// the entry has no closed-form predictor (unknown op, stale algorithm
+/// index, group size that no longer divides ppn, ...). Deserialized
+/// profiles can legitimately carry entries the current build cannot score.
+double predict_entry(const ProfileKey& key, const topo::Machine& machine,
+                     const model::NetParams& net) {
+  try {
+    switch (key.op) {
+      case coll::OpKind::kAlltoall:
+        return coll::predict_alltoall_seconds(static_cast<coll::Algo>(key.algo),
+                                              machine, net, key.size_key,
+                                              key.group_size);
+      case coll::OpKind::kAllgather:
+        return coll::predict_allgather_seconds(
+            static_cast<coll::AllgatherAlgo>(key.algo), machine, net,
+            key.size_key, key.group_size);
+      case coll::OpKind::kAllreduce:
+        return coll::predict_allreduce_seconds(
+            static_cast<coll::AllreduceAlgo>(key.algo), machine, net,
+            key.size_key, key.group_size);
+      case coll::OpKind::kAlltoallv:  // size class is not a byte count
+      case coll::OpKind::kCount_:
+        return -1.0;
+    }
+  } catch (const std::exception&) {
+    return -1.0;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+model::NetParams scale_params(const model::NetParams& net, double alpha_scale,
+                              double beta_scale) {
+  model::NetParams out = net;
+  for (auto& l : out.level) {
+    l.alpha *= alpha_scale;
+    l.o_send *= alpha_scale;
+    l.o_recv *= alpha_scale;
+    l.beta *= beta_scale;
+  }
+  out.nic_msg_overhead *= alpha_scale;
+  out.mem_msg_overhead *= alpha_scale;
+  out.match_base *= alpha_scale;
+  out.match_per_item *= alpha_scale;
+  out.nic_inject_beta *= beta_scale;
+  out.nic_eject_beta *= beta_scale;
+  out.mem_channel_beta *= beta_scale;
+  out.cpu_copy_beta *= beta_scale;
+  out.cpu_copy_beta_intra *= beta_scale;
+  out.cpu_copy_beta_intra_cached *= beta_scale;
+  out.pack_beta *= beta_scale;
+  return out;
+}
+
+model::NetParams Calibration::apply(const model::NetParams& net) const {
+  if (!fitted) {
+    return net;
+  }
+  return scale_params(net, alpha_scale, beta_scale);
+}
+
+Calibration fit_cost_model(const ExecutionProfiler& profiler,
+                           const topo::Machine& machine,
+                           const model::NetParams& net,
+                           std::string_view backend,
+                           std::size_t min_entries) {
+  struct Sample {
+    double measured = 0.0;  // mean over executions
+    double t0 = 0.0;        // model at scales (1, 1)
+    double ta = 0.0;        // alpha-term contribution
+    double tb = 0.0;        // beta-term contribution
+    double w = 0.0;         // weight
+    std::uint64_t n = 0;
+  };
+  std::vector<Sample> samples;
+  std::uint64_t total_n = 0;
+
+  const model::NetParams net_a2 = scale_params(net, 2.0, 1.0);
+  const model::NetParams net_b2 = scale_params(net, 1.0, 2.0);
+
+  for (const auto& [key, stats] : profiler.snapshot()) {
+    if (key.machine != machine.name() || key.nodes != machine.nodes() ||
+        key.ppn != machine.ppn() || key.backend != backend || stats.n == 0) {
+      continue;
+    }
+    const double t0 = predict_entry(key, machine, net);
+    if (t0 <= 0.0 || stats.mean <= 0.0) {
+      continue;
+    }
+    Sample s;
+    s.measured = stats.mean;
+    s.t0 = t0;
+    // Finite differences isolate the α- and β-term contributions: the
+    // predictors are (piecewise) linear in the scaled terms, so doubling a
+    // scale adds exactly that scale's contribution.
+    s.ta = predict_entry(key, machine, net_a2) - t0;
+    s.tb = predict_entry(key, machine, net_b2) - t0;
+    // Relative weighting (normalize by measured²) so microsecond and
+    // millisecond regimes pull equally; cap the per-entry sample count so
+    // one hammered size class cannot drown the rest.
+    s.n = stats.n;
+    s.w = static_cast<double>(std::min<std::uint64_t>(stats.n, 16)) /
+          (s.measured * s.measured);
+    samples.push_back(s);
+    total_n += stats.n;
+  }
+
+  Calibration cal;
+  if (samples.size() < min_entries) {
+    return cal;
+  }
+  cal.entries = samples.size();
+  cal.samples = total_n;
+
+  // Weighted least squares for (a, b) in  measured ≈ c + a·ta + b·tb,
+  // c = t0 - ta - tb (the residual constant part of the model).
+  double saa = 0.0, sab = 0.0, sbb = 0.0, say = 0.0, sby = 0.0;
+  for (const Sample& s : samples) {
+    const double y = s.measured - (s.t0 - s.ta - s.tb);
+    saa += s.w * s.ta * s.ta;
+    sab += s.w * s.ta * s.tb;
+    sbb += s.w * s.tb * s.tb;
+    say += s.w * s.ta * y;
+    sby += s.w * s.tb * y;
+  }
+  const double det = saa * sbb - sab * sab;
+  double a = 1.0;
+  double b = 1.0;
+  if (det > 1e-12 * std::max(saa * sbb, 1e-300)) {
+    a = (say * sbb - sby * sab) / det;
+    b = (sby * saa - say * sab) / det;
+  } else {
+    // Degenerate design (e.g. one size class only, or pure-α samples):
+    // fall back to a single shared scale on both term families.
+    double num = 0.0, den = 0.0;
+    for (const Sample& s : samples) {
+      const double t_ab = s.ta + s.tb;
+      const double y = s.measured - (s.t0 - t_ab);
+      num += s.w * t_ab * y;
+      den += s.w * t_ab * t_ab;
+    }
+    if (den > 0.0) {
+      a = b = num / den;
+    }
+  }
+  cal.alpha_scale = std::clamp(a, kScaleMin, kScaleMax);
+  cal.beta_scale = std::clamp(b, kScaleMin, kScaleMax);
+  cal.fitted = true;
+
+  double err0 = 0.0, err1 = 0.0;
+  for (const Sample& s : samples) {
+    const double before = (s.t0 - s.measured) / s.measured;
+    const double fit =
+        s.t0 - s.ta - s.tb + cal.alpha_scale * s.ta + cal.beta_scale * s.tb;
+    const double after = (fit - s.measured) / s.measured;
+    err0 += before * before;
+    err1 += after * after;
+  }
+  cal.rms_before = std::sqrt(err0 / static_cast<double>(samples.size()));
+  cal.rms_after = std::sqrt(err1 / static_cast<double>(samples.size()));
+  return cal;
+}
+
+}  // namespace mca2a::autotune

@@ -1,0 +1,77 @@
+#pragma once
+/// \file calibrator.hpp
+/// Cost-model calibration from measured executions.
+///
+/// The closed-form tuners (core/tuner, coll_ext/ext_tuner) evaluate
+/// model::NetParams that were set once per machine preset. On a real
+/// system the effective latency (α-type terms: per-message latencies and
+/// CPU overheads) and bandwidth (β-type terms: per-byte rates) drift from
+/// the preset, which moves algorithm crossover points — the
+/// model-vs-reality gap SuperMUC-scale deployments report. Rather than
+/// learn every (op, size, algorithm) cell independently, the calibrator
+/// fits just two global scale factors from whatever the ExecutionProfiler
+/// has accumulated:
+///
+///   measured ≈ const + alpha_scale * T_alpha + beta_scale * T_beta
+///
+/// where T_alpha/T_beta are each sample's model-predicted α-/β-term
+/// contributions (obtained by finite differencing the predictor — exact
+/// where the predictor is linear in the scaled terms, a first-order
+/// approximation across its max() seams). Weighted least squares over all
+/// samples (relative weighting, so small and large messages count alike)
+/// yields the two scales, which then benefit *every* size class — also the
+/// ones the online selector has never explored.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "autotune/profiler.hpp"
+#include "model/params.hpp"
+#include "topo/machine.hpp"
+
+namespace mca2a::autotune {
+
+/// A fitted (or identity) pair of cost-model scale factors.
+struct Calibration {
+  /// Multiplier on the α-type terms: per-level alpha/o_send/o_recv,
+  /// per-message NIC and memory-channel overheads, matching costs.
+  double alpha_scale = 1.0;
+  /// Multiplier on the β-type terms: per-level beta, NIC inject/eject and
+  /// memory-channel rates, CPU copy rates, pack rate.
+  double beta_scale = 1.0;
+  /// Whether a fit was performed (enough usable profile entries).
+  bool fitted = false;
+  /// Distinct profile entries and total executions behind the fit.
+  std::size_t entries = 0;
+  std::uint64_t samples = 0;
+  /// Relative RMS error of the model against the measured means, before
+  /// and after scaling (diagnostics; after <= before up to the linear
+  /// approximation).
+  double rms_before = 0.0;
+  double rms_after = 0.0;
+
+  /// `net` with the two scale factors applied (identity when !fitted).
+  model::NetParams apply(const model::NetParams& net) const;
+};
+
+/// Scale a parameter set's α-/β-type terms (the transformation
+/// Calibration::apply performs; exposed for the calibrator's own finite
+/// differencing and for tests).
+model::NetParams scale_params(const model::NetParams& net, double alpha_scale,
+                              double beta_scale);
+
+/// Fit the two scales from every profile entry matching (machine shape,
+/// backend) whose op has a closed-form predictor (alltoall, allgather,
+/// allreduce; alltoallv entries are keyed by quantized size class and are
+/// skipped). Returns an identity Calibration (fitted == false) when fewer
+/// than `min_entries` usable entries exist. Scales are clamped to
+/// [0.05, 20] — a sample set pathological enough to leave that range says
+/// "don't trust this fit", not "the network is 100x off".
+Calibration fit_cost_model(const ExecutionProfiler& profiler,
+                           const topo::Machine& machine,
+                           const model::NetParams& net,
+                           std::string_view backend,
+                           std::size_t min_entries = 4);
+
+}  // namespace mca2a::autotune

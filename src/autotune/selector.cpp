@@ -1,0 +1,217 @@
+#include "autotune/selector.hpp"
+
+#include <limits>
+
+namespace mca2a::autotune {
+
+std::string_view mode_name(Mode m) {
+  switch (m) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kObserve:
+      return "observe";
+    case Mode::kAdapt:
+      return "adapt";
+  }
+  return "?";
+}
+
+std::optional<Mode> mode_from_string(std::string_view s) {
+  if (s == "off") {
+    return Mode::kOff;
+  }
+  if (s == "observe") {
+    return Mode::kObserve;
+  }
+  if (s == "adapt") {
+    return Mode::kAdapt;
+  }
+  return std::nullopt;
+}
+
+OnlineSelector::OnlineSelector(Mode mode) : OnlineSelector(mode, Config{}) {}
+
+OnlineSelector::OnlineSelector(Mode mode, Config cfg)
+    : mode_(mode), cfg_(cfg) {}
+
+void OnlineSelector::record(const ProfileKey& key, double seconds) {
+  if (mode_ == Mode::kOff) {
+    return;
+  }
+  profiler_.record(key, seconds);
+}
+
+model::NetParams OnlineSelector::ranking_params(const topo::Machine& machine,
+                                                const model::NetParams& net,
+                                                std::string_view backend) {
+  if (!cfg_.calibrate) {
+    return net;
+  }
+  return calibration(machine, net, backend).apply(net);
+}
+
+Calibration OnlineSelector::calibration(const topo::Machine& machine,
+                                        const model::NetParams& net,
+                                        std::string_view backend) {
+  if (!cfg_.calibrate || mode_ == Mode::kOff) {
+    return Calibration{};
+  }
+  const std::uint64_t rev = profiler_.revision();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (CalCacheEntry& e : cal_cache_) {
+    if (e.machine == machine.name() && e.nodes == machine.nodes() &&
+        e.ppn == machine.ppn() && e.backend == backend) {
+      if (e.revision != rev) {
+        e.cal = fit_cost_model(profiler_, machine, net, backend,
+                               cfg_.calibration_min_entries);
+        e.revision = rev;
+      }
+      return e.cal;
+    }
+  }
+  CalCacheEntry e;
+  e.machine = machine.name();
+  e.nodes = machine.nodes();
+  e.ppn = machine.ppn();
+  e.backend = std::string(backend);
+  e.revision = rev;
+  e.cal = fit_cost_model(profiler_, machine, net, backend,
+                         cfg_.calibration_min_entries);
+  cal_cache_.push_back(e);
+  return cal_cache_.back().cal;
+}
+
+const std::vector<OnlineSelector::Candidate>& OnlineSelector::candidate_set(
+    const topo::Machine& machine, const model::NetParams& net,
+    coll::OpKind op, std::size_t size_key, std::string_view backend) {
+  std::string key = machine.name();
+  key += ' ';
+  key += std::to_string(machine.nodes());
+  key += ' ';
+  key += std::to_string(machine.ppn());
+  key += ' ';
+  key += coll::op_kind_tag(op);
+  key += ' ';
+  key += std::to_string(size_key);
+  key += ' ';
+  key += backend;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = cand_cache_.find(key);
+  if (it != cand_cache_.end()) {
+    return it->second;
+  }
+  // First consult for this size class: rank with whatever the calibration
+  // knows right now, then freeze. (A set that re-ranked as samples arrive
+  // would keep minting under-sampled candidates.)
+  std::vector<Candidate> cands;
+  switch (op) {
+    case coll::OpKind::kAlltoall:
+      for (const coll::Choice& c : coll::rank_alltoall_candidates(
+               machine, net, size_key, cfg_.plausible_factor,
+               cfg_.max_candidates)) {
+        cands.push_back(Candidate{static_cast<int>(c.algo), c.group_size,
+                                  c.predicted_seconds});
+      }
+      break;
+    case coll::OpKind::kAllgather:
+      for (const coll::AllgatherChoice& c : coll::rank_allgather_candidates(
+               machine, net, size_key, cfg_.plausible_factor,
+               cfg_.max_candidates)) {
+        cands.push_back(Candidate{static_cast<int>(c.algo), c.group_size,
+                                  c.predicted_seconds});
+      }
+      break;
+    default:
+      break;  // other op kinds are not online-selected
+  }
+  return cand_cache_.emplace(std::move(key), std::move(cands)).first->second;
+}
+
+std::optional<OnlineSelector::Candidate> OnlineSelector::pick(
+    const topo::Machine& machine, coll::OpKind op, std::size_t size_key,
+    std::string_view backend, const std::vector<Candidate>& ranked) {
+  if (ranked.empty()) {
+    return std::nullopt;
+  }
+  // Exploration: the least-sampled under-target candidate, model order on
+  // ties — a pure function of the profiler state, so every rank of a
+  // collective resolves the same candidate (see the determinism contract
+  // in the header).
+  // Every collective execution contributes one sample per rank, so the
+  // per-candidate exploration budget is explore_target *executions*.
+  const std::uint64_t target_samples =
+      static_cast<std::uint64_t>(cfg_.explore_target) *
+      static_cast<std::uint64_t>(machine.total_ranks());
+  std::size_t explore_idx = ranked.size();
+  std::uint64_t explore_n = std::numeric_limits<std::uint64_t>::max();
+  std::size_t best_idx = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const ProfileKey key = make_profile_key(machine, op, size_key,
+                                            ranked[i].algo,
+                                            ranked[i].group_size, backend);
+    const auto stats = profiler_.lookup(key);
+    const std::uint64_t n = stats ? stats->n : 0;
+    if (n < target_samples && n < explore_n) {
+      explore_idx = i;
+      explore_n = n;
+    }
+    // Exploit by the mean over all ranks and executions. The per-rank mean
+    // preserves the collective-time ordering of the candidates (leader
+    // algorithms idle their members, but proportionally), and averaging
+    // across explore_target executions at different session positions
+    // washes out the residual-skew noise a single back-to-back execution
+    // carries; min/M2 stay in the stats for diagnostics and calibration.
+    if (stats && stats->mean < best_mean) {
+      best_idx = i;
+      best_mean = stats->mean;
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (explore_idx < ranked.size()) {
+    ++explorations_;
+    return ranked[explore_idx];  // predicted_seconds: the model's estimate
+  }
+  ++exploitations_;
+  Candidate c = ranked[best_idx];
+  c.predicted_seconds = best_mean;  // the measured mean it was picked for
+  return c;
+}
+
+std::optional<coll::Choice> OnlineSelector::choose_alltoall(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, std::string_view backend) {
+  if (mode_ != Mode::kAdapt) {
+    return std::nullopt;
+  }
+  const auto& ranked =
+      candidate_set(machine, ranking_params(machine, net, backend),
+                    coll::OpKind::kAlltoall, block, backend);
+  const auto c = pick(machine, coll::OpKind::kAlltoall, block, backend,
+                      ranked);
+  if (!c) {
+    return std::nullopt;
+  }
+  return coll::Choice{static_cast<coll::Algo>(c->algo), c->group_size,
+                      c->predicted_seconds};
+}
+
+std::optional<coll::AllgatherChoice> OnlineSelector::choose_allgather(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, std::string_view backend) {
+  if (mode_ != Mode::kAdapt) {
+    return std::nullopt;
+  }
+  const auto& ranked =
+      candidate_set(machine, ranking_params(machine, net, backend),
+                    coll::OpKind::kAllgather, block, backend);
+  const auto c = pick(machine, coll::OpKind::kAllgather, block, backend,
+                      ranked);
+  if (!c) {
+    return std::nullopt;
+  }
+  return coll::AllgatherChoice{static_cast<coll::AllgatherAlgo>(c->algo),
+                               c->group_size, c->predicted_seconds};
+}
+
+}  // namespace mca2a::autotune

@@ -226,25 +226,66 @@ std::size_t alltoallv_size_class(const topo::Machine& machine,
   return (tb << 8) | ib;
 }
 
-AllgatherChoice select_allgather_algorithm(
-    const topo::Machine& machine, const model::NetParams& net,
-    std::size_t block, std::vector<int> candidate_group_sizes) {
+namespace {
+
+/// Shared enumeration (see core/tuner's enumerate_alltoall_candidates):
+/// select_allgather_algorithm and rank_allgather_candidates must agree on
+/// candidate order for their tie-breaking to stay identical.
+template <typename F>
+void enumerate_allgather_candidates(const topo::Machine& machine,
+                                    const std::vector<int>& groups,
+                                    F&& consider) {
   const int ppn = machine.ppn();
-  AllgatherChoice best;
-  best.predicted_seconds = std::numeric_limits<double>::infinity();
-  const auto consider = [&](AllgatherAlgo a, int g) {
-    const double t = predict_allgather_seconds(a, machine, net, block, g);
-    if (t < best.predicted_seconds) {
-      best = AllgatherChoice{a, g, t};
-    }
-  };
   consider(AllgatherAlgo::kRing, ppn);
   consider(AllgatherAlgo::kBruck, ppn);
   consider(AllgatherAlgo::kHierarchical, ppn);
-  for (int g : candidate_groups(machine, std::move(candidate_group_sizes))) {
+  for (int g : groups) {
     consider(AllgatherAlgo::kLocalityAware, g);
   }
+}
+
+}  // namespace
+
+AllgatherChoice select_allgather_algorithm(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, std::vector<int> candidate_group_sizes) {
+  AllgatherChoice best;
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  enumerate_allgather_candidates(
+      machine, candidate_groups(machine, std::move(candidate_group_sizes)),
+      [&](AllgatherAlgo a, int g) {
+        const double t = predict_allgather_seconds(a, machine, net, block, g);
+        if (t < best.predicted_seconds) {
+          best = AllgatherChoice{a, g, t};
+        }
+      });
   return best;
+}
+
+std::vector<AllgatherChoice> rank_allgather_candidates(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, double plausible_factor, std::size_t max_candidates) {
+  std::vector<AllgatherChoice> all;
+  enumerate_allgather_candidates(
+      machine, candidate_groups(machine), [&](AllgatherAlgo a, int g) {
+        all.push_back(AllgatherChoice{
+            a, g, predict_allgather_seconds(a, machine, net, block, g)});
+      });
+  std::stable_sort(all.begin(), all.end(),
+                   [](const AllgatherChoice& x, const AllgatherChoice& y) {
+                     return x.predicted_seconds < y.predicted_seconds;
+                   });
+  const double cutoff =
+      all.front().predicted_seconds * std::max(1.0, plausible_factor);
+  const std::size_t cap = std::max<std::size_t>(1, max_candidates);
+  std::vector<AllgatherChoice> kept;
+  for (const AllgatherChoice& c : all) {
+    if (kept.size() >= cap || c.predicted_seconds > cutoff) {
+      break;
+    }
+    kept.push_back(c);
+  }
+  return kept;
 }
 
 AllreduceChoice select_allreduce_algorithm(

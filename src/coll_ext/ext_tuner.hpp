@@ -67,6 +67,16 @@ AllgatherChoice select_allgather_algorithm(
     const topo::Machine& machine, const model::NetParams& net,
     std::size_t block, std::vector<int> candidate_group_sizes = {});
 
+/// Candidate pruning for measurement-driven selection (autotune/), the
+/// allgather twin of coll::rank_alltoall_candidates: every combination
+/// select_allgather_algorithm scores, sorted by predicted time and pruned
+/// to within `plausible_factor` of the best, at most `max_candidates`. The
+/// head is exactly select_allgather_algorithm's choice.
+std::vector<AllgatherChoice> rank_allgather_candidates(
+    const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, double plausible_factor = 4.0,
+    std::size_t max_candidates = 4);
+
 /// Pick the fastest allreduce (algorithm, group size) for `count` elements
 /// of `elem_size` bytes. Rabenseifner is only considered when count >=
 /// total ranks (its algorithmic requirement).

@@ -66,6 +66,22 @@ std::optional<OpKind> op_kind_from_tag(std::string_view tag) {
   return std::nullopt;
 }
 
+int num_algos(OpKind k) {
+  switch (k) {
+    case OpKind::kAlltoall:
+      return kNumAlgos;
+    case OpKind::kAlltoallv:
+      return kNumAlltoallvAlgos;
+    case OpKind::kAllgather:
+      return kNumAllgatherAlgos;
+    case OpKind::kAllreduce:
+      return kNumAllreduceAlgos;
+    case OpKind::kCount_:
+      break;
+  }
+  return 0;
+}
+
 std::string_view allgather_algo_name(AllgatherAlgo a) {
   switch (a) {
     case AllgatherAlgo::kRing:

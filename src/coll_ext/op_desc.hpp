@@ -55,6 +55,9 @@ std::string_view op_kind_name(OpKind k);
 std::string_view op_kind_tag(OpKind k);
 /// Inverse of op_kind_tag; nullopt for an unknown tag.
 std::optional<OpKind> op_kind_from_tag(std::string_view tag);
+/// Number of algorithm enum values for the op kind (serialized algorithm
+/// indices are validated against this range); 0 for kCount_.
+int num_algos(OpKind k);
 
 // --- per-op algorithm enums --------------------------------------------------
 

@@ -47,4 +47,17 @@ Choice select_algorithm(const topo::Machine& machine,
                         const model::NetParams& net, std::size_t block,
                         std::vector<int> candidate_group_sizes = {});
 
+/// Candidate pruning for measurement-driven selection (autotune/): every
+/// (algorithm, group size) combination select_algorithm scores, sorted by
+/// predicted time ascending and pruned to the candidates the model
+/// considers plausible — within `plausible_factor` of the best prediction,
+/// at most `max_candidates` of them. The head is exactly
+/// select_algorithm's choice (same enumeration, same tie-breaking), so an
+/// online selector that explores this list starts from the model's pick.
+std::vector<Choice> rank_alltoall_candidates(const topo::Machine& machine,
+                                             const model::NetParams& net,
+                                             std::size_t block,
+                                             double plausible_factor = 4.0,
+                                             std::size_t max_candidates = 4);
+
 }  // namespace mca2a::coll

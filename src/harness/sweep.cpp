@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "autotune/selector.hpp"
 #include "coll_ext/alltoallv.hpp"
 #include "plan/plan.hpp"
 #include "plan/schedule.hpp"
@@ -156,6 +157,54 @@ RunResult run_sim(const RunSpec& spec) {
     }
   };
 
+  // Online-autotuning mode: one shared selector, re-plan every repetition.
+  if (spec.autotune && (spec.vector || overlap >= 2 || spec.collect_trace)) {
+    throw std::invalid_argument(
+        "run_sim: autotune mode is not combinable with vector, overlap or "
+        "collect_trace");
+  }
+  std::optional<autotune::OnlineSelector> own_selector;
+  autotune::OnlineSelector* selector = nullptr;
+  std::vector<int> rep_algos;
+  std::vector<int> rep_groups;
+  if (spec.autotune) {
+    if (spec.selector != nullptr) {
+      selector = spec.selector;
+    } else {
+      own_selector.emplace(autotune::Mode::kAdapt);
+      selector = &*own_selector;
+    }
+    rep_algos.assign(reps, 0);
+    rep_groups.assign(reps, 0);
+  }
+  auto autotune_main = [&](rt::Comm& world) -> rt::Task<void> {
+    const int me = world.rank();
+    const std::size_t total = static_cast<std::size_t>(p) * spec.block;
+    rt::Buffer sbuf = world.alloc_buffer(total);
+    rt::Buffer rbuf = world.alloc_buffer(total);
+    for (int rep = 0; rep < reps; ++rep) {
+      // The barrier separates this round's plan creation from the previous
+      // round's completions: every rank consults the selector against the
+      // same profiler state, so all ranks resolve the same algorithm (the
+      // selector's determinism contract).
+      co_await rt::barrier(world);
+      coll::AlltoallDesc desc;
+      desc.block = spec.block;  // algorithm left empty: selector decides
+      plan::PlanOptions popts;
+      popts.inner = spec.inner;
+      popts.autotune = selector;
+      plan::CollectivePlan pl =
+          plan::make_plan(world, machine, spec.net, desc, popts);
+      if (me == 0) {
+        rep_algos[rep] = pl.algo_id();
+        rep_groups[rep] = pl.group_size();
+      }
+      start[rep][me] = world.now();
+      co_await pl.execute(rt::ConstView(sbuf.view()), rbuf.view());
+      end[rep][me] = world.now();
+    }
+  };
+
   // Vector (alltoallv) mode: identical protocol, irregular counts.
   coll::AlltoallvSkew vskew;
   if (spec.vector) {
@@ -273,7 +322,9 @@ RunResult run_sim(const RunSpec& spec) {
     }
   };
 
-  if (overlap >= 2) {
+  if (spec.autotune) {
+    cluster.run(autotune_main);
+  } else if (overlap >= 2) {
     cluster.run(overlap_main);
   } else if (spec.vector) {
     cluster.run(vector_main);
@@ -315,6 +366,28 @@ RunResult run_sim(const RunSpec& spec) {
                                                  op_secs[rep][k].end()));
       }
     }
+  }
+  if (overlap < 2) {
+    // Per-rep trajectory: max over ranks of each rank's *own* elapsed time
+    // — the same quantity the plan layer records into the autotune
+    // profiler. Unlike the span above (max end - min start), a rank's own
+    // elapsed time does not fold in the clock skew the previous rep left
+    // behind, which matters when comparing reps (convergence studies):
+    // back-to-back exchanges genuinely pipeline through residual skew, so
+    // in-session rep times differ from a fresh single-shot run — compare
+    // trajectories only against trajectories measured the same way.
+    res.rep_seconds.resize(reps);
+    for (int rep = 0; rep < reps; ++rep) {
+      double worst = 0.0;
+      for (int r = 0; r < p; ++r) {
+        worst = std::max(worst, end[rep][r] - start[rep][r]);
+      }
+      res.rep_seconds[rep] = worst;
+    }
+  }
+  if (spec.autotune) {
+    res.rep_algos = std::move(rep_algos);
+    res.rep_groups = std::move(rep_groups);
   }
   res.messages = cluster.messages_sent();
   res.sim_wall_seconds =

@@ -15,6 +15,10 @@
 #include "model/params.hpp"
 #include "topo/machine.hpp"
 
+namespace mca2a::autotune {
+class OnlineSelector;
+}
+
 namespace mca2a::bench {
 
 struct RunSpec {
@@ -70,6 +74,19 @@ struct RunSpec {
   /// Let the skew-aware tuner pick the algorithm (through the plan path,
   /// with the exact global skew signature of the generated matrix).
   bool vector_tuned = false;
+  /// Online-autotuning mode: `algo` is ignored; every repetition re-plans
+  /// `block` through one shared adapt-mode OnlineSelector (algorithm left
+  /// empty), separated from the previous repetition's completions by a
+  /// barrier — so exploration and exploitation evolve across the reps
+  /// exactly as the selector's determinism contract requires. Per-rep
+  /// times and resolved algorithms land in RunResult::rep_seconds /
+  /// rep_algos (the convergence trajectory). Not combinable with
+  /// vector/overlap/collect_trace.
+  bool autotune = false;
+  /// Optional selector for autotune runs (e.g. warmed across several
+  /// run_sim calls, or inspected afterwards); null = a fresh adapt-mode
+  /// selector per run. Must outlive the call.
+  autotune::OnlineSelector* selector = nullptr;
 };
 
 struct RunResult {
@@ -87,6 +104,19 @@ struct RunResult {
   /// Overlap runs only: Schedule::critical_path(), max over ranks, min
   /// over reps — the dependency-chain lower bound of the batch.
   double critical_path_seconds = 0.0;
+  /// Non-overlap runs: per-repetition elapsed time in execution order (max
+  /// over ranks of each rank's own exchange span — the autotune profiler's
+  /// metric, immune to the clock skew left behind by the previous
+  /// repetition). Back-to-back repetitions pipeline through residual skew,
+  /// so these values differ systematically from a fresh one-rep run:
+  /// convergence trajectories must only be compared against references
+  /// measured with the same multi-rep protocol.
+  std::vector<double> rep_seconds;
+  /// Autotune runs only: the coll::Algo value and group size the online
+  /// selector resolved for each repetition (identical on every rank;
+  /// recorded from rank 0).
+  std::vector<int> rep_algos;
+  std::vector<int> rep_groups;
 };
 
 /// Run the spec in a fresh simulated cluster.

@@ -24,6 +24,15 @@
 /// (or clear()) before destroying a communicator the cache has seen.
 ///
 /// Like a Comm, a cache belongs to one rank; it is not thread-safe.
+///
+/// Autotune interplay: the key also excludes PlanOptions::autotune, and a
+/// plan freezes its resolved algorithm at construction — so under an
+/// adapt-mode selector a cache hit replays the *first* online decision for
+/// that descriptor, it does not re-consult the selector. That is exactly
+/// the plan contract (selection happens at plan time); workloads that want
+/// cached plans to track an evolving profile must erase_comm()/clear() (or
+/// bypass the cache) at their re-tuning points, the way the harness's
+/// autotune mode re-plans each repetition.
 
 #include <array>
 #include <cstddef>

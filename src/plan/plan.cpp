@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "autotune/autotune.hpp"
+#include "autotune/selector.hpp"
 #include "coll_ext/allgather.hpp"
 #include "coll_ext/allreduce.hpp"
 #include "coll_ext/alltoallv.hpp"
@@ -72,6 +74,8 @@ void CollectivePlan::move_from(CollectivePlan&& other) {
   recv_total_ = other.recv_total_;
   arena_ = std::move(other.arena_);
   executions_ = other.executions_;
+  autotune_ = other.autotune_;
+  profile_key_ = std::move(other.profile_key_);
   in_flight_ = 0;
 }
 
@@ -197,6 +201,11 @@ rt::Task<void> CollectivePlan::run_started(
     std::rethrow_exception(err);  // lands in the handle's AsyncOp
   }
   ++executions_;
+  if (autotune_ != nullptr) {
+    // Every successful completion — execute(), start()/wait(), Schedule
+    // batches alike — is one measured sample for the online autotuner.
+    autotune_->record(profile_key_, st->finished_at - st->started_at);
+  }
 }
 
 rt::Task<void> CollectivePlan::execute(rt::ConstView send, rt::MutView recv,
@@ -303,28 +312,42 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
   p.opts_.batch_window = opts.batch_window;
   p.opts_.system_small_threshold = opts.system_small_threshold;
 
+  // The active online autotuner: the explicit one, else the env-configured
+  // process-global one, else none (the pre-autotune path, bit-for-bit).
+  autotune::OnlineSelector* tuner =
+      opts.autotune != nullptr ? opts.autotune : autotune::global_selector();
+
   const int explicit_group =
       opts.group_size == 0 ? machine.ppn() : opts.group_size;
   bool need_lc = false;
   bool need_leaders = false;
+  std::size_t profile_size_key = 0;
 
   switch (p.desc_.kind()) {
     case coll::OpKind::kAlltoall: {
       const auto& d = p.desc_.alltoall();
       // Resolution order: descriptor algo, then the legacy PlanOptions
-      // knob, then a memoizing table, then the closed-form tuner.
+      // knob, then the online autotuner (adapt mode), then a memoizing
+      // table, then the closed-form tuner.
       if (d.algo || opts.algo) {
         p.algo_ = static_cast<int>(d.algo ? *d.algo : *opts.algo);
         p.group_size_ = explicit_group;
       } else {
-        const coll::Choice c = opts.table
-                                   ? opts.table->choose(machine, net, d.block)
-                                   : coll::select_algorithm(machine, net,
-                                                            d.block);
+        std::optional<coll::Choice> online;
+        if (tuner != nullptr) {
+          online = tuner->choose_alltoall(machine, net, d.block,
+                                          world.backend_name());
+        }
+        const coll::Choice c =
+            online ? *online
+                   : (opts.table ? opts.table->choose(machine, net, d.block)
+                                 : coll::select_algorithm(machine, net,
+                                                          d.block));
         p.algo_ = static_cast<int>(c.algo);
         p.group_size_ = c.group_size;
         p.predicted_seconds_ = c.predicted_seconds;
       }
+      profile_size_key = d.block;
       const auto a = static_cast<coll::Algo>(p.algo_);
       need_lc = coll::needs_locality(a);
       need_leaders = coll::needs_leader_comms(a);
@@ -332,23 +355,32 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
     }
     case coll::OpKind::kAlltoallv: {
       const auto& d = p.desc_.alltoallv();
+      // Skew signature used for selection (when algo is empty) and as the
+      // profile key's size class: the descriptor's collective signature
+      // when given, this rank's local estimate otherwise (see
+      // AlltoallvSkew for the cross-rank agreement caveat). The O(p)
+      // estimate is skipped when nothing needs it (explicit algo, no
+      // active autotuner).
+      const auto skew_of = [&] {
+        return d.skew ? *d.skew
+                      : coll::estimate_alltoallv_skew(d.send_counts,
+                                                      d.recv_counts);
+      };
       if (d.algo) {
         p.algo_ = static_cast<int>(*d.algo);
         p.group_size_ = explicit_group;
+        if (tuner != nullptr) {
+          profile_size_key = coll::alltoallv_size_class(machine, skew_of());
+        }
       } else {
-        // Skew-aware selection: the descriptor's collective signature when
-        // given, this rank's local estimate otherwise (see AlltoallvSkew
-        // for the cross-rank agreement caveat).
-        const coll::AlltoallvSkew skew =
-            d.skew ? *d.skew
-                   : coll::estimate_alltoallv_skew(d.send_counts,
-                                                   d.recv_counts);
+        const coll::AlltoallvSkew skew = skew_of();
         const coll::AlltoallvChoice c =
             opts.table ? opts.table->choose_alltoallv(machine, net, skew)
                        : coll::select_alltoallv_algorithm(machine, net, skew);
         p.algo_ = static_cast<int>(c.algo);
         p.group_size_ = c.group_size;
         p.predicted_seconds_ = c.predicted_seconds;
+        profile_size_key = coll::alltoallv_size_class(machine, skew);
       }
       const auto va = static_cast<coll::AlltoallvAlgo>(p.algo_);
       need_lc = coll::needs_locality(va);
@@ -365,14 +397,22 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
         p.algo_ = static_cast<int>(*d.algo);
         p.group_size_ = explicit_group;
       } else {
+        std::optional<coll::AllgatherChoice> online;
+        if (tuner != nullptr) {
+          online = tuner->choose_allgather(machine, net, d.block,
+                                           world.backend_name());
+        }
         const coll::AllgatherChoice c =
-            opts.table ? opts.table->choose_allgather(machine, net, d.block)
-                       : coll::select_allgather_algorithm(machine, net,
-                                                          d.block);
+            online ? *online
+                   : (opts.table
+                          ? opts.table->choose_allgather(machine, net, d.block)
+                          : coll::select_allgather_algorithm(machine, net,
+                                                             d.block));
         p.algo_ = static_cast<int>(c.algo);
         p.group_size_ = c.group_size;
         p.predicted_seconds_ = c.predicted_seconds;
       }
+      profile_size_key = d.block;
       need_lc =
           coll::needs_locality(static_cast<coll::AllgatherAlgo>(p.algo_));
       break;
@@ -403,6 +443,7 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
             std::to_string(d.count) + " < " + std::to_string(world.size()) +
             ")");
       }
+      profile_size_key = d.bytes();
       need_lc =
           coll::needs_locality(static_cast<coll::AllreduceAlgo>(p.algo_));
       break;
@@ -411,6 +452,12 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
       throw std::logic_error("make_plan: bad op kind");
   }
 
+  if (tuner != nullptr) {
+    p.autotune_ = tuner;
+    p.profile_key_ = autotune::make_profile_key(
+        machine, p.desc_.kind(), profile_size_key, p.algo_, p.group_size_,
+        world.backend_name());
+  }
   if (need_lc) {
     p.lc_.emplace(rt::build_locality_comms(world, *p.machine_, p.group_size_,
                                            need_leaders));

@@ -17,10 +17,14 @@
 ///                             coll::AllreduceDesc{n, coll::sum_combiner<double>()});
 ///   co_await ar.execute_inplace(data);
 ///
-/// Leaving the descriptor's algorithm empty consults the tuner (alltoall:
-/// coll::select_algorithm; allgather/allreduce/alltoallv:
-/// coll_ext/ext_tuner — skew-aware for alltoallv, see AlltoallvSkew), or a
-/// PlanOptions::table memoizing those decisions across plans.
+/// Leaving the descriptor's algorithm empty consults, in order: an online
+/// autotuner when one is active (PlanOptions::autotune or the A2A_AUTOTUNE
+/// env knob — measurement-driven selection, see autotune/), then the
+/// closed-form tuner (alltoall: coll::select_algorithm;
+/// allgather/allreduce/alltoallv: coll_ext/ext_tuner — skew-aware for
+/// alltoallv, see AlltoallvSkew), optionally memoized across plans by a
+/// PlanOptions::table. Completed executions feed the active autotuner's
+/// profiler whatever picked the algorithm.
 ///
 /// A plan belongs to one rank (like the rt::Comm it wraps). Every rank of
 /// the communicator must create a matching plan (same machine, descriptor
@@ -55,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "autotune/profiler.hpp"
 #include "coll_ext/ext_tuner.hpp"
 #include "coll_ext/op_desc.hpp"
 #include "core/alltoall.hpp"
@@ -67,6 +72,10 @@
 #include "runtime/scratch.hpp"
 #include "runtime/task.hpp"
 #include "topo/machine.hpp"
+
+namespace mca2a::autotune {
+class OnlineSelector;
+}
 
 namespace mca2a::plan {
 
@@ -164,6 +173,16 @@ struct PlanOptions {
   /// Optional memoization table consulted (and filled) when the tuner
   /// picks; must outlive the plan creation call. Serves every op kind.
   TuningTable* table = nullptr;
+  /// Online autotuner (autotune/selector.hpp). In adapt mode it is
+  /// consulted *before* the table/model when the descriptor leaves `algo`
+  /// empty (alltoall and allgather; the other kinds stay model-driven),
+  /// and in observe or adapt mode every completed execution of the plan —
+  /// explicit-algorithm plans included — feeds its profiler. Must outlive
+  /// the plan (it is consulted at completion time). When null, the
+  /// process-global selector configured by A2A_AUTOTUNE applies
+  /// (autotune/autotune.hpp); with that unset too, behavior is exactly the
+  /// pre-autotune model path.
+  autotune::OnlineSelector* autotune = nullptr;
 };
 
 /// A planned collective of any kind: the descriptor, the resolved
@@ -318,6 +337,10 @@ class CollectivePlan {
   std::size_t recv_total_ = 0;
   rt::ScratchArena arena_;
   std::uint64_t executions_ = 0;
+  /// Online-autotuning hook: when set, every successful completion records
+  /// its elapsed seconds under profile_key_ (resolved once at plan time).
+  autotune::OnlineSelector* autotune_ = nullptr;
+  autotune::ProfileKey profile_key_;
 };
 
 /// The pre-family name; alltoall call sites keep compiling unchanged.

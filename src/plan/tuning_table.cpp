@@ -12,23 +12,7 @@ namespace {
 
 constexpr char kHeaderV1[] = "mca2a-tuning-table v1";
 constexpr char kHeaderV2[] = "mca2a-tuning-table v2";
-
-/// Valid algorithm-index range per op kind (file-format validation).
-int num_algos(coll::OpKind op) {
-  switch (op) {
-    case coll::OpKind::kAlltoall:
-      return coll::kNumAlgos;
-    case coll::OpKind::kAlltoallv:
-      return coll::kNumAlltoallvAlgos;
-    case coll::OpKind::kAllgather:
-      return coll::kNumAllgatherAlgos;
-    case coll::OpKind::kAllreduce:
-      return coll::kNumAllreduceAlgos;
-    case coll::OpKind::kCount_:
-      break;
-  }
-  return 0;
-}
+constexpr char kHeaderV3[] = "mca2a-tuning-table v3";
 
 }  // namespace
 
@@ -195,13 +179,19 @@ coll::AlltoallvChoice TuningTable::choose_alltoallv(
 // --- serialization -----------------------------------------------------------
 
 void TuningTable::save(std::ostream& os) const {
-  os << kHeaderV2 << "\n";
+  // Measurement-free tables keep the v2 header so older readers (and
+  // pinned round-trip tests) see exactly what they always did; the v3
+  // header announces the trailing profile section.
+  os << (profile_.empty() ? kHeaderV2 : kHeaderV3) << "\n";
   // max_digits10 so predicted times survive the text round-trip exactly.
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const auto& [key, e] : entries_) {
     os << key.machine << ' ' << key.nodes << ' ' << key.ppn << ' '
        << coll::op_kind_tag(key.op) << ' ' << key.block << ' ' << e.algo << ' '
        << e.group_size << ' ' << e.predicted_seconds << "\n";
+  }
+  if (!profile_.empty()) {
+    autotune::write_profile_section(os, profile_);
   }
 }
 
@@ -211,12 +201,23 @@ TuningTable TuningTable::load(std::istream& is) {
     throw std::runtime_error("TuningTable::load: empty input");
   }
   const bool v1 = line == kHeaderV1;
-  if (!v1 && line != kHeaderV2) {
+  const bool v3 = line == kHeaderV3;
+  if (!v1 && !v3 && line != kHeaderV2) {
     throw std::runtime_error("TuningTable::load: bad header: '" + line + "'");
   }
   TuningTable table;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("prof ", 0) == 0) {
+      if (!v3) {
+        throw std::runtime_error(
+            "TuningTable::load: profile line in a pre-v3 table: '" + line +
+            "'");
+      }
+      auto [pkey, pstats] = autotune::parse_profile_line(line);
+      table.profile_.merge_entry(pkey, pstats);
       continue;
     }
     std::istringstream ls(line);
@@ -240,7 +241,7 @@ TuningTable TuningTable::load(std::istream& is) {
                                "'");
     }
     key.op = *op;
-    if (e.algo < 0 || e.algo >= num_algos(key.op)) {
+    if (e.algo < 0 || e.algo >= coll::num_algos(key.op)) {
       throw std::runtime_error("TuningTable::load: algorithm index " +
                                std::to_string(e.algo) + " out of range for " +
                                std::string(coll::op_kind_name(key.op)));

@@ -20,6 +20,14 @@
 /// `op` is coll::op_kind_tag ("a2a", "ag", "ar", "a2av"). PR-1-era v1
 /// files (no op column) still load; their entries are all-to-all.
 ///
+/// v3 adds a measured-profile section: after the decision entries, one
+/// "prof ..." line per autotune::ExecutionProfiler entry (see
+/// autotune/profiler.hpp for the line format), so warmed online-autotuning
+/// knowledge ships in the same artifact as the model's memoized decisions.
+/// save() emits the v3 header only when the profile section is non-empty —
+/// tables without measurements keep round-tripping as v2, readable by
+/// older code. v1/v2 files load with an empty profile.
+///
 /// The table is keyed by machine *shape*, not network parameters: entries
 /// are only meaningful for the NetParams they were computed with, which is
 /// the caller's responsibility (one table per machine preset in practice).
@@ -31,6 +39,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "autotune/profiler.hpp"
 #include "coll_ext/ext_tuner.hpp"
 #include "coll_ext/op_desc.hpp"
 #include "core/tuner.hpp"
@@ -116,12 +125,21 @@ class TuningTable {
   std::uint64_t lookups() const noexcept { return lookups_; }
   std::uint64_t hits() const noexcept { return hits_; }
 
-  /// Write the table as text (v2 format; see the file comment).
+  /// The measured-execution profile traveling with the table (the v3
+  /// section). Fill it from an OnlineSelector's profiler before save();
+  /// merge it into one after load() — see autotune/.
+  autotune::ExecutionProfiler& profile() noexcept { return profile_; }
+  const autotune::ExecutionProfiler& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Write the table as text: v3 when the profile section is non-empty,
+  /// v2 otherwise (see the file comment).
   void save(std::ostream& os) const;
   /// Parse a table written by save() — or by a PR-1-era save (v1 header,
-  /// no op column: entries load as alltoall). Throws std::runtime_error on
-  /// a bad header, unknown op tag, out-of-range algorithm index, or
-  /// malformed line.
+  /// no op column: entries load as alltoall), or an op-tagged v2 (no
+  /// profile section). Throws std::runtime_error on a bad header, unknown
+  /// op tag, out-of-range algorithm index, or malformed line.
   static TuningTable load(std::istream& is);
 
   /// File convenience wrappers. save_file returns false when the file could
@@ -136,6 +154,7 @@ class TuningTable {
                                     coll::OpKind op, std::size_t block) const;
 
   std::unordered_map<TuningKey, Entry, TuningKeyHash> entries_;
+  autotune::ExecutionProfiler profile_;
   mutable std::uint64_t lookups_ = 0;
   mutable std::uint64_t hits_ = 0;
 };

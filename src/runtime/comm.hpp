@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "runtime/buffer.hpp"
@@ -111,6 +112,11 @@ class Comm {
   /// Current time in seconds: wall clock on the threads backend, virtual
   /// time on the simulator.
   virtual double now() const = 0;
+
+  /// Short stable backend identifier ("sim", "smp"), one whitespace-free
+  /// token. Keys measured performance profiles (autotune/): wall-clock and
+  /// virtual-time samples must never pool, so every backend overrides.
+  virtual std::string_view backend_name() const noexcept { return "host"; }
 
   /// Allocate a scratch buffer: real on the threads backend, virtual or real
   /// on the simulator depending on its carry-data configuration.

@@ -32,6 +32,7 @@ class SimComm final : public rt::Comm {
     cluster_->wait_suspend_impl(world_rank(), reqs, h);
   }
   double now() const override { return cluster_->rank_clock(world_rank()); }
+  std::string_view backend_name() const noexcept override { return "sim"; }
   rt::Buffer alloc_buffer(std::size_t bytes) const override {
     return cluster_->carry_data() ? rt::Buffer::real(bytes)
                                   : rt::Buffer::virt(bytes);

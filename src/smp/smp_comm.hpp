@@ -77,6 +77,7 @@ class SmpComm final : public rt::Comm {
   void wait_suspend(std::span<const rt::Request> reqs,
                     std::coroutine_handle<> h) override;
   double now() const override;
+  std::string_view backend_name() const noexcept override { return "smp"; }
   rt::Buffer alloc_buffer(std::size_t bytes) const override {
     return rt::Buffer::real(bytes);
   }
