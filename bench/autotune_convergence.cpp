@@ -167,6 +167,14 @@ void register_sim_case(bench::Figure& fig, std::size_t block) {
                    std::string(coll::algo_name(winner)));
         }
         state.counters["sim_s"] = total;
+        // Trajectory spread: nearest-rank percentiles over the per-round
+        // times (RunResult::p50 family), explore rounds included.
+        state.counters["sim_p50_s"] =
+            bench::RunResult::percentile_of(online, 0.50);
+        state.counters["sim_p95_s"] =
+            bench::RunResult::percentile_of(online, 0.95);
+        state.counters["sim_p99_s"] =
+            bench::RunResult::percentile_of(online, 0.99);
       })
       ->UseManualTime()
       ->Iterations(1)

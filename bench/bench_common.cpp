@@ -53,6 +53,13 @@ void register_point(bench::Figure& fig, const std::string& series_name,
           const bench::RunResult r = bench::run_sim(spec);
           seconds = r.seconds;
           state.SetIterationTime(r.seconds);
+          // Repetition spread next to the headline minimum (nearest-rank
+          // percentiles; only multi-rep runs produce rep_seconds).
+          if (r.rep_seconds.size() >= 2) {
+            state.counters["sim_p50_s"] = r.p50();
+            state.counters["sim_p95_s"] = r.p95();
+            state.counters["sim_p99_s"] = r.p99();
+          }
         }
         state.counters["sim_s"] = seconds;
         fig.add(series_name, x, seconds);
@@ -178,7 +185,10 @@ void print_usage(std::ostream& os, const bench::Figure& fig,
      << ")\n"
         "  A2A_NO_PLAN=1       bypass persistent plans\n"
         "  A2A_AUTOTUNE=mode   online autotuning: off|observe|adapt\n"
-        "  A2A_PROFILE=path    persist the autotune profile across runs\n";
+        "  A2A_PROFILE=path    persist the autotune profile across runs\n"
+        "  A2A_TRACE=dir       flight recorder: one Chrome/Perfetto trace\n"
+        "                      JSON per rank into dir at exit\n"
+        "  A2A_METRICS=path    metrics snapshot at exit (text; .json too)\n";
 }
 
 }  // namespace

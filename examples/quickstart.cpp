@@ -21,6 +21,7 @@
 #include "coll_ext/op_desc.hpp"
 #include "core/alltoall.hpp"
 #include "model/presets.hpp"
+#include "obs/metrics.hpp"
 #include "plan/plan.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm_bundle.hpp"
@@ -195,5 +196,22 @@ int main(int argc, char** argv) {
   std::printf("  %-24s %8.3f ms   %s   (%d executes of one plan)\n",
               "Persistent plan", worst * 1e3, bad == 0 ? "OK" : "CORRUPT",
               kIters);
+
+  // --- observability: the same run, in numbers ------------------------------
+  // Every subsystem feeds the process-global metrics registry; a few
+  // headline counters show what the collectives above actually did.
+  // A2A_METRICS=path dumps the full registry at exit, A2A_TRACE=dir writes
+  // a per-rank Perfetto/Chrome trace (docs/observability.md).
+  obs::MetricsRegistry& m = obs::metrics();
+  std::printf("\nmetrics (A2A_METRICS=path for the full registry):\n");
+  std::printf("  plan executions        %llu\n",
+              static_cast<unsigned long long>(
+                  m.counter_value("plan.executions")));
+  std::printf("  tag streams acquired   %llu (high water stream %lld)\n",
+              static_cast<unsigned long long>(m.counter_value("tags.acquired")),
+              static_cast<long long>(m.gauge_value("tags.stream_high_water")));
+  std::printf("  scratch allocations    %llu\n",
+              static_cast<unsigned long long>(
+                  m.counter_value("scratch.allocations")));
   return 0;
 }

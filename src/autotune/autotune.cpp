@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace mca2a::autotune {
 
 namespace {
@@ -24,6 +26,7 @@ GlobalState& global_state() {
   static GlobalState st = [] {
     GlobalState s;
     s.mode = mode_from_env();
+    obs::metrics().gauge("autotune.mode").set(static_cast<int>(s.mode));
     if (s.mode == Mode::kOff) {
       return s;
     }

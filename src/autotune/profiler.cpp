@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+
 namespace mca2a::autotune {
 
 std::size_t ProfileKeyHash::operator()(const ProfileKey& k) const noexcept {
@@ -137,6 +139,8 @@ void ExecutionProfiler::record(const ProfileKey& key, double seconds) {
   if (!std::isfinite(seconds) || seconds < 0.0) {
     return;
   }
+  static obs::Counter& samples = obs::metrics().counter("autotune.samples");
+  samples.add();
   std::lock_guard<std::mutex> lk(mu_);
   map_[key].add(seconds);
   ++revision_;

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace mca2a::autotune {
 
 std::string_view mode_name(Mode m) {
@@ -129,7 +131,8 @@ const std::vector<OnlineSelector::Candidate>& OnlineSelector::candidate_set(
 
 std::optional<OnlineSelector::Candidate> OnlineSelector::pick(
     const topo::Machine& machine, coll::OpKind op, std::size_t size_key,
-    std::string_view backend, const std::vector<Candidate>& ranked) {
+    std::string_view backend, const std::vector<Candidate>& ranked,
+    bool* explored) {
   if (ranked.empty()) {
     return std::nullopt;
   }
@@ -167,12 +170,24 @@ std::optional<OnlineSelector::Candidate> OnlineSelector::pick(
       best_mean = stats->mean;
     }
   }
+  static obs::Counter& m_explore =
+      obs::metrics().counter("autotune.explorations");
+  static obs::Counter& m_exploit =
+      obs::metrics().counter("autotune.exploitations");
   std::lock_guard<std::mutex> lk(mu_);
   if (explore_idx < ranked.size()) {
     ++explorations_;
+    m_explore.add();
+    if (explored != nullptr) {
+      *explored = true;
+    }
     return ranked[explore_idx];  // predicted_seconds: the model's estimate
   }
   ++exploitations_;
+  m_exploit.add();
+  if (explored != nullptr) {
+    *explored = false;
+  }
   Candidate c = ranked[best_idx];
   c.predicted_seconds = best_mean;  // the measured mean it was picked for
   return c;
@@ -180,7 +195,7 @@ std::optional<OnlineSelector::Candidate> OnlineSelector::pick(
 
 std::optional<coll::Choice> OnlineSelector::choose_alltoall(
     const topo::Machine& machine, const model::NetParams& net,
-    std::size_t block, std::string_view backend) {
+    std::size_t block, std::string_view backend, bool* explored) {
   if (mode_ != Mode::kAdapt) {
     return std::nullopt;
   }
@@ -188,7 +203,7 @@ std::optional<coll::Choice> OnlineSelector::choose_alltoall(
       candidate_set(machine, ranking_params(machine, net, backend),
                     coll::OpKind::kAlltoall, block, backend);
   const auto c = pick(machine, coll::OpKind::kAlltoall, block, backend,
-                      ranked);
+                      ranked, explored);
   if (!c) {
     return std::nullopt;
   }
@@ -198,7 +213,7 @@ std::optional<coll::Choice> OnlineSelector::choose_alltoall(
 
 std::optional<coll::AllgatherChoice> OnlineSelector::choose_allgather(
     const topo::Machine& machine, const model::NetParams& net,
-    std::size_t block, std::string_view backend) {
+    std::size_t block, std::string_view backend, bool* explored) {
   if (mode_ != Mode::kAdapt) {
     return std::nullopt;
   }
@@ -206,7 +221,7 @@ std::optional<coll::AllgatherChoice> OnlineSelector::choose_allgather(
       candidate_set(machine, ranking_params(machine, net, backend),
                     coll::OpKind::kAllgather, block, backend);
   const auto c = pick(machine, coll::OpKind::kAllgather, block, backend,
-                      ranked);
+                      ranked, explored);
   if (!c) {
     return std::nullopt;
   }

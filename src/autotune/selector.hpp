@@ -109,17 +109,21 @@ class OnlineSelector {
   /// Online choice for an alltoall of `block` bytes per pair on `backend`,
   /// or nullopt when the model should decide (kOff/kObserve). Exploring
   /// choices carry the model's predicted_seconds; exploiting choices carry
-  /// the measured mean they were picked for.
+  /// the measured mean they were picked for. When `explored` is non-null
+  /// and a choice is returned, it is set to whether the choice was an
+  /// exploration (under-sampled candidate) rather than an exploitation —
+  /// the flight recorder stamps plan-build events with it.
   std::optional<coll::Choice> choose_alltoall(const topo::Machine& machine,
                                               const model::NetParams& net,
                                               std::size_t block,
-                                              std::string_view backend);
+                                              std::string_view backend,
+                                              bool* explored = nullptr);
 
   /// Same for allgather (per-rank block). The other op kinds are recorded
   /// (and feed calibration) but keep model-driven selection.
   std::optional<coll::AllgatherChoice> choose_allgather(
       const topo::Machine& machine, const model::NetParams& net,
-      std::size_t block, std::string_view backend);
+      std::size_t block, std::string_view backend, bool* explored = nullptr);
 
   /// The calibration the selector would rank candidates with right now
   /// (identity when below calibration_min_entries or disabled). Cached by
@@ -150,7 +154,8 @@ class OnlineSelector {
   std::optional<Candidate> pick(const topo::Machine& machine,
                                 coll::OpKind op, std::size_t size_key,
                                 std::string_view backend,
-                                const std::vector<Candidate>& ranked);
+                                const std::vector<Candidate>& ranked,
+                                bool* explored);
   model::NetParams ranking_params(const topo::Machine& machine,
                                   const model::NetParams& net,
                                   std::string_view backend);

@@ -3,9 +3,46 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mca2a::coll {
 
 namespace {
+
+/// Metric-name tag per vector algorithm (alltoallv_algo_name() is the
+/// human display string).
+std::string_view alltoallv_algo_tag(AlltoallvAlgo a) {
+  switch (a) {
+    case AlltoallvAlgo::kPairwise:
+      return "pairwise";
+    case AlltoallvAlgo::kNonblocking:
+      return "nonblocking";
+    case AlltoallvAlgo::kHierarchical:
+      return "hierarchical";
+    case AlltoallvAlgo::kMultileaderNodeAware:
+      return "multileader_node_aware";
+    case AlltoallvAlgo::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+struct VAlgoBytes {
+  obs::Counter* bytes[static_cast<int>(AlltoallvAlgo::kCount_)];
+  VAlgoBytes() {
+    for (int a = 0; a < static_cast<int>(AlltoallvAlgo::kCount_); ++a) {
+      bytes[a] = &obs::metrics().counter(
+          std::string("coll.v_bytes_by_algo.") +
+          std::string(alltoallv_algo_tag(static_cast<AlltoallvAlgo>(a))));
+    }
+  }
+};
+
+VAlgoBytes& valgo_bytes() {
+  static VAlgoBytes b;
+  return b;
+}
 
 void check_args(const rt::Comm& comm, rt::ConstView send,
                 std::span<const std::size_t> send_counts,
@@ -81,6 +118,12 @@ rt::Task<void> run_alltoallv(AlltoallvAlgo algo, rt::Comm& world,
     throw std::invalid_argument(
         "run_alltoallv: this algorithm needs a LocalityComms bundle");
   }
+  const std::size_t total_send = std::accumulate(
+      send_counts.begin(), send_counts.end(), std::size_t{0});
+  valgo_bytes().bytes[static_cast<int>(algo)]->add(total_send);
+  obs::Span dispatch_span(
+      world.tracer(), alltoallv_algo_name(algo), "coll.alltoallv",
+      opts.tag_stream, {{"bytes", static_cast<std::int64_t>(total_send)}});
   switch (algo) {
     case AlltoallvAlgo::kPairwise:
       co_await alltoallv_pairwise(world, send, send_counts, send_displs, recv,

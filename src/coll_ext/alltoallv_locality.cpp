@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "coll_ext/alltoallv.hpp"
+#include "obs/trace.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/scratch.hpp"
 
@@ -237,12 +238,17 @@ rt::Task<FunnelIngest> funnel_ingest(const rt::LocalityComms& lc,
     in.cnt_all = rt::alloc_scratch(world, opts.scratch,
                                    static_cast<std::size_t>(g) * P * kC);
   }
+  obs::TraceBuffer* tb = world.tracer();
+  obs::Span gather_span(tb, "gather", "phase", opts.tag_stream,
+                        {{"leader", lc.is_leader ? 1 : 0}});
   const double t0 = world.now();
   co_await rt::gather(local, rt::ConstView(cnt_mine.view()),
                       in.cnt_all.view(), /*root=*/0, opts.scratch,
                       opts.tag_stream);
 
   if (!lc.is_leader) {
+    gather_span.close();
+    obs::Span sp(tb, "member-exchange", "phase", opts.tag_stream);
     co_await member_exchange(lc, send, send_counts, send_displs, recv,
                              recv_counts, recv_displs, opts);
     in.is_member = true;
@@ -262,6 +268,7 @@ rt::Task<FunnelIngest> funnel_ingest(const rt::LocalityComms& lc,
                                  send_displs, in.member_totals[0]);
   co_await gatherv_payload(world, local, ds.view, in.gathered.view(),
                            in.member_off, in.member_totals, gather_tag);
+  gather_span.close();
   if (trace) trace->add(Phase::kGather, world.now() - t0);
   co_return in;
 }
@@ -286,6 +293,7 @@ rt::Task<void> alltoallv_hierarchical(const rt::LocalityComms& lc,
   // Leaders only, like the fixed-size algorithm: a member's phase times
   // would mostly measure waiting for its leader.
   Trace* trace = lc.is_leader ? opts.trace : nullptr;
+  obs::TraceBuffer* tb = world.tracer();
   const int scatter_tag =
       rt::tags::make(rt::tags::kExtAlltoallvScatterv, opts.tag_stream);
 
@@ -318,9 +326,12 @@ rt::Task<void> alltoallv_hierarchical(const rt::LocalityComms& lc,
   }
   world.charge_copy(2 * nreg * gg * kC);
   t0 = world.now();
-  co_await alltoall_inner(opts.inner, *lc.group_cross,
-                          rt::ConstView(csend.view()), crecv.view(), gg * kC,
-                          opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "inter-a2a", "phase", opts.tag_stream, {{"meta", 1}});
+    co_await alltoall_inner(opts.inner, *lc.group_cross,
+                            rt::ConstView(csend.view()), crecv.view(), gg * kC,
+                            opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
   const std::size_t* cr = counts_of(crecv);  // cr[(j*g + i2)*g + m]
 
@@ -338,6 +349,7 @@ rt::Task<void> alltoallv_hierarchical(const rt::LocalityComms& lc,
   rt::ScratchBuffer lsend =
       rt::alloc_scratch(world, opts.scratch, sbd.back() + sb.back());
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     std::vector<std::size_t> cur(member_off);  // per-member read cursor
     std::size_t off = 0;
     for (int j = 0; j < nreg; ++j) {
@@ -359,9 +371,13 @@ rt::Task<void> alltoallv_hierarchical(const rt::LocalityComms& lc,
   t0 = world.now();
   rt::ScratchBuffer lrecv =
       rt::alloc_scratch(world, opts.scratch, rbd.back() + rb.back());
-  co_await alltoallv_inner(opts.inner, *lc.group_cross,
-                           rt::ConstView(lsend.view()), sb, sbd, lrecv.view(),
-                           rb, rbd, opts.tag_stream);
+  {
+    obs::Span sp(tb, "inter-a2a", "phase", opts.tag_stream,
+                 {{"bytes", static_cast<std::int64_t>(sbd.back() + sb.back())}});
+    co_await alltoallv_inner(opts.inner, *lc.group_cross,
+                             rt::ConstView(lsend.view()), sb, sbd, lrecv.view(),
+                             rb, rbd, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack into per-member, source-ordered scatter blocks ----------------
@@ -388,6 +404,7 @@ rt::Task<void> alltoallv_hierarchical(const rt::LocalityComms& lc,
   rt::ScratchBuffer sc = rt::alloc_scratch(world, opts.scratch,
                                            out_off.back() + out_totals.back());
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     std::size_t off = 0;
     for (int m = 0; m < g; ++m) {
       for (int j = 0; j < nreg; ++j) {
@@ -404,9 +421,12 @@ rt::Task<void> alltoallv_hierarchical(const rt::LocalityComms& lc,
 
   // --- scatter ---------------------------------------------------------------
   t0 = world.now();
-  co_await scatterv_payload(world, local, rt::ConstView(sc.view()), out_off,
-                            out_totals, recv, recv_counts, recv_displs,
-                            scatter_tag);
+  {
+    obs::Span sp(tb, "scatter", "phase", opts.tag_stream, {{"leader", 1}});
+    co_await scatterv_payload(world, local, rt::ConstView(sc.view()), out_off,
+                              out_totals, recv, recv_counts, recv_displs,
+                              scatter_tag);
+  }
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 
@@ -425,6 +445,7 @@ rt::Task<void> alltoallv_multileader_node_aware(
   const int ppn = lc.ppn();
   const std::size_t P = static_cast<std::size_t>(p);
   Trace* trace = lc.is_leader ? opts.trace : nullptr;
+  obs::TraceBuffer* tb = world.tracer();
   const int scatter_tag =
       rt::tags::make(rt::tags::kExtAlltoallvScatterv, opts.tag_stream);
 
@@ -463,9 +484,12 @@ rt::Task<void> alltoallv_multileader_node_aware(
   }
   world.charge_copy(2 * n * gp * kC);
   t0 = world.now();
-  co_await alltoall_inner(opts.inner, *lc.leader_cross,
-                          rt::ConstView(c2send.view()), c2recv.view(),
-                          gp * kC, opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "inter-a2a", "phase", opts.tag_stream, {{"meta", 1}});
+    co_await alltoall_inner(opts.inner, *lc.leader_cross,
+                            rt::ConstView(c2send.view()), c2recv.view(),
+                            gp * kC, opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
   const std::size_t* c2r = counts_of(c2recv);  // c2r[(b2*g + i2)*ppn + d]
 
@@ -483,6 +507,7 @@ rt::Task<void> alltoallv_multileader_node_aware(
   rt::ScratchBuffer bsend =
       rt::alloc_scratch(world, opts.scratch, nbsd.back() + nbs.back());
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     std::vector<std::size_t> cur(member_off);
     std::size_t off = 0;
     for (int b2 = 0; b2 < n; ++b2) {
@@ -502,9 +527,14 @@ rt::Task<void> alltoallv_multileader_node_aware(
   t0 = world.now();
   rt::ScratchBuffer brecv =
       rt::alloc_scratch(world, opts.scratch, nbrd.back() + nbr.back());
-  co_await alltoallv_inner(opts.inner, *lc.leader_cross,
-                           rt::ConstView(bsend.view()), nbs, nbsd,
-                           brecv.view(), nbr, nbrd, opts.tag_stream);
+  {
+    obs::Span sp(tb, "inter-a2a", "phase", opts.tag_stream,
+                 {{"bytes",
+                   static_cast<std::int64_t>(nbsd.back() + nbs.back())}});
+    co_await alltoallv_inner(opts.inner, *lc.leader_cross,
+                             rt::ConstView(bsend.view()), nbs, nbsd,
+                             brecv.view(), nbr, nbrd, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- intra-node count alltoall among this node's leaders ------------------
@@ -528,9 +558,12 @@ rt::Task<void> alltoallv_multileader_node_aware(
     }
   }
   world.charge_copy(2 * G * ngg * kC);
-  co_await alltoall_inner(opts.inner, *lc.leaders_node,
-                          rt::ConstView(c3send.view()), c3recv.view(),
-                          ngg * kC, opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "intra-a2a", "phase", opts.tag_stream, {{"meta", 1}});
+    co_await alltoall_inner(opts.inner, *lc.leaders_node,
+                            rt::ConstView(c3send.view()), c3recv.view(),
+                            ngg * kC, opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
   const std::size_t* c3r = counts_of(c3recv);  // c3r[((k1*n+b2)*g+i2)*g+e]
 
@@ -557,6 +590,7 @@ rt::Task<void> alltoallv_multileader_node_aware(
   rt::ScratchBuffer dsend =
       rt::alloc_scratch(world, opts.scratch, dbsd.back() + dbs.back());
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     std::size_t off = 0;
     for (int k2 = 0; k2 < G; ++k2) {
       for (int b2 = 0; b2 < n; ++b2) {
@@ -579,9 +613,14 @@ rt::Task<void> alltoallv_multileader_node_aware(
   t0 = world.now();
   rt::ScratchBuffer erecv =
       rt::alloc_scratch(world, opts.scratch, dbrd.back() + dbr.back());
-  co_await alltoallv_inner(opts.inner, *lc.leaders_node,
-                           rt::ConstView(dsend.view()), dbs, dbsd,
-                           erecv.view(), dbr, dbrd, opts.tag_stream);
+  {
+    obs::Span sp(tb, "intra-a2a", "phase", opts.tag_stream,
+                 {{"bytes",
+                   static_cast<std::int64_t>(dbsd.back() + dbs.back())}});
+    co_await alltoallv_inner(opts.inner, *lc.leaders_node,
+                             rt::ConstView(dsend.view()), dbs, dbsd,
+                             erecv.view(), dbr, dbrd, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- repack into per-member, source-ordered scatter blocks ----------------
@@ -603,6 +642,7 @@ rt::Task<void> alltoallv_multileader_node_aware(
   rt::ScratchBuffer sc = rt::alloc_scratch(world, opts.scratch,
                                            out_off.back() + out_totals.back());
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     std::size_t off = 0;
     // Source world rank b2*ppn + k1*g + i2 ascends with (b2, k1, i2).
     for (int e = 0; e < g; ++e) {
@@ -624,9 +664,12 @@ rt::Task<void> alltoallv_multileader_node_aware(
 
   // --- scatter ---------------------------------------------------------------
   t0 = world.now();
-  co_await scatterv_payload(world, local, rt::ConstView(sc.view()), out_off,
-                            out_totals, recv, recv_counts, recv_displs,
-                            scatter_tag);
+  {
+    obs::Span sp(tb, "scatter", "phase", opts.tag_stream, {{"leader", 1}});
+    co_await scatterv_payload(world, local, rt::ConstView(sc.view()), out_off,
+                              out_totals, recv, recv_counts, recv_displs,
+                              scatter_tag);
+  }
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 

@@ -2,7 +2,62 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mca2a::coll {
+
+namespace {
+
+/// Metric-name tag per algorithm (lowercase, no spaces — algo_name() is the
+/// human display string).
+std::string_view algo_tag(Algo a) {
+  switch (a) {
+    case Algo::kSystemMpi:
+      return "system_mpi";
+    case Algo::kHierarchical:
+      return "hierarchical";
+    case Algo::kMultileader:
+      return "multileader";
+    case Algo::kNodeAware:
+      return "node_aware";
+    case Algo::kLocalityAware:
+      return "locality_aware";
+    case Algo::kMultileaderNodeAware:
+      return "multileader_node_aware";
+    case Algo::kPairwiseDirect:
+      return "pairwise";
+    case Algo::kNonblockingDirect:
+      return "nonblocking";
+    case Algo::kBruckDirect:
+      return "bruck";
+    case Algo::kBatchedDirect:
+      return "batched";
+    case Algo::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+/// coll.bytes_by_algo.<tag> counters, resolved once per process so the
+/// dispatch path pays a single relaxed add.
+struct AlgoBytes {
+  obs::Counter* bytes[static_cast<int>(Algo::kCount_)];
+  AlgoBytes() {
+    for (int a = 0; a < static_cast<int>(Algo::kCount_); ++a) {
+      bytes[a] = &obs::metrics().counter(
+          std::string("coll.bytes_by_algo.") +
+          std::string(algo_tag(static_cast<Algo>(a))));
+    }
+  }
+};
+
+AlgoBytes& algo_bytes() {
+  static AlgoBytes b;
+  return b;
+}
+
+}  // namespace
 
 std::string_view phase_name(Phase p) {
   switch (p) {
@@ -92,6 +147,15 @@ rt::Task<void> run_alltoall(Algo algo, rt::Comm& world,
     throw std::invalid_argument(std::string(algo_name(algo)) +
                                 " requires a LocalityComms bundle");
   }
+  // This rank contributes p*block bytes to the exchange, whatever route the
+  // algorithm takes them through.
+  algo_bytes().bytes[static_cast<int>(algo)]->add(
+      static_cast<std::uint64_t>(world.size()) * block);
+  obs::Span dispatch_span(
+      world.tracer(), algo_name(algo), "coll.alltoall", opts.tag_stream,
+      {{"block", static_cast<std::int64_t>(block)},
+       {"bytes", static_cast<std::int64_t>(
+                     static_cast<std::size_t>(world.size()) * block)}});
   switch (algo) {
     case Algo::kSystemMpi:
       co_await alltoall_system_mpi(world, send, recv, block, opts);

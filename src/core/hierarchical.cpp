@@ -17,6 +17,7 @@
 ///   scatter   S[m][w']       w' = source world rank
 
 #include "core/alltoall.hpp"
+#include "obs/trace.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/scratch.hpp"
 
@@ -34,8 +35,11 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
   const std::size_t psz = static_cast<std::size_t>(p) * s;
   // Phase timings are meaningful at the leaders (the ranks doing the work);
   // a non-leader's "scatter" time would mostly measure waiting for its
-  // leader to get through the exchange.
+  // leader to get through the exchange. Flight-recorder spans are emitted
+  // on every rank — each rank owns its own trace file, so a non-leader's
+  // wait *is* the interesting shape there.
   Trace* trace = lc.is_leader ? opts.trace : nullptr;
+  obs::TraceBuffer* tb = world.tracer();
 
   // --- gather members' send buffers to the leader --------------------------
   rt::ScratchBuffer gathered;
@@ -44,14 +48,21 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
                                  static_cast<std::size_t>(g) * psz);
   }
   double t0 = world.now();
-  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch,
-                      opts.tag_stream);
+  {
+    obs::Span sp(tb, "gather", "phase", opts.tag_stream,
+                 {{"leader", lc.is_leader ? 1 : 0}});
+    co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch,
+                        opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kGather, world.now() - t0);
 
   if (!lc.is_leader) {
     t0 = world.now();
+    obs::Span sp(tb, "scatter", "phase", opts.tag_stream,
+                 {{"leader", 0}});
     co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0,
                          opts.scratch, opts.tag_stream);
+    sp.close();
     if (trace) trace->add(Phase::kScatter, world.now() - t0);
     co_return;
   }
@@ -62,6 +73,7 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(nreg) * gg);
   const bool real = lsend.data() != nullptr && gathered.data() != nullptr;
   t0 = world.now();
+  obs::Span pack_span(tb, "pack", "phase", opts.tag_stream);
   std::size_t moved = 0;
   for (int j = 0; j < nreg; ++j) {
     for (int i = 0; i < g; ++i) {
@@ -77,15 +89,21 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
     }
   }
   world.charge_copy(moved);
+  pack_span.close();
   if (trace) trace->add(Phase::kPack, world.now() - t0);
 
   // --- all-to-all among leaders (leaders' group_cross spans all leaders) ----
   rt::ScratchBuffer lrecv = rt::alloc_scratch(
       world, opts.scratch, static_cast<std::size_t>(nreg) * gg);
   t0 = world.now();
-  co_await alltoall_inner(opts.inner, *lc.group_cross,
-                          rt::ConstView(lsend.view()), lrecv.view(), gg,
-                          opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "inter-a2a", "phase", opts.tag_stream,
+                 {{"bytes", static_cast<std::int64_t>(
+                                static_cast<std::size_t>(nreg) * gg)}});
+    co_await alltoall_inner(opts.inner, *lc.group_cross,
+                            rt::ConstView(lsend.view()), lrecv.view(), gg,
+                            opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack received region blocks into per-member scatter blocks ---------
@@ -93,6 +111,7 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(g) * psz);
   const bool real2 = sc.data() != nullptr && lrecv.data() != nullptr;
   t0 = world.now();
+  obs::Span pack2_span(tb, "pack", "phase", opts.tag_stream);
   moved = 0;
   for (int j = 0; j < nreg; ++j) {
     for (int i2 = 0; i2 < g; ++i2) {
@@ -112,12 +131,16 @@ rt::Task<void> alltoall_hierarchical(const rt::LocalityComms& lc,
     }
   }
   world.charge_copy(moved);
+  pack2_span.close();
   if (trace) trace->add(Phase::kPack, world.now() - t0);
 
   // --- scatter per-member results -------------------------------------------
   t0 = world.now();
-  co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
-                       opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "scatter", "phase", opts.tag_stream, {{"leader", 1}});
+    co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
+                         opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 

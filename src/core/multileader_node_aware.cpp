@@ -20,6 +20,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/scratch.hpp"
 
@@ -41,6 +42,7 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   const std::size_t psz = static_cast<std::size_t>(p) * s;
   // Leaders only: non-leader phase times would measure leader waits.
   Trace* trace = lc.is_leader ? opts.trace : nullptr;
+  obs::TraceBuffer* tb = world.tracer();
 
   // --- gather member buffers to the leader ----------------------------------
   rt::ScratchBuffer gathered;
@@ -53,14 +55,20 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
                                  static_cast<std::size_t>(g) * psz);
   }
   double t0 = world.now();
-  co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch,
-                      opts.tag_stream);
+  {
+    obs::Span sp(tb, "gather", "phase", opts.tag_stream,
+                 {{"leader", lc.is_leader ? 1 : 0}});
+    co_await rt::gather(local, send, gathered.view(), /*root=*/0, opts.scratch,
+                        opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kGather, world.now() - t0);
 
   if (!lc.is_leader) {
     t0 = world.now();
+    obs::Span sp(tb, "scatter", "phase", opts.tag_stream, {{"leader", 0}});
     co_await rt::scatter(local, rt::ConstView{}, recv, /*root=*/0,
                          opts.scratch, opts.tag_stream);
+    sp.close();
     if (trace) trace->add(Phase::kScatter, world.now() - t0);
     co_return;
   }
@@ -74,6 +82,7 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(n) * node_blk);
   t0 = world.now();
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     const bool real = bsend.data() != nullptr && gathered.data() != nullptr;
     std::size_t moved = 0;
     for (int b2 = 0; b2 < n; ++b2) {
@@ -96,9 +105,14 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   rt::ScratchBuffer crecv = rt::alloc_scratch(
       world, opts.scratch, static_cast<std::size_t>(n) * node_blk);
   t0 = world.now();
-  co_await alltoall_inner(opts.inner, *lc.leader_cross,
-                          rt::ConstView(bsend.view()), crecv.view(), node_blk,
-                          opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "inter-a2a", "phase", opts.tag_stream,
+                 {{"bytes", static_cast<std::int64_t>(
+                                static_cast<std::size_t>(n) * node_blk)}});
+    co_await alltoall_inner(opts.inner, *lc.leader_cross,
+                            rt::ConstView(bsend.view()), crecv.view(), node_blk,
+                            opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- repack: per-node-local-leader blocks ----------------------------------
@@ -107,6 +121,7 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(G) * intra_blk);
   t0 = world.now();
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     const bool real = dsend.data() != nullptr && crecv.data() != nullptr;
     const std::size_t run = static_cast<std::size_t>(g) * s;
     std::size_t moved = 0;
@@ -135,9 +150,14 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
   rt::ScratchBuffer erecv = rt::alloc_scratch(
       world, opts.scratch, static_cast<std::size_t>(G) * intra_blk);
   t0 = world.now();
-  co_await alltoall_inner(opts.inner, *lc.leaders_node,
-                          rt::ConstView(dsend.view()), erecv.view(), intra_blk,
-                          opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "intra-a2a", "phase", opts.tag_stream,
+                 {{"bytes", static_cast<std::int64_t>(
+                                static_cast<std::size_t>(G) * intra_blk)}});
+    co_await alltoall_inner(opts.inner, *lc.leaders_node,
+                            rt::ConstView(dsend.view()), erecv.view(),
+                            intra_blk, opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- repack into per-member, source-ordered scatter blocks ----------------
@@ -145,6 +165,7 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
       world, opts.scratch, static_cast<std::size_t>(g) * psz);
   t0 = world.now();
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     const bool real = sc.data() != nullptr && erecv.data() != nullptr;
     std::size_t moved = 0;
     for (int k1 = 0; k1 < G; ++k1) {
@@ -175,8 +196,11 @@ rt::Task<void> alltoall_multileader_node_aware(const rt::LocalityComms& lc,
 
   // --- scatter ---------------------------------------------------------------
   t0 = world.now();
-  co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
-                       opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "scatter", "phase", opts.tag_stream, {{"leader", 1}});
+    co_await rt::scatter(local, rt::ConstView(sc.view()), recv, /*root=*/0,
+                         opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kScatter, world.now() - t0);
 }
 

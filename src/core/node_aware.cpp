@@ -17,6 +17,7 @@
 ///   unpack:        recv[j*g+i'] = T3[i'][j]
 
 #include "core/alltoall.hpp"
+#include "obs/trace.hpp"
 #include "runtime/scratch.hpp"
 
 namespace mca2a::coll {
@@ -32,19 +33,25 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   const std::size_t s = block;
   const std::size_t psz = static_cast<std::size_t>(world.size()) * s;
   Trace* trace = opts.trace;
+  obs::TraceBuffer* tb = world.tracer();
 
   // --- phase 1: inter-region exchange (block g*s) ---------------------------
   rt::ScratchBuffer t1 = rt::alloc_scratch(world, opts.scratch, psz);
   double t0 = world.now();
-  co_await alltoall_inner(opts.inner, cross, send, t1.view(),
-                          static_cast<std::size_t>(g) * s, opts.scratch,
-                          opts.tag_stream);
+  {
+    obs::Span sp(tb, "inter-a2a", "phase", opts.tag_stream,
+                 {{"bytes", static_cast<std::int64_t>(psz)}});
+    co_await alltoall_inner(opts.inner, cross, send, t1.view(),
+                            static_cast<std::size_t>(g) * s, opts.scratch,
+                            opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kInterA2A, world.now() - t0);
 
   // --- pack per-local-peer blocks -------------------------------------------
   rt::ScratchBuffer t2 = rt::alloc_scratch(world, opts.scratch, psz);
   t0 = world.now();
   {
+    obs::Span sp(tb, "pack", "phase", opts.tag_stream);
     const bool real = t1.data() != nullptr && t2.data() != nullptr;
     std::size_t moved = 0;
     for (int i = 0; i < g; ++i) {
@@ -64,14 +71,19 @@ rt::Task<void> alltoall_node_aware(const rt::LocalityComms& lc,
   // --- phase 2: intra-region redistribution (block nreg*s) ------------------
   rt::ScratchBuffer t3 = rt::alloc_scratch(world, opts.scratch, psz);
   t0 = world.now();
-  co_await alltoall_inner(opts.inner, local, rt::ConstView(t2.view()),
-                          t3.view(), static_cast<std::size_t>(nreg) * s,
-                          opts.scratch, opts.tag_stream);
+  {
+    obs::Span sp(tb, "intra-a2a", "phase", opts.tag_stream,
+                 {{"bytes", static_cast<std::int64_t>(psz)}});
+    co_await alltoall_inner(opts.inner, local, rt::ConstView(t2.view()),
+                            t3.view(), static_cast<std::size_t>(nreg) * s,
+                            opts.scratch, opts.tag_stream);
+  }
   if (trace) trace->add(Phase::kIntraA2A, world.now() - t0);
 
   // --- unpack into source-rank order -----------------------------------------
   t0 = world.now();
   {
+    obs::Span sp(tb, "unpack", "phase", opts.tag_stream);
     const bool real = t3.data() != nullptr && recv.ptr != nullptr;
     std::size_t moved = 0;
     for (int i2 = 0; i2 < g; ++i2) {

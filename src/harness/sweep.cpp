@@ -59,6 +59,20 @@ coll::AlltoallvSkew vector_skew(int p, std::size_t mean, double imbalance,
   return sk;
 }
 
+double RunResult::percentile_of(const std::vector<double>& samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(samples);
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the ⌈q·n⌉-th smallest sample (1-based); q == 0 → rank 1.
+  const std::size_t rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(clamped * static_cast<double>(sorted.size()))));
+  return sorted[rank - 1];
+}
+
 void apply_env(RunSpec& spec) {
   if (const char* reps = std::getenv("A2A_BENCH_REPS")) {
     spec.reps = std::max(1, std::atoi(reps));

@@ -117,6 +117,18 @@ struct RunResult {
   /// recorded from rank 0).
   std::vector<int> rep_algos;
   std::vector<int> rep_groups;
+
+  /// Nearest-rank percentiles over rep_seconds (percentile() below);
+  /// 0 when rep_seconds is empty (reps == 1 runs, overlap runs).
+  double p50() const { return percentile_of(rep_seconds, 0.50); }
+  double p95() const { return percentile_of(rep_seconds, 0.95); }
+  double p99() const { return percentile_of(rep_seconds, 0.99); }
+
+  /// Nearest-rank percentile (the rank-⌈q·n⌉ smallest sample, the textbook
+  /// definition — no interpolation, so the result is always an observed
+  /// sample). q in [0, 1]; q == 0 reads as the minimum. Returns 0.0 on an
+  /// empty vector.
+  static double percentile_of(const std::vector<double>& samples, double q);
 };
 
 /// Run the spec in a fresh simulated cluster.

@@ -1,0 +1,227 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mca2a::obs {
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) {
+    n += b.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t Histogram::quantile_bound(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the ceil(q * n)-th sample in sorted order (1-based).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (static_cast<double>(rank) < q * static_cast<double>(n)) {
+    ++rank;
+  }
+  if (rank == 0) {
+    rank = 1;
+  }
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return bucket_bound(b);
+    }
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.push_back({name, c->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.push_back({name, g->value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramEntry e;
+    e.name = name;
+    e.count = h->count();
+    e.sum = h->sum();
+    e.p50 = h->quantile_bound(0.50);
+    e.p99 = h->quantile_bound(0.99);
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n != 0) {
+        e.buckets.emplace_back(Histogram::bucket_bound(b), n);
+      }
+    }
+    s.histograms.push_back(std::move(e));
+  }
+  return s;
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  const MetricsSnapshot s = snapshot();
+  for (const auto& c : s.counters) {
+    os << c.name << " " << c.value << "\n";
+  }
+  for (const auto& g : s.gauges) {
+    os << g.name << " " << g.value << "\n";
+  }
+  for (const auto& h : s.histograms) {
+    os << h.name << " count=" << h.count << " sum=" << h.sum
+       << " p50<=" << h.p50 << " p99<=" << h.p99 << "\n";
+    for (const auto& [bound, n] : h.buckets) {
+      os << h.name << ".le." << bound << " " << n << "\n";
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const MetricsSnapshot s = snapshot();
+  // Metric names are dotted ASCII identifiers (enforced by convention, not
+  // worth an escaper); values are integers. Keys stay sorted (std::map).
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << s.counters[i].name
+       << "\": " << s.counters[i].value;
+  }
+  os << (s.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << s.gauges[i].name
+       << "\": " << s.gauges[i].value;
+  }
+  os << (s.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const auto& h = s.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+       << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"p50_bound\": " << h.p50 << ", \"p99_bound\": " << h.p99
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << "[" << h.buckets[b].first << ", "
+         << h.buckets[b].second << "]";
+    }
+    os << "]}";
+  }
+  os << (s.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->v_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->v_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (auto& b : h->buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    h->sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void write_metrics_files(const std::string& path) {
+  {
+    std::ofstream os(path);
+    if (!os) {
+      throw std::runtime_error("A2A_METRICS: cannot open " + path);
+    }
+    metrics().write_text(os);
+  }
+  std::ofstream js(path + ".json");
+  if (!js) {
+    throw std::runtime_error("A2A_METRICS: cannot open " + path + ".json");
+  }
+  metrics().write_json(js);
+}
+
+namespace {
+
+void dump_metrics_at_exit() {
+  const char* path = std::getenv("A2A_METRICS");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  try {
+    write_metrics_files(path);
+  } catch (...) {
+    // Exit path: a failed snapshot write must not abort the process.
+  }
+}
+
+}  // namespace
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry reg;
+  // Registered *after* `reg` is constructed, so the hook (LIFO atexit order)
+  // runs before any later static teardown could touch the registry; same
+  // two-statics ordering trick as the autotune profile saver.
+  static const bool hooked = [] {
+    std::atexit(&dump_metrics_at_exit);
+    return true;
+  }();
+  (void)hooked;
+  return reg;
+}
+
+}  // namespace mca2a::obs

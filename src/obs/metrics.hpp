@@ -1,0 +1,190 @@
+#pragma once
+/// \file metrics.hpp
+/// Unified metrics registry: typed counters, gauges and log-bucketed
+/// histograms with O(1) lock-free hot paths.
+///
+/// The registry is the common export surface for the counters the subsystems
+/// used to hoard privately (plan cache hits, tag-stream draws, scratch-arena
+/// bytes, autotune decisions, per-level wire bytes). Registration (name
+/// lookup) takes a mutex and may allocate; call sites therefore register
+/// once — typically through a function-local static reference — and then
+/// increment through plain relaxed atomics. Because the instruments never
+/// touch a rank clock or allocate on the increment path, keeping them
+/// always-on perturbs neither simulated virtual time nor warm-execute
+/// allocation counts.
+///
+/// Snapshots are queryable in-process (tests, benches) and, when the
+/// A2A_METRICS environment knob names a file, serialized at process exit as
+/// both text (`path`) and JSON (`path`.json). See docs/observability.md.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mca2a::obs {
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value, with a lock-free running-maximum update.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  /// Raise the gauge to `v` if `v` exceeds the current value (CAS loop;
+  /// contention is bounded by the number of concurrent raisers).
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Histogram over non-negative integers with logarithmic (power-of-two)
+/// buckets: bucket 0 holds the value 0, bucket i >= 1 holds values in
+/// [2^(i-1), 2^i). One relaxed fetch_add per observation.
+class Histogram {
+ public:
+  /// 0 plus one bucket per bit of a 64-bit value.
+  static constexpr int kBuckets = 65;
+
+  static int bucket_of(std::uint64_t v) noexcept {
+    int b = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  /// Inclusive upper bound of bucket `b` (0 for bucket 0).
+  static std::uint64_t bucket_bound(int b) noexcept {
+    return b == 0 ? 0
+           : b >= 64
+               ? UINT64_MAX
+               : (std::uint64_t{1} << b) - 1;
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(int b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of the bucket holding the q-th quantile sample (q in
+  /// [0, 1], nearest-rank over the bucketed distribution); 0 when empty.
+  std::uint64_t quantile_bound(double q) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time view of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;  ///< quantile_bound(0.50)
+    std::uint64_t p99 = 0;  ///< quantile_bound(0.99)
+    /// (bucket upper bound, count) for every non-empty bucket.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+};
+
+/// Name-addressed registry of instruments with stable addresses: the
+/// reference returned by counter()/gauge()/histogram() stays valid for the
+/// registry's lifetime, so hot paths cache it once and increment locklessly.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find or create the named instrument (thread-safe; may allocate).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Current value of a named counter/gauge, 0 when never registered
+  /// (tests read deltas around a workload, so absence reads as zero).
+  std::uint64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+  /// Named histogram, or nullptr when never registered.
+  const Histogram* find_histogram(std::string_view name) const;
+
+  MetricsSnapshot snapshot() const;
+
+  /// Human-readable table, one `name value` row per instrument.
+  void write_text(std::ostream& os) const;
+  /// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void write_json(std::ostream& os) const;
+
+  /// Zero every instrument, keeping registrations (cached references stay
+  /// valid). Test isolation helper.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // Map nodes have stable addresses; unique_ptr keeps the instruments
+  // immovable so the atomics never relocate under a concurrent increment.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry. First use arms the A2A_METRICS exit dump
+/// (no-op when the variable is unset).
+MetricsRegistry& metrics();
+
+/// Serialize the global registry to `path` (text) and `path`.json (JSON)
+/// right now; what A2A_METRICS triggers at exit. Throws on I/O failure.
+void write_metrics_files(const std::string& path);
+
+}  // namespace mca2a::obs

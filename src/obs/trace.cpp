@@ -1,0 +1,359 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace mca2a::obs {
+
+// --------------------------------------------------------------------------
+// TraceBuffer
+// --------------------------------------------------------------------------
+
+bool TraceBuffer::push(EventType type, std::string_view name,
+                       std::string_view cat, int lane,
+                       std::initializer_list<TraceArg> args, bool force) {
+  if (capacity_ == 0 || (!force && events_.size() >= capacity_)) {
+    ++dropped_;
+    return false;
+  }
+  if (events_.empty()) {
+    events_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+  }
+  TraceEvent e;
+  e.ts = now();
+  e.session = session_;
+  e.lane = static_cast<std::uint16_t>(lane);
+  e.type = type;
+  e.name = name;
+  e.cat = cat;
+  std::size_t i = 0;
+  for (const TraceArg& a : args) {
+    if (i < e.args.size()) {
+      e.args[i++] = a;
+    }
+  }
+  events_.push_back(e);
+  return true;
+}
+
+bool TraceBuffer::begin(std::string_view name, std::string_view cat, int lane,
+                        std::initializer_list<TraceArg> args) {
+  return push(EventType::kBegin, name, cat, lane, args, /*force=*/false);
+}
+
+void TraceBuffer::end(int lane) {
+  // Forced: an end whose begin was accepted must land even at capacity, or
+  // the exported span tree would tear. Overshoot is bounded by the open-span
+  // depth at the moment the ring filled.
+  push(EventType::kEnd, {}, {}, lane, {}, /*force=*/true);
+}
+
+void TraceBuffer::instant(std::string_view name, std::string_view cat,
+                          int lane, std::initializer_list<TraceArg> args) {
+  push(EventType::kInstant, name, cat, lane, args, /*force=*/false);
+}
+
+// --------------------------------------------------------------------------
+// JSON export
+// --------------------------------------------------------------------------
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_args(std::ostream& os, const TraceEvent& e) {
+  bool any = false;
+  for (const TraceArg& a : e.args) {
+    if (a.key.empty()) {
+      continue;
+    }
+    os << (any ? ", " : ", \"args\": {") << "\"";
+    write_escaped(os, a.key);
+    os << "\": " << a.value;
+    any = true;
+  }
+  if (any) {
+    os << "}";
+  }
+}
+
+const char* clock_domain_name(std::string_view backend) {
+  return backend == "sim" ? "virtual-seconds" : "wall-seconds";
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TraceRecorder
+// --------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(TraceConfig cfg) : cfg_(std::move(cfg)) {}
+
+int TraceRecorder::begin_session(std::string_view backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.push_back(Session{std::string(backend), true});
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+TraceBuffer* TraceRecorder::open_stream(int session, int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Session& s = sessions_.at(static_cast<std::size_t>(session));
+  if (!s.active) {
+    throw std::logic_error("TraceRecorder::open_stream: session ended");
+  }
+  // Reuse the lowest-instance free buffer for (backend, rank); a concurrent
+  // session of the same shape gets a fresh instance instead of a second
+  // writer on the same ring.
+  Slot* best = nullptr;
+  int instances = 0;
+  for (const auto& slot : slots_) {
+    if (slot->backend != s.backend || slot->rank != rank) {
+      continue;
+    }
+    ++instances;
+    if (slot->session == -1 &&
+        (best == nullptr || slot->instance < best->instance)) {
+      best = slot.get();
+    }
+  }
+  if (best == nullptr) {
+    auto slot = std::make_unique<Slot>();
+    slot->backend = s.backend;
+    slot->rank = rank;
+    slot->instance = instances;
+    slot->buf = std::make_unique<TraceBuffer>(cfg_.events_per_rank);
+    best = slot.get();
+    slots_.push_back(std::move(slot));
+  }
+  best->session = session;
+  best->buf->set_session(static_cast<std::uint32_t>(session));
+  return best->buf.get();
+}
+
+void TraceRecorder::end_session(int session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (session < 0 || session >= static_cast<int>(sessions_.size())) {
+    return;
+  }
+  sessions_[static_cast<std::size_t>(session)].active = false;
+  for (auto& slot : slots_) {
+    if (slot->session == session) {
+      slot->session = -1;
+    }
+  }
+}
+
+const TraceRecorder::Slot* TraceRecorder::find_slot(std::string_view backend,
+                                                    int rank,
+                                                    int instance) const {
+  for (const auto& slot : slots_) {
+    if (slot->backend == backend && slot->rank == rank &&
+        slot->instance == instance) {
+      return slot.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string TraceRecorder::file_name(std::string_view backend, int rank,
+                                     int instance) {
+  std::string name(backend);
+  name += "-rank";
+  std::string digits = std::to_string(rank);
+  name.append(digits.size() < 5 ? 5 - digits.size() : 0, '0');
+  name += digits;
+  if (instance > 0) {
+    name += "-i" + std::to_string(instance);
+  }
+  name += ".trace.json";
+  return name;
+}
+
+namespace {
+
+void write_slot_json(std::ostream& os, std::string_view backend, int rank,
+                     const TraceBuffer& buf) {
+  const auto& events = buf.events();
+  // Perfetto process/thread naming: every session in this file is one
+  // process; each lane (tag stream) is one named thread of it.
+  std::set<std::uint32_t> sessions;
+  std::set<std::pair<std::uint32_t, std::uint16_t>> lanes;
+  for (const TraceEvent& e : events) {
+    sessions.insert(e.session);
+    lanes.insert({e.session, e.lane});
+  }
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\n"
+     << "  \"backend\": \"" << backend << "\",\n"
+     << "  \"clock_domain\": \"" << clock_domain_name(backend) << "\",\n"
+     << "  \"rank\": " << rank << ",\n"
+     << "  \"dropped_events\": " << buf.dropped() << "\n},\n"
+     << "\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (std::uint32_t s : sessions) {
+    sep();
+    os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << s
+       << ", \"tid\": 0, \"args\": {\"name\": \"" << backend << " session "
+       << s << " rank " << rank << "\"}}";
+  }
+  for (const auto& [s, lane] : lanes) {
+    sep();
+    os << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << s
+       << ", \"tid\": " << lane << ", \"args\": {\"name\": \"rank " << rank;
+    if (lane != 0) {
+      os << " stream " << lane;
+    }
+    os << "\"}}";
+  }
+  os << std::setprecision(17);
+  for (const TraceEvent& e : events) {
+    sep();
+    const double ts_us = e.ts * 1e6;
+    switch (e.type) {
+      case EventType::kBegin:
+        os << "{\"ph\": \"B\", \"name\": \"";
+        write_escaped(os, e.name);
+        os << "\", \"cat\": \"";
+        write_escaped(os, e.cat);
+        os << "\", \"ts\": " << ts_us << ", \"pid\": " << e.session
+           << ", \"tid\": " << e.lane;
+        write_args(os, e);
+        os << "}";
+        break;
+      case EventType::kEnd:
+        os << "{\"ph\": \"E\", \"ts\": " << ts_us << ", \"pid\": "
+           << e.session << ", \"tid\": " << e.lane << "}";
+        break;
+      case EventType::kInstant:
+        os << "{\"ph\": \"i\", \"s\": \"t\", \"name\": \"";
+        write_escaped(os, e.name);
+        os << "\", \"cat\": \"";
+        write_escaped(os, e.cat);
+        os << "\", \"ts\": " << ts_us << ", \"pid\": " << e.session
+           << ", \"tid\": " << e.lane;
+        write_args(os, e);
+        os << "}";
+        break;
+    }
+  }
+  os << "\n]\n}\n";
+}
+
+}  // namespace
+
+void TraceRecorder::write_stream(std::ostream& os, std::string_view backend,
+                                 int rank, int instance) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Slot* slot = find_slot(backend, rank, instance);
+  if (slot == nullptr) {
+    throw std::out_of_range("TraceRecorder::write_stream: no such stream");
+  }
+  write_slot_json(os, slot->backend, slot->rank, *slot->buf);
+}
+
+const TraceBuffer* TraceRecorder::stream(std::string_view backend, int rank,
+                                         int instance) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Slot* slot = find_slot(backend, rank, instance);
+  return slot == nullptr ? nullptr : slot->buf.get();
+}
+
+void TraceRecorder::write_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cfg_.dir.empty()) {
+    return;
+  }
+  std::filesystem::create_directories(cfg_.dir);
+  for (const auto& slot : slots_) {
+    const std::string path =
+        cfg_.dir + "/" + file_name(slot->backend, slot->rank, slot->instance);
+    std::ofstream os(path);
+    if (!os) {
+      throw std::runtime_error("A2A_TRACE: cannot open " + path);
+    }
+    write_slot_json(os, slot->backend, slot->rank, *slot->buf);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Active recorder (env singleton + test override)
+// --------------------------------------------------------------------------
+
+namespace {
+
+TraceRecorder* g_override = nullptr;
+
+void write_env_traces_at_exit();
+
+TraceRecorder* env_recorder() {
+  static std::unique_ptr<TraceRecorder> rec = [] {
+    const char* dir = std::getenv("A2A_TRACE");
+    if (dir == nullptr || *dir == '\0') {
+      return std::unique_ptr<TraceRecorder>();
+    }
+    TraceConfig cfg;
+    cfg.dir = dir;
+    if (const char* cap = std::getenv("A2A_TRACE_EVENTS")) {
+      const long long n = std::atoll(cap);
+      if (n > 0) {
+        cfg.events_per_rank = static_cast<std::size_t>(n);
+      }
+    }
+    return std::make_unique<TraceRecorder>(std::move(cfg));
+  }();
+  static const bool hooked = [] {
+    if (rec != nullptr) {
+      std::atexit(&write_env_traces_at_exit);
+    }
+    return true;
+  }();
+  (void)hooked;
+  return rec.get();
+}
+
+void write_env_traces_at_exit() {
+  try {
+    if (TraceRecorder* r = env_recorder()) {
+      r->write_all();
+    }
+  } catch (...) {
+    // Exit path: a failed trace write must not abort the process.
+  }
+}
+
+}  // namespace
+
+TraceRecorder* active_recorder() {
+  return g_override != nullptr ? g_override : env_recorder();
+}
+
+void set_active_recorder(TraceRecorder* r) { g_override = r; }
+
+}  // namespace mca2a::obs

@@ -1,8 +1,39 @@
 #include "plan/cache.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace mca2a::plan {
+
+namespace {
+
+/// Global mirror of every PlanCache's counters, resolved once per process
+/// so the lookup path pays one relaxed add per event. Per-instance numbers
+/// stay in PlanCache::stats(); the registry aggregates across caches.
+struct CacheMetrics {
+  obs::Counter* hits[coll::kNumOpKinds];
+  obs::Counter* misses[coll::kNumOpKinds];
+  obs::Counter* evictions[coll::kNumOpKinds];
+  CacheMetrics() {
+    for (int k = 0; k < coll::kNumOpKinds; ++k) {
+      const std::string prefix =
+          std::string("plan.cache.") +
+          std::string(coll::op_kind_tag(static_cast<coll::OpKind>(k)));
+      hits[k] = &obs::metrics().counter(prefix + ".hits");
+      misses[k] = &obs::metrics().counter(prefix + ".misses");
+      evictions[k] = &obs::metrics().counter(prefix + ".evictions");
+    }
+  }
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 PlanCache::PlanCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
@@ -59,7 +90,9 @@ std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
     rt::Comm& world, const topo::Machine& machine, const model::NetParams& net,
     const coll::OpDesc& desc, const PlanOptions& opts) {
   const PlanKey key = key_of(world, desc, opts);
-  OpStats& op_stats = stats_.per_op[static_cast<int>(desc.kind())];
+  const int kind_idx = static_cast<int>(desc.kind());
+  OpStats& op_stats = stats_.per_op[kind_idx];
+  CacheMetrics& gm = cache_metrics();
   const auto it = map_.find(key);
   if (it != map_.end()) {
     // Alltoallv keys embed only a hash of the count vectors; guard the
@@ -73,12 +106,14 @@ std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
         ++stats_.misses;
         ++op_stats.misses;
         ++stats_.constructions;
+        gm.misses[kind_idx]->add();
         return std::make_shared<CollectivePlan>(
             make_plan(world, machine, net, desc, opts));
       }
     }
     ++stats_.hits;
     ++op_stats.hits;
+    gm.hits[kind_idx]->add();
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
     return it->second->second;
   }
@@ -86,12 +121,14 @@ std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
   ++stats_.misses;
   ++op_stats.misses;
   ++stats_.constructions;
+  gm.misses[kind_idx]->add();
   auto plan = std::make_shared<CollectivePlan>(
       make_plan(world, machine, net, desc, opts));
   lru_.emplace_front(key, plan);
   map_[key] = lru_.begin();
 
   while (map_.size() > capacity_) {
+    gm.evictions[static_cast<int>(lru_.back().second->desc().kind())]->add();
     map_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;

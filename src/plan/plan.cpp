@@ -8,6 +8,8 @@
 #include "coll_ext/allgather.hpp"
 #include "coll_ext/allreduce.hpp"
 #include "coll_ext/alltoallv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mca2a::plan {
 
@@ -201,6 +203,12 @@ rt::Task<void> CollectivePlan::run_started(
     std::rethrow_exception(err);  // lands in the handle's AsyncOp
   }
   ++executions_;
+  static obs::Counter& m_execs = obs::metrics().counter("plan.executions");
+  static obs::Histogram& m_micros =
+      obs::metrics().histogram("plan.exec_micros");
+  m_execs.add();
+  m_micros.observe(
+      static_cast<std::uint64_t>((st->finished_at - st->started_at) * 1e6));
   if (autotune_ != nullptr) {
     // Every successful completion — execute(), start()/wait(), Schedule
     // batches alike — is one measured sample for the online autotuner.
@@ -228,6 +236,15 @@ rt::Task<void> CollectivePlan::run_op(rt::ConstView send, rt::MutView recv,
   opts.trace = trace;
   opts.scratch = &arena_;
   opts.tag_stream = tag_stream;
+
+  // Op-level flight-recorder span on the operation's tag-stream lane; the
+  // algorithms' phase spans nest inside it. Closed by the coroutine frame's
+  // unwind, so a failed exchange still balances its begin.
+  obs::Span op_span(world_->tracer(), coll::op_kind_name(kind()), "coll.op",
+                    tag_stream,
+                    {{"algo", algo_},
+                     {"bytes", static_cast<std::int64_t>(recv.len)},
+                     {"stream", tag_stream}});
 
   switch (kind()) {
     case coll::OpKind::kAlltoall:
@@ -304,6 +321,13 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
   }
   desc.validate(world);
 
+  // Plan construction happens on the direct-call lane (stream 0): it is
+  // not a collective exchange, but its cost and the algorithm decision it
+  // makes are exactly what a timeline reader wants next to the op spans.
+  obs::TraceBuffer* tb = world.tracer();
+  obs::Span build_span(tb, "plan.build", "plan", 0,
+                       {{"kind", static_cast<std::int64_t>(desc.kind())}});
+
   CollectivePlan p;
   p.world_ = &world;
   p.machine_ = std::make_shared<const topo::Machine>(machine);
@@ -334,9 +358,16 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
         p.group_size_ = explicit_group;
       } else {
         std::optional<coll::Choice> online;
+        bool explored = false;
         if (tuner != nullptr) {
           online = tuner->choose_alltoall(machine, net, d.block,
-                                          world.backend_name());
+                                          world.backend_name(), &explored);
+        }
+        if (online && tb != nullptr) {
+          tb->instant(explored ? "autotune.explore" : "autotune.exploit",
+                      "autotune", 0,
+                      {{"algo", static_cast<std::int64_t>(online->algo)},
+                       {"group", online->group_size}});
         }
         const coll::Choice c =
             online ? *online
@@ -398,9 +429,16 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
         p.group_size_ = explicit_group;
       } else {
         std::optional<coll::AllgatherChoice> online;
+        bool explored = false;
         if (tuner != nullptr) {
           online = tuner->choose_allgather(machine, net, d.block,
-                                           world.backend_name());
+                                           world.backend_name(), &explored);
+        }
+        if (online && tb != nullptr) {
+          tb->instant(explored ? "autotune.explore" : "autotune.exploit",
+                      "autotune", 0,
+                      {{"algo", static_cast<std::int64_t>(online->algo)},
+                       {"group", online->group_size}});
         }
         const coll::AllgatherChoice c =
             online ? *online
@@ -461,6 +499,12 @@ CollectivePlan make_plan(rt::Comm& world, const topo::Machine& machine,
   if (need_lc) {
     p.lc_.emplace(rt::build_locality_comms(world, *p.machine_, p.group_size_,
                                            need_leaders));
+  }
+  if (tb != nullptr) {
+    tb->instant("plan.algo", "plan", 0,
+                {{"kind", static_cast<std::int64_t>(p.desc_.kind())},
+                 {"algo", p.algo_},
+                 {"group", p.group_size_}});
   }
   return p;
 }

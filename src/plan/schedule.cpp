@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace mca2a::plan {
 
 int Schedule::add(CollectivePlan& plan, rt::ConstView send, rt::MutView recv,
@@ -86,6 +88,14 @@ rt::Task<void> Schedule::drive(int i) {
     co_await done_[d]->wait();
   }
   rt::Comm& comm = op.plan->comm();
+  if (obs::TraceBuffer* tb = comm.tracer()) {
+    // Launch marker on the op's own lane: its dependencies have completed
+    // and the collective span (plan.cpp's run_op) starts right here.
+    tb->instant("sched.launch", "sched", op.tag_stream,
+                {{"op", i},
+                 {"deps", static_cast<std::int64_t>(op.deps.size())},
+                 {"stream", op.tag_stream}});
+  }
   if (op.compute_bytes > 0) {
     comm.charge_copy(op.compute_bytes);
   }
@@ -123,6 +133,17 @@ rt::Task<void> Schedule::run() {
   // exactly the cross-matching the streams exist to prevent.
   for (Op& op : ops_) {
     op.tag_stream = op.plan->comm().acquire_tag_stream();
+  }
+  // Dependency edges, once per run on the direct-call lane: a timeline
+  // reader can reconstruct the DAG from (before, after) pairs and match
+  // them to the sched.launch markers on the per-op lanes.
+  for (int after = 0; after < n; ++after) {
+    if (obs::TraceBuffer* tb = ops_[after].plan->comm().tracer()) {
+      for (int before : ops_[after].deps) {
+        tb->instant("sched.dep", "sched", 0,
+                    {{"before", before}, {"after", after}});
+      }
+    }
   }
   done_.clear();
   done_.reserve(n);

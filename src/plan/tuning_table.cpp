@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mca2a::plan {
 
 namespace {
@@ -44,12 +46,18 @@ TuningKey TuningTable::key_of(const topo::Machine& machine, coll::OpKind op,
 
 std::optional<TuningTable::Entry> TuningTable::lookup_entry(
     const topo::Machine& machine, coll::OpKind op, std::size_t block) const {
+  // Per-instance totals stay in lookups_/hits_; the registry aggregates
+  // across every table in the process.
+  static obs::Counter& g_lookups = obs::metrics().counter("tuning.lookups");
+  static obs::Counter& g_hits = obs::metrics().counter("tuning.hits");
   ++lookups_;
+  g_lookups.add();
   const auto it = entries_.find(key_of(machine, op, block));
   if (it == entries_.end()) {
     return std::nullopt;
   }
   ++hits_;
+  g_hits.add();
   return it->second;
 }
 
@@ -133,6 +141,7 @@ coll::AllreduceChoice TuningTable::choose_allreduce(
     // Still counted as a lookup (and never a hit) so lookups() keeps its
     // "total choose()/lookup() calls" meaning.
     ++lookups_;
+    obs::metrics().counter("tuning.lookups").add();
     return coll::select_allreduce_algorithm(machine, net, count, elem_size);
   }
   if (const auto hit = lookup_allreduce(machine, bytes)) {

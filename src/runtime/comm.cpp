@@ -2,7 +2,23 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mca2a::rt {
+
+int Comm::acquire_tag_stream() noexcept {
+  const int s = next_tag_stream_;
+  next_tag_stream_ =
+      next_tag_stream_ + 1 < tags::kNumStreams ? next_tag_stream_ + 1 : 1;
+  // Registered once per process (cold); afterwards two relaxed atomic ops.
+  // The high-water gauge tracks the deepest stream index any communicator
+  // handed out — a proxy for the peak number of concurrently planned ops.
+  static obs::Counter& acquired = obs::metrics().counter("tags.acquired");
+  static obs::Gauge& high = obs::metrics().gauge("tags.stream_high_water");
+  acquired.add();
+  high.update_max(s);
+  return s;
+}
 
 Task<void> Comm::send(ConstView buf, int dst, int tag) {
   Request r = isend(buf, dst, tag);

@@ -25,6 +25,10 @@
 #include "runtime/tags.hpp"
 #include "runtime/task.hpp"
 
+namespace mca2a::obs {
+class TraceBuffer;
+}
+
 namespace mca2a::rt {
 
 /// Wildcard source rank (MPI_ANY_SOURCE).
@@ -133,6 +137,13 @@ class Comm {
   /// must make an identical call; ranks not listed must not call.
   virtual std::unique_ptr<Comm> create_subcomm(std::span<const int> members) = 0;
 
+  /// This rank's flight-recorder stream (obs/trace.hpp), or nullptr when
+  /// tracing is disabled — the common case, which every instrumentation
+  /// site must reduce to a single branch. Sub-communicators resolve to the
+  /// same per-world-rank stream as their parent, so one rank's events land
+  /// in one file no matter which communicator emitted them.
+  virtual obs::TraceBuffer* tracer() const noexcept { return nullptr; }
+
   // --- sugar (implemented once over the virtuals) --------------------------
 
   /// Await completion of one request.
@@ -162,12 +173,9 @@ class Comm {
   /// contract — agree on the stream without any communication. Stream 0 is
   /// never handed out: it belongs to direct (non-started) collective calls,
   /// which default to it, so a started operation can also overlap those.
-  int acquire_tag_stream() noexcept {
-    const int s = next_tag_stream_;
-    next_tag_stream_ =
-        next_tag_stream_ + 1 < tags::kNumStreams ? next_tag_stream_ + 1 : 1;
-    return s;
-  }
+  /// Draws are mirrored into the metrics registry (tags.acquired,
+  /// tags.stream_high_water).
+  int acquire_tag_stream() noexcept;
 
  protected:
   Comm(int rank, int size) noexcept : rank_(rank), size_(size) {}

@@ -1,5 +1,9 @@
 #include "runtime/scratch.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
 namespace mca2a::rt {
 
 Buffer ScratchArena::take(const Comm& comm, std::size_t bytes) {
@@ -9,10 +13,25 @@ Buffer ScratchArena::take(const Comm& comm, std::size_t bytes) {
     free_.erase(it);
     --pooled_;
     pooled_bytes_ -= bytes;
+    outstanding_bytes_ += bytes;
     ++reuses_;
+    static obs::Counter& g_reuses = obs::metrics().counter("scratch.reuses");
+    g_reuses.add();
     return b;
   }
   ++allocations_;
+  outstanding_bytes_ += bytes;
+  if (outstanding_bytes_ + pooled_bytes_ > high_water_bytes_) {
+    high_water_bytes_ = outstanding_bytes_ + pooled_bytes_;
+  }
+  static obs::Counter& g_allocs = obs::metrics().counter("scratch.allocations");
+  static obs::Counter& g_bytes =
+      obs::metrics().counter("scratch.allocated_bytes");
+  static obs::Gauge& g_high =
+      obs::metrics().gauge("scratch.high_water_bytes");
+  g_allocs.add();
+  g_bytes.add(bytes);
+  g_high.update_max(static_cast<std::int64_t>(high_water_bytes_));
   return comm.alloc_buffer(bytes);
 }
 
@@ -21,6 +40,9 @@ void ScratchArena::give_back(Buffer b) {
   if (bytes == 0) {
     return;
   }
+  // Clamped: a buffer adopted from outside (moved-in handles) may not have
+  // been counted out by this arena's take().
+  outstanding_bytes_ -= std::min(bytes, outstanding_bytes_);
   free_.emplace(bytes, std::move(b));
   ++pooled_;
   pooled_bytes_ += bytes;

@@ -50,6 +50,12 @@ class ScratchArena {
   std::size_t pooled() const noexcept { return pooled_; }
   /// Total bytes currently resting in the pool.
   std::size_t pooled_bytes() const noexcept { return pooled_bytes_; }
+  /// Bytes handed out by take() and not yet returned.
+  std::size_t outstanding_bytes() const noexcept { return outstanding_bytes_; }
+  /// Peak of outstanding + pooled bytes — the arena's total footprint. Only
+  /// a take() that misses the pool can raise it, so warm plan executes (all
+  /// reuse) keep it flat; tests assert exactly that.
+  std::size_t high_water_bytes() const noexcept { return high_water_bytes_; }
 
   /// Free every pooled buffer (counters are preserved).
   void clear();
@@ -60,6 +66,8 @@ class ScratchArena {
   std::uint64_t reuses_ = 0;
   std::size_t pooled_ = 0;
   std::size_t pooled_bytes_ = 0;
+  std::size_t outstanding_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
 };
 
 /// RAII handle over an arena-backed scratch Buffer. Mirrors the slice of the

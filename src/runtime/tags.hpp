@@ -72,6 +72,13 @@ constexpr int make(int op, int stream = 0) noexcept {
   return kInternalTagBase + stream * kStreamStride + op;
 }
 
+/// The stream a wire tag belongs to; user (non-internal) tags map to
+/// stream 0, the direct-call stream. Inverse of make() on its stream
+/// dimension — used by the flight recorder to lane per-message events.
+constexpr int stream_of(int tag) noexcept {
+  return tag < kInternalTagBase ? 0 : (tag - kInternalTagBase) / kStreamStride;
+}
+
 }  // namespace tags
 
 }  // namespace mca2a::rt

@@ -33,9 +33,36 @@ Cluster::Cluster(ClusterConfig cfg)
   for (int r = 0; r < n; ++r) {
     world_comms_.push_back(std::make_unique<SimComm>(*this, 0u, r, n));
   }
+
+  // Wire accounting: one counter pair per locality level, resolved once so
+  // isend_impl pays two relaxed adds per message.
+  for (int l = 0; l < topo::kNumLevels; ++l) {
+    const std::string prefix =
+        std::string("sim.level.") + topo::to_string(static_cast<Level>(l));
+    level_metrics_[l].messages = &obs::metrics().counter(prefix + ".messages");
+    level_metrics_[l].bytes = &obs::metrics().counter(prefix + ".bytes");
+  }
+
+  // Flight recorder: one session per cluster, one stream per world rank,
+  // each stamped with this rank's *virtual* clock. The clock closure only
+  // reads rank state — tracing never advances virtual time.
+  if (obs::TraceRecorder* rec = obs::active_recorder()) {
+    trace_rec_ = rec;
+    trace_session_ = rec->begin_session("sim");
+    tracers_.resize(static_cast<std::size_t>(n), nullptr);
+    for (int r = 0; r < n; ++r) {
+      obs::TraceBuffer* tb = rec->open_stream(trace_session_, r);
+      tb->set_clock([this, r] { return ranks_[static_cast<std::size_t>(r)].clock; });
+      tracers_[static_cast<std::size_t>(r)] = tb;
+    }
+  }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  if (trace_rec_ != nullptr) {
+    trace_rec_->end_session(trace_session_);
+  }
+}
 
 rt::Comm& Cluster::world(int world_rank) {
   return *world_comms_.at(world_rank);
@@ -290,6 +317,17 @@ rt::Request Cluster::isend_impl(std::uint32_t comm_id, int my_rank_in_comm,
 
   ++stats_msgs_;
   stats_bytes_ += buf.len;
+  level_metrics_[static_cast<int>(level)].messages->add();
+  level_metrics_[static_cast<int>(level)].bytes->add(buf.len);
+  if (obs::TraceBuffer* tb = tracer_for(src_world)) {
+    // One instant per injected message, on the lane of the tag's stream so
+    // it lines up with the collective span that sent it.
+    tb->instant("send", "sim.net", rt::tags::stream_of(tag),
+                {{"bytes", static_cast<std::int64_t>(buf.len)},
+                 {"dst", dst_world},
+                 {"level", static_cast<std::int64_t>(level)},
+                 {"tag", tag}});
+  }
 
   const std::uint32_t op_id = alloc_op();
   OpRec& op = ops_[op_id];

@@ -9,6 +9,7 @@
 /// only when `carry_data` is enabled (tests); virtual-buffer runs produce
 /// bit-identical virtual times, which is itself verified by tests.
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -22,6 +23,8 @@
 
 #include "model/cost.hpp"
 #include "model/params.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/task.hpp"
 #include "sim/engine.hpp"
@@ -84,6 +87,12 @@ class Cluster {
   std::uint64_t messages_sent() const noexcept { return stats_msgs_; }
   /// Total payload bytes injected so far.
   std::uint64_t bytes_sent() const noexcept { return stats_bytes_; }
+
+  /// Flight-recorder stream of `world_rank`, nullptr when tracing is off.
+  obs::TraceBuffer* tracer_for(int world_rank) const noexcept {
+    return tracers_.empty() ? nullptr
+                            : tracers_[static_cast<std::size_t>(world_rank)];
+  }
 
  private:
   friend class SimComm;
@@ -243,6 +252,20 @@ class Cluster {
 
   std::uint64_t stats_msgs_ = 0;
   std::uint64_t stats_bytes_ = 0;
+
+  /// Tracing session over the active recorder; empty tracers_ == disabled.
+  /// The recorder outlives the cluster (env singleton, or a test-owned
+  /// recorder installed around the cluster's lifetime).
+  obs::TraceRecorder* trace_rec_ = nullptr;
+  int trace_session_ = -1;
+  std::vector<obs::TraceBuffer*> tracers_;
+  /// Always-on wire accounting mirrored into the metrics registry, cached
+  /// per topology level so the per-send hot path is two relaxed adds.
+  struct LevelMetrics {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  std::array<LevelMetrics, topo::kNumLevels> level_metrics_{};
 };
 
 }  // namespace mca2a::sim

@@ -42,6 +42,9 @@ class SimComm final : public rt::Comm {
   }
   std::unique_ptr<rt::Comm> create_subcomm(
       std::span<const int> members) override;
+  obs::TraceBuffer* tracer() const noexcept override {
+    return cluster_->tracer_for(world_rank());
+  }
 
   /// Scale CPU-side costs (overheads, copies, matching) for operations on
   /// this communicator; used by the vendor-tuned System MPI surrogate.

@@ -20,9 +20,30 @@ SmpCluster::SmpCluster(int world_size)
   for (int r = 0; r < world_size; ++r) {
     world_comms_.push_back(std::make_unique<SmpComm>(*this, 0u, r, world_size));
   }
+
+  // Flight recorder: one stream per rank thread, stamped with wall-clock
+  // seconds since this cluster's epoch (a separate clock domain from the
+  // simulator's virtual time; the two never share a file).
+  if (obs::TraceRecorder* rec = obs::active_recorder()) {
+    trace_rec_ = rec;
+    trace_session_ = rec->begin_session("smp");
+    tracers_.resize(static_cast<std::size_t>(world_size), nullptr);
+    for (int r = 0; r < world_size; ++r) {
+      obs::TraceBuffer* tb = rec->open_stream(trace_session_, r);
+      tb->set_clock([this] {
+        const auto d = std::chrono::steady_clock::now() - epoch_;
+        return std::chrono::duration<double>(d).count();
+      });
+      tracers_[static_cast<std::size_t>(r)] = tb;
+    }
+  }
 }
 
-SmpCluster::~SmpCluster() = default;
+SmpCluster::~SmpCluster() {
+  if (trace_rec_ != nullptr) {
+    trace_rec_->end_session(trace_session_);
+  }
+}
 
 rt::Comm& SmpCluster::world(int rank) { return *world_comms_.at(rank); }
 

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "smp/mailbox.hpp"
 
@@ -37,6 +38,13 @@ class SmpCluster {
 
   /// World communicator endpoint for `rank` (valid for cluster lifetime).
   rt::Comm& world(int rank);
+
+  /// Flight-recorder stream of `world_rank` (wall-clock domain), nullptr
+  /// when tracing is off.
+  obs::TraceBuffer* tracer_for(int world_rank) const noexcept {
+    return tracers_.empty() ? nullptr
+                            : tracers_[static_cast<std::size_t>(world_rank)];
+  }
 
  private:
   friend class SmpComm;
@@ -64,6 +72,12 @@ class SmpCluster {
   std::vector<std::map<std::vector<int>, std::uint32_t>> subcomm_uses_;
   std::vector<std::unique_ptr<SmpComm>> world_comms_;
   std::chrono::steady_clock::time_point epoch_;
+
+  /// Tracing session over the active recorder (see sim::Cluster for the
+  /// lifecycle contract); empty tracers_ == disabled.
+  obs::TraceRecorder* trace_rec_ = nullptr;
+  int trace_session_ = -1;
+  std::vector<obs::TraceBuffer*> tracers_;
 };
 
 /// rt::Comm implementation over SmpCluster mailboxes.
@@ -84,6 +98,15 @@ class SmpComm final : public rt::Comm {
   void charge_copy(std::size_t) override {}  // real memcpy already happened
   std::unique_ptr<rt::Comm> create_subcomm(
       std::span<const int> members) override;
+  obs::TraceBuffer* tracer() const noexcept override {
+    return cluster_->tracer_for(world_rank());
+  }
+
+  /// World rank of this endpoint.
+  int world_rank() const noexcept {
+    return cluster_->comms_[comm_id_].world_ranks[static_cast<std::size_t>(
+        rank_)];
+  }
 
  private:
   Mailbox& mailbox(int rank_in_comm) const;

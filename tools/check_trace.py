@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate mca2a flight-recorder trace files (Chrome trace-event JSON).
+
+Usage:
+    tools/check_trace.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+For every `*.trace.json` argument (directories are scanned for them), check:
+
+  * the file parses as JSON and has a `traceEvents` array;
+  * every event carries the required keys for its phase type
+    (B/E: name on B, ts/pid/tid on both; i: name/ts/s; M: name/args);
+  * begin/end events balance per (pid, tid) lane — never more E than B,
+    and every B closed by the end of the lane;
+  * timestamps are monotonically non-decreasing per (pid, tid) lane,
+    in file order (the recorder appends in time order per lane);
+  * `otherData.dropped_events`, when present, is reported (dropped begins
+    are legal — the ring bounds memory — but worth surfacing).
+
+Exit status: 0 when every file passes, 1 otherwise. Stdlib only, so CI can
+run it anywhere.
+"""
+
+import json
+import os
+import sys
+
+
+def iter_trace_files(paths):
+    for p in paths:
+        if os.path.isdir(p):
+            for name in sorted(os.listdir(p)):
+                if name.endswith(".trace.json"):
+                    yield os.path.join(p, name)
+        else:
+            yield p
+
+
+def check_file(path):
+    """Returns a list of error strings (empty = pass)."""
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["unreadable or invalid JSON: %s" % e]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["no traceEvents array"]
+
+    depth = {}    # (pid, tid) -> open-span depth
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append("event %d: not an object" % i)
+            continue
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "i", "M"):
+            errors.append("event %d: unknown ph %r" % (i, ph))
+            continue
+        if ph == "M":
+            if "name" not in ev or "args" not in ev:
+                errors.append("event %d: metadata without name/args" % i)
+            continue
+        for key in ("ts", "pid", "tid"):
+            if key not in ev:
+                errors.append("event %d (%s): missing %r" % (i, ph, key))
+        if ph in ("B", "i") and "name" not in ev:
+            errors.append("event %d (%s): missing name" % (i, ph))
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            errors.append("event %d: instant without a valid scope" % i)
+        lane = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if isinstance(ts, (int, float)):
+            prev = last_ts.get(lane)
+            if prev is not None and ts < prev:
+                errors.append(
+                    "event %d: ts %r < previous %r on lane %r"
+                    % (i, ts, prev, lane))
+            last_ts[lane] = ts
+        if ph == "B":
+            depth[lane] = depth.get(lane, 0) + 1
+        elif ph == "E":
+            d = depth.get(lane, 0)
+            if d == 0:
+                errors.append("event %d: E without matching B on lane %r"
+                              % (i, lane))
+            else:
+                depth[lane] = d - 1
+    for lane, d in sorted(depth.items()):
+        if d != 0:
+            errors.append("lane %r: %d unclosed span(s)" % (lane, d))
+
+    dropped = (doc.get("otherData") or {}).get("dropped_events")
+    try:
+        dropped = int(dropped or 0)
+    except (TypeError, ValueError):
+        dropped = 0
+    if dropped:
+        print("%s: note: %s dropped event(s) (ring was full)"
+              % (path, dropped))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = list(iter_trace_files(argv[1:]))
+    if not files:
+        print("check_trace: no *.trace.json files found", file=sys.stderr)
+        return 1
+    failed = 0
+    for path in files:
+        errors = check_file(path)
+        if errors:
+            failed += 1
+            for e in errors:
+                print("%s: FAIL: %s" % (path, e), file=sys.stderr)
+        else:
+            print("%s: OK" % path)
+    if failed:
+        print("check_trace: %d/%d file(s) failed" % (failed, len(files)),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
