@@ -188,7 +188,15 @@ void print_usage(std::ostream& os, const bench::Figure& fig,
         "  A2A_PROFILE=path    persist the autotune profile across runs\n"
         "  A2A_TRACE=dir       flight recorder: one Chrome/Perfetto trace\n"
         "                      JSON per rank into dir at exit\n"
-        "  A2A_METRICS=path    metrics snapshot at exit (text; .json too)\n";
+        "  A2A_METRICS=path    metrics snapshot at exit (text; .json too)\n"
+        "  A2A_BACKEND=net     run over real TCP sockets instead of the\n"
+        "                      simulator; launch the bench under\n"
+        "                      tools/a2arun with -n = nodes * ppn\n"
+        "  A2A_NET_RAILS=k     TCP connections per peer pair (default 2)\n"
+        "  A2A_NET_EAGER=b     eager/rendezvous threshold, bytes (16384)\n"
+        "  A2A_NET_STRIPE=b    multi-rail stripe threshold, bytes (262144)\n"
+        "  A2A_NET_IFACE=ips   comma-separated local IPs, one rail per\n"
+        "                      NIC (default: one interface, k streams)\n";
 }
 
 }  // namespace

@@ -10,8 +10,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include <cstring>
+
 #include "autotune/selector.hpp"
 #include "coll_ext/alltoallv.hpp"
+#include "net/bootstrap.hpp"
+#include "net/net_comm.hpp"
+#include "obs/metrics.hpp"
 #include "plan/plan.hpp"
 #include "plan/schedule.hpp"
 #include "runtime/collectives.hpp"
@@ -80,9 +85,372 @@ void apply_env(RunSpec& spec) {
   if (const char* sigma = std::getenv("A2A_NOISE")) {
     spec.net.noise_sigma = std::max(0.0, std::atof(sigma));
   }
+  if (const char* backend = std::getenv("A2A_BACKEND")) {
+    spec.backend = backend;
+  }
 }
 
+namespace {
+
+/// Elementwise cross-rank fold over `vals` (allgather, then reduce
+/// locally): every rank ends with the identical reduced vector, so every
+/// process of a net job returns the same RunResult.
+rt::Task<void> fold_ranks(rt::Comm& world, std::vector<double>& vals,
+                          bool sum) {
+  if (vals.empty()) {
+    co_return;
+  }
+  const int p = world.size();
+  const std::size_t n = vals.size();
+  rt::Buffer mine = world.alloc_buffer(n * sizeof(double));
+  std::memcpy(mine.data(), vals.data(), n * sizeof(double));
+  rt::Buffer all =
+      world.alloc_buffer(static_cast<std::size_t>(p) * n * sizeof(double));
+  co_await rt::allgather(world, rt::ConstView(mine.view()), all.view());
+  const double* got = reinterpret_cast<const double*>(all.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = got[i];
+    for (int r = 1; r < p; ++r) {
+      const double v = got[static_cast<std::size_t>(r) * n + i];
+      acc = sum ? acc + v : std::max(acc, v);
+    }
+    vals[i] = acc;
+  }
+}
+
+/// backend == "net": run the spec's rank program on this process's rank of
+/// the surrounding a2arun job. The world is created once per process (a
+/// socket mesh bootstraps exactly once) and reused by every subsequent
+/// run_sim call; each call builds its subcomms/plans afresh, which stays
+/// deterministic because every rank executes the identical call sequence.
+RunResult run_net(const RunSpec& spec) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  if (!net::env_configured()) {
+    throw std::runtime_error(
+        "run_sim: backend \"net\" but A2A_NET_* is not set — launch the "
+        "bench as a job under tools/a2arun (one process per rank)");
+  }
+  static std::unique_ptr<net::NetComm> net_world =
+      net::NetComm::process_world();
+  rt::Comm& world = *net_world;
+  const topo::Machine machine(spec.machine);
+  const int p = machine.total_ranks();
+  if (p != world.size()) {
+    throw std::invalid_argument(
+        "run_sim: machine wants " + std::to_string(p) + " ranks but the "
+        "net job has " + std::to_string(world.size()) +
+        " (a2arun -n must match nodes * ppn)");
+  }
+  const int me = world.rank();
+  const int reps = std::max(1, spec.reps);
+  const int g = spec.group_size == 0 ? machine.ppn() : spec.group_size;
+  const int overlap = std::max(1, spec.overlap);
+  if (overlap >= 2 && spec.collect_trace) {
+    throw std::invalid_argument(
+        "run_sim: collect_trace is not supported with overlap >= 2");
+  }
+  if (spec.autotune && (spec.vector || overlap >= 2 || spec.collect_trace)) {
+    throw std::invalid_argument(
+        "run_sim: autotune mode is not combinable with vector, overlap or "
+        "collect_trace");
+  }
+
+  // Own-clock observations; cross-rank maxima folded in afterwards.
+  std::vector<double> elapsed(static_cast<std::size_t>(reps), 0.0);
+  std::vector<double> phases;
+  if (spec.collect_trace) {
+    phases.assign(static_cast<std::size_t>(reps) * coll::kNumPhases, 0.0);
+  }
+  std::vector<double> cpath;
+  std::vector<double> op_secs;
+  if (overlap >= 2) {
+    cpath.assign(static_cast<std::size_t>(reps), 0.0);
+    op_secs.assign(static_cast<std::size_t>(reps) * overlap, 0.0);
+  }
+  std::optional<autotune::OnlineSelector> own_selector;
+  autotune::OnlineSelector* selector = nullptr;
+  std::vector<int> rep_algos;
+  std::vector<int> rep_groups;
+  if (spec.autotune) {
+    if (spec.selector != nullptr) {
+      selector = spec.selector;
+    } else {
+      own_selector.emplace(autotune::Mode::kAdapt);
+      selector = &*own_selector;
+    }
+    rep_algos.assign(static_cast<std::size_t>(reps), 0);
+    rep_groups.assign(static_cast<std::size_t>(reps), 0);
+  }
+  const double frames0 =
+      static_cast<double>(obs::metrics().counter_value("net.frames_tx"));
+
+  auto overlap_main = [&]() -> rt::Task<void> {
+    const std::size_t total = static_cast<std::size_t>(p) * spec.block;
+    coll::AlltoallDesc desc;
+    desc.block = spec.block;
+    desc.algo = spec.algo;
+    plan::PlanOptions popts;
+    popts.group_size = g;
+    popts.inner = spec.inner;
+    std::vector<plan::CollectivePlan> plans;
+    std::vector<rt::Buffer> sbufs;
+    std::vector<rt::Buffer> rbufs;
+    plans.reserve(static_cast<std::size_t>(overlap));
+    for (int k = 0; k < overlap; ++k) {
+      plans.push_back(plan::make_plan(world, machine, spec.net, desc, popts));
+      sbufs.push_back(world.alloc_buffer(total));
+      rbufs.push_back(world.alloc_buffer(total));
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      co_await rt::barrier(world);
+      const double t0 = world.now();
+      plan::Schedule sched;
+      for (int k = 0; k < overlap; ++k) {
+        sched.add(plans[static_cast<std::size_t>(k)],
+                  rt::ConstView(sbufs[static_cast<std::size_t>(k)].view()),
+                  rbufs[static_cast<std::size_t>(k)].view(),
+                  spec.compute_bytes);
+        if (spec.overlap_chain && k > 0) {
+          sched.add_dependency(k - 1, k);
+        }
+      }
+      co_await sched.run();
+      elapsed[static_cast<std::size_t>(rep)] = world.now() - t0;
+      cpath[static_cast<std::size_t>(rep)] = sched.critical_path();
+      for (int k = 0; k < overlap; ++k) {
+        op_secs[static_cast<std::size_t>(rep * overlap + k)] =
+            sched.stats(k).seconds();
+      }
+    }
+  };
+
+  auto autotune_main = [&]() -> rt::Task<void> {
+    const std::size_t total = static_cast<std::size_t>(p) * spec.block;
+    rt::Buffer sbuf = world.alloc_buffer(total);
+    rt::Buffer rbuf = world.alloc_buffer(total);
+    for (int rep = 0; rep < reps; ++rep) {
+      co_await rt::barrier(world);
+      // Wall-clock samples differ per process, so per-rank selectors would
+      // drift apart and resolve different algorithms — deadlock. Instead
+      // rank 0 owns the selector (recording real socket time into its
+      // profiler and exploiting it) and broadcasts the resolved
+      // (algorithm, group) each round; the others follow.
+      coll::AlltoallDesc desc;
+      desc.block = spec.block;
+      plan::PlanOptions popts;
+      popts.inner = spec.inner;
+      std::optional<plan::CollectivePlan> pl;
+      rt::Buffer decision = world.alloc_buffer(2 * sizeof(std::int32_t));
+      if (me == 0) {
+        popts.autotune = selector;
+        pl.emplace(plan::make_plan(world, machine, spec.net, desc, popts));
+        const std::int32_t chosen[2] = {
+            static_cast<std::int32_t>(pl->algo_id()),
+            static_cast<std::int32_t>(pl->group_size())};
+        std::memcpy(decision.data(), chosen, sizeof(chosen));
+      }
+      co_await rt::bcast(world, decision.view(), 0);
+      if (me != 0) {
+        std::int32_t chosen[2];
+        std::memcpy(chosen, decision.data(), sizeof(chosen));
+        desc.algo = static_cast<coll::Algo>(chosen[0]);
+        popts.group_size = chosen[1];
+        pl.emplace(plan::make_plan(world, machine, spec.net, desc, popts));
+      }
+      rep_algos[static_cast<std::size_t>(rep)] = pl->algo_id();
+      rep_groups[static_cast<std::size_t>(rep)] = pl->group_size();
+      const double t0 = world.now();
+      co_await pl->execute(rt::ConstView(sbuf.view()), rbuf.view());
+      elapsed[static_cast<std::size_t>(rep)] = world.now() - t0;
+    }
+  };
+
+  auto vector_main = [&]() -> rt::Task<void> {
+    std::vector<std::size_t> scounts(static_cast<std::size_t>(p));
+    std::vector<std::size_t> rcounts(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      scounts[static_cast<std::size_t>(d)] =
+          vector_count(me, d, p, spec.block, spec.vector_imbalance, spec.seed);
+      rcounts[static_cast<std::size_t>(d)] =
+          vector_count(d, me, p, spec.block, spec.vector_imbalance, spec.seed);
+    }
+    const auto sdispls = coll::displs_from_counts(scounts);
+    const auto rdispls = coll::displs_from_counts(rcounts);
+    rt::Buffer sbuf = world.alloc_buffer(
+        std::accumulate(scounts.begin(), scounts.end(), std::size_t{0}));
+    rt::Buffer rbuf = world.alloc_buffer(
+        std::accumulate(rcounts.begin(), rcounts.end(), std::size_t{0}));
+    std::optional<plan::CollectivePlan> pl;
+    std::optional<rt::LocalityComms> lc;
+    coll::Options opts;
+    opts.inner = spec.inner;
+    if (spec.use_plan || spec.vector_tuned) {
+      coll::AlltoallvDesc desc;
+      desc.send_counts = scounts;
+      desc.recv_counts = rcounts;
+      if (!spec.vector_tuned) {
+        desc.algo = spec.vector_algo;
+      }
+      desc.skew = vector_skew(p, spec.block, spec.vector_imbalance, spec.seed);
+      plan::PlanOptions popts;
+      popts.group_size = g;
+      popts.inner = spec.inner;
+      pl.emplace(plan::make_plan(world, machine, spec.net, desc, popts));
+    } else if (coll::needs_locality(spec.vector_algo)) {
+      lc.emplace(rt::build_locality_comms(
+          world, machine, g, coll::needs_leader_comms(spec.vector_algo)));
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      coll::Trace trace;
+      coll::Trace* tr = spec.collect_trace ? &trace : nullptr;
+      co_await rt::barrier(world);
+      const double t0 = world.now();
+      if (pl) {
+        co_await pl->execute(rt::ConstView(sbuf.view()), rbuf.view(), tr);
+      } else {
+        opts.trace = tr;
+        co_await coll::run_alltoallv(spec.vector_algo, world,
+                                     lc ? &*lc : nullptr,
+                                     rt::ConstView(sbuf.view()), scounts,
+                                     sdispls, rbuf.view(), rcounts, rdispls,
+                                     opts);
+      }
+      elapsed[static_cast<std::size_t>(rep)] = world.now() - t0;
+      if (spec.collect_trace) {
+        for (int ph = 0; ph < coll::kNumPhases; ++ph) {
+          phases[static_cast<std::size_t>(rep * coll::kNumPhases + ph)] =
+              trace.seconds[static_cast<std::size_t>(ph)];
+        }
+      }
+    }
+  };
+
+  auto rank_main = [&]() -> rt::Task<void> {
+    const std::size_t total = static_cast<std::size_t>(p) * spec.block;
+    rt::Buffer sbuf = world.alloc_buffer(total);
+    rt::Buffer rbuf = world.alloc_buffer(total);
+    std::optional<plan::CollectivePlan> pl;
+    std::optional<rt::LocalityComms> lc;
+    coll::Options opts;
+    opts.inner = spec.inner;
+    if (spec.use_plan) {
+      coll::AlltoallDesc desc;
+      desc.block = spec.block;
+      desc.algo = spec.algo;
+      plan::PlanOptions popts;
+      popts.group_size = g;
+      popts.inner = spec.inner;
+      pl.emplace(plan::make_plan(world, machine, spec.net, desc, popts));
+    } else if (coll::needs_locality(spec.algo)) {
+      lc.emplace(rt::build_locality_comms(
+          world, machine, g, coll::needs_leader_comms(spec.algo)));
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      coll::Trace trace;
+      coll::Trace* tr = spec.collect_trace ? &trace : nullptr;
+      co_await rt::barrier(world);
+      const double t0 = world.now();
+      if (pl) {
+        co_await pl->execute(rt::ConstView(sbuf.view()), rbuf.view(), tr);
+      } else {
+        opts.trace = tr;
+        co_await coll::run_alltoall(spec.algo, world, lc ? &*lc : nullptr,
+                                    rt::ConstView(sbuf.view()), rbuf.view(),
+                                    spec.block, opts);
+      }
+      elapsed[static_cast<std::size_t>(rep)] = world.now() - t0;
+      if (spec.collect_trace) {
+        for (int ph = 0; ph < coll::kNumPhases; ++ph) {
+          phases[static_cast<std::size_t>(rep * coll::kNumPhases + ph)] =
+              trace.seconds[static_cast<std::size_t>(ph)];
+        }
+      }
+    }
+  };
+
+  auto program = [&]() -> rt::Task<void> {
+    if (spec.autotune) {
+      co_await autotune_main();
+    } else if (overlap >= 2) {
+      co_await overlap_main();
+    } else if (spec.vector) {
+      co_await vector_main();
+    } else {
+      co_await rank_main();
+    }
+    // Cross-rank reductions, identical everywhere: elapsed/phase/critical
+    // maxima, frame-count sum.
+    co_await fold_ranks(world, elapsed, /*sum=*/false);
+    co_await fold_ranks(world, phases, /*sum=*/false);
+    co_await fold_ranks(world, cpath, /*sum=*/false);
+    co_await fold_ranks(world, op_secs, /*sum=*/false);
+  };
+  rt::sync_wait(program());
+
+  std::vector<double> frames = {
+      static_cast<double>(obs::metrics().counter_value("net.frames_tx")) -
+      frames0};
+  rt::sync_wait(fold_ranks(world, frames, /*sum=*/true));
+
+  RunResult res;
+  res.seconds = std::numeric_limits<double>::infinity();
+  res.phase_seconds.fill(std::numeric_limits<double>::infinity());
+  res.rep_seconds.resize(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    // Clocks are per-process CLOCK_MONOTONIC with no shared epoch, so the
+    // cross-rank span (max end - min start) is meaningless here; the
+    // post-barrier per-rank elapsed maximum is the wall-clock equivalent —
+    // the same metric the autotune profiler records.
+    res.seconds = std::min(res.seconds, elapsed[static_cast<std::size_t>(rep)]);
+    res.rep_seconds[static_cast<std::size_t>(rep)] =
+        elapsed[static_cast<std::size_t>(rep)];
+    if (spec.collect_trace) {
+      for (int ph = 0; ph < coll::kNumPhases; ++ph) {
+        auto& agg = res.phase_seconds[static_cast<std::size_t>(ph)];
+        agg = std::min(
+            agg, phases[static_cast<std::size_t>(rep * coll::kNumPhases + ph)]);
+      }
+    }
+  }
+  if (!spec.collect_trace) {
+    res.phase_seconds.fill(0.0);
+  }
+  if (overlap >= 2) {
+    res.critical_path_seconds = std::numeric_limits<double>::infinity();
+    res.op_seconds.assign(static_cast<std::size_t>(overlap),
+                          std::numeric_limits<double>::infinity());
+    for (int rep = 0; rep < reps; ++rep) {
+      res.critical_path_seconds = std::min(
+          res.critical_path_seconds, cpath[static_cast<std::size_t>(rep)]);
+      for (int k = 0; k < overlap; ++k) {
+        res.op_seconds[static_cast<std::size_t>(k)] =
+            std::min(res.op_seconds[static_cast<std::size_t>(k)],
+                     op_secs[static_cast<std::size_t>(rep * overlap + k)]);
+      }
+    }
+    res.rep_seconds.clear();
+  }
+  if (spec.autotune) {
+    res.rep_algos = std::move(rep_algos);
+    res.rep_groups = std::move(rep_groups);
+  }
+  res.messages = static_cast<std::uint64_t>(frames[0]);
+  res.sim_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  return res;
+}
+
+}  // namespace
+
 RunResult run_sim(const RunSpec& spec) {
+  if (spec.backend == "net") {
+    return run_net(spec);
+  }
+  if (spec.backend != "sim") {
+    throw std::invalid_argument("run_sim: unknown backend \"" + spec.backend +
+                                "\" (expected \"sim\" or \"net\")");
+  }
   const auto wall0 = std::chrono::steady_clock::now();
 
   sim::ClusterConfig cfg;

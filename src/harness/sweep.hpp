@@ -24,6 +24,17 @@ namespace mca2a::bench {
 struct RunSpec {
   topo::MachineDesc machine;
   model::NetParams net;
+  /// Execution backend. "sim" (default) runs the spec in a fresh
+  /// discrete-event simulation; "net" runs it over the real TCP backend —
+  /// the calling process must be one rank of a net job (launched by
+  /// tools/a2arun, A2A_NET_* set) whose size equals machine.total_ranks(),
+  /// and every rank of the job must issue the identical run_sim calls.
+  /// apply_env() reads A2A_BACKEND, so existing figure benches can be
+  /// pointed at real sockets without code changes. Times are wall-clock:
+  /// `seconds` becomes min over reps of (max over ranks of each rank's own
+  /// elapsed span) since process clocks share no epoch, and `messages`
+  /// counts transmitted frames. net/vendor_factor knobs are ignored.
+  std::string backend = "sim";
   coll::Algo algo = coll::Algo::kNodeAware;
   coll::Inner inner = coll::Inner::kPairwise;
   /// Leader/group width for locality algorithms; 0 means ppn (one group or

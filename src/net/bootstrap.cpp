@@ -1,0 +1,189 @@
+#include "net/bootstrap.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mca2a::net {
+
+namespace {
+
+/// Read one '\n'-terminated line from a blocking socket (bootstrap only;
+/// byte-at-a-time is fine for a dozen short lines).
+std::string read_line(int fd) {
+  std::string line;
+  char c = 0;
+  for (;;) {
+    read_all(fd, &c, 1);
+    if (c == '\n') {
+      return line;
+    }
+    line.push_back(c);
+    if (line.size() > 1 << 16) {
+      throw std::runtime_error("net: oversized bootstrap line");
+    }
+  }
+}
+
+void write_line(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  write_all(fd, out.data(), out.size());
+}
+
+PeerInfo parse_reg(const std::string& line, int size) {
+  std::istringstream is(line);
+  std::string word;
+  PeerInfo p;
+  std::size_t naddr = 0;
+  if (!(is >> word >> p.rank >> naddr) || word != "a2a-reg") {
+    throw std::runtime_error("net: malformed registration '" + line + "'");
+  }
+  if (p.rank < 0 || p.rank >= size || naddr == 0 || naddr > 64) {
+    throw std::runtime_error("net: registration out of range: " + line);
+  }
+  for (std::size_t i = 0; i < naddr; ++i) {
+    Address a;
+    if (!(is >> a.host >> a.port)) {
+      throw std::runtime_error("net: truncated registration: " + line);
+    }
+    p.addrs.push_back(std::move(a));
+  }
+  return p;
+}
+
+std::string format_reg(const PeerInfo& p) {
+  std::ostringstream os;
+  os << "a2a-reg " << p.rank << ' ' << p.addrs.size();
+  for (const Address& a : p.addrs) {
+    os << ' ' << a.host << ' ' << a.port;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void NetOptions::validate() const {
+  if (size < 1) {
+    throw std::invalid_argument("net: world size must be >= 1");
+  }
+  if (rank < 0 || rank >= size) {
+    throw std::invalid_argument("net: rank out of range");
+  }
+  if (rails < 1 || rails > 64) {
+    throw std::invalid_argument("net: rails must be in [1, 64]");
+  }
+  if (size > 1 && (rendezvous.host.empty() || rendezvous.port == 0)) {
+    throw std::invalid_argument("net: rendezvous address required");
+  }
+  if (stripe_min == 0 || timeout_s <= 0.0) {
+    throw std::invalid_argument("net: bad stripe threshold or timeout");
+  }
+}
+
+bool env_configured() noexcept {
+  return std::getenv("A2A_NET_RANK") != nullptr;
+}
+
+NetOptions options_from_env() {
+  const char* rank = std::getenv("A2A_NET_RANK");
+  const char* size = std::getenv("A2A_NET_SIZE");
+  const char* rend = std::getenv("A2A_NET_REND");
+  if (rank == nullptr || size == nullptr || rend == nullptr) {
+    throw std::runtime_error(
+        "net: A2A_NET_RANK/A2A_NET_SIZE/A2A_NET_REND not set — launch this "
+        "program with tools/a2arun");
+  }
+  NetOptions o;
+  o.rank = std::atoi(rank);
+  o.size = std::atoi(size);
+  o.rendezvous = parse_address(rend);
+  if (const char* v = std::getenv("A2A_NET_RAILS")) {
+    o.rails = std::atoi(v);
+  }
+  if (const char* v = std::getenv("A2A_NET_EAGER")) {
+    o.eager_max = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("A2A_NET_STRIPE")) {
+    o.stripe_min = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("A2A_NET_TIMEOUT")) {
+    o.timeout_s = std::atof(v);
+  }
+  if (const char* v = std::getenv("A2A_NET_IFACE")) {
+    std::string s(v);
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+      const std::size_t comma = s.find(',', pos);
+      const std::string part = s.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!part.empty()) {
+        o.ifaces.push_back(part);
+      }
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+  }
+  o.validate();
+  return o;
+}
+
+std::vector<PeerInfo> rendezvous_exchange(const NetOptions& opts,
+                                          const PeerInfo& self) {
+  std::vector<PeerInfo> table(static_cast<std::size_t>(opts.size));
+  if (opts.size == 1) {
+    table[0] = self;
+    return table;
+  }
+
+  if (opts.rank == 0) {
+    // Serve: collect size-1 registrations, then publish the table.
+    auto [listener, port] =
+        listen_tcp("", opts.rendezvous.port, opts.size + 8);
+    (void)port;
+    table[0] = self;
+    std::vector<Fd> conns;
+    conns.reserve(static_cast<std::size_t>(opts.size) - 1);
+    std::vector<int> conn_rank(static_cast<std::size_t>(opts.size) - 1, -1);
+    for (int i = 0; i < opts.size - 1; ++i) {
+      Fd c = accept_tcp(listener.get());
+      PeerInfo p = parse_reg(read_line(c.get()), opts.size);
+      if (!table[static_cast<std::size_t>(p.rank)].addrs.empty() ||
+          p.rank == 0) {
+        throw std::runtime_error("net: duplicate registration for rank " +
+                                 std::to_string(p.rank));
+      }
+      conn_rank[static_cast<std::size_t>(i)] = p.rank;
+      table[static_cast<std::size_t>(p.rank)] = std::move(p);
+      conns.push_back(std::move(c));
+    }
+    std::ostringstream os;
+    os << "a2a-table " << opts.size << "\n";
+    for (const PeerInfo& p : table) {
+      os << format_reg(p) << "\n";
+    }
+    const std::string blob = os.str();
+    for (Fd& c : conns) {
+      write_all(c.get(), blob.data(), blob.size());
+    }
+    return table;
+  }
+
+  // Register, then read the table back.
+  Fd c = connect_tcp(opts.rendezvous, opts.timeout_s);
+  write_line(c.get(), format_reg(self));
+  const std::string head = read_line(c.get());
+  std::istringstream is(head);
+  std::string word;
+  int n = 0;
+  if (!(is >> word >> n) || word != "a2a-table" || n != opts.size) {
+    throw std::runtime_error("net: bad rendezvous table header '" + head +
+                             "'");
+  }
+  for (int i = 0; i < n; ++i) {
+    PeerInfo p = parse_reg(read_line(c.get()), opts.size);
+    table[static_cast<std::size_t>(p.rank)] = std::move(p);
+  }
+  return table;
+}
+
+}  // namespace mca2a::net

@@ -1,0 +1,1133 @@
+#include "net/endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mca2a::net {
+
+namespace {
+
+/// Discard sink for payload bytes beyond a truncated receive buffer: the
+/// stream must stay framed even when the application posted too little.
+std::byte* thrash_buffer(std::size_t& cap) {
+  static thread_local std::vector<std::byte> thrash(64 * 1024);
+  cap = thrash.size();
+  return thrash.data();
+}
+
+/// Truncation diagnostic: enough context to identify the offending message
+/// (matching site, comm-rank source, tag, sizes) from the thrown error.
+std::string trunc_msg(const char* site, int src, int tag, std::uint64_t bytes,
+                      std::size_t buf_len) {
+  return "message truncation: receive buffer smaller than incoming message (" +
+         std::string(site) + ": src " + std::to_string(src) + " tag " +
+         std::to_string(tag) + ", " + std::to_string(bytes) + " B into " +
+         std::to_string(buf_len) + " B)";
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Local IPv4 this host would use to reach `toward` (the classic
+/// UDP-connect trick; no packet is sent).
+std::string route_source_ip(const Address& toward) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) {
+    return "127.0.0.1";
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(toward.port == 0 ? 9 : toward.port);
+  const std::string ip = resolve_ipv4(toward.host);
+  if (::inet_pton(AF_INET, ip.c_str(), &sa.sin_addr) != 1 ||
+      ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) !=
+          0) {
+    return "127.0.0.1";
+  }
+  return local_address(fd.get()).host;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(NetOptions opts)
+    : opts_(std::move(opts)), epoch_(std::chrono::steady_clock::now()) {
+  opts_.validate();
+  epoll_ = Fd(::epoll_create1(0));
+  if (!epoll_.valid()) {
+    throw std::runtime_error("net: epoll_create1 failed");
+  }
+
+  // Observability: per-rail counters registered once; one flight-recorder
+  // stream for this process's rank (wall-clock domain).
+  obs::MetricsRegistry& reg = obs::metrics();
+  for (int r = 0; r < opts_.rails; ++r) {
+    const std::string base = "net.rail." + std::to_string(r) + ".";
+    rail_tx_.push_back(&reg.counter(base + "tx_bytes"));
+    rail_rx_.push_back(&reg.counter(base + "rx_bytes"));
+    rail_retry_.push_back(&reg.counter(base + "tx_retries"));
+  }
+  frames_tx_ = &reg.counter("net.frames_tx");
+  frames_rx_ = &reg.counter("net.frames_rx");
+  eager_tx_ = &reg.counter("net.eager_tx");
+  rndv_tx_ = &reg.counter("net.rndv_tx");
+  if (obs::TraceRecorder* rec = obs::active_recorder()) {
+    trace_rec_ = rec;
+    trace_session_ = rec->begin_session("net");
+    tracer_ = rec->open_stream(trace_session_, opts_.rank);
+    tracer_->set_clock([this] { return now(); });
+  }
+
+  build_mesh();
+}
+
+Endpoint::~Endpoint() {
+  shutdown();
+  if (trace_rec_ != nullptr) {
+    trace_rec_->end_session(trace_session_);
+  }
+}
+
+double Endpoint::now() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(d).count();
+}
+
+// --- bootstrap ---------------------------------------------------------------
+
+void Endpoint::build_mesh() {
+  peers_.resize(static_cast<std::size_t>(opts_.size));
+  for (Peer& p : peers_) {
+    p.conns.assign(static_cast<std::size_t>(opts_.rails), -1);
+  }
+  if (opts_.size == 1) {
+    return;  // all traffic is self-delivery
+  }
+
+  // Data listeners: one per configured interface, or one wildcard
+  // listener advertised as the address this host uses to reach the
+  // rendezvous server.
+  PeerInfo self;
+  self.rank = opts_.rank;
+  const int backlog = std::max(64, opts_.size * opts_.rails + 8);
+  if (opts_.ifaces.empty()) {
+    auto [fd, port] = listen_tcp("", 0, backlog);
+    listeners_.push_back(std::move(fd));
+    self.addrs.push_back(Address{route_source_ip(opts_.rendezvous), port});
+  } else {
+    for (const std::string& iface : opts_.ifaces) {
+      const std::string ip = resolve_ipv4(iface);
+      auto [fd, port] = listen_tcp(ip, 0, backlog);
+      listeners_.push_back(std::move(fd));
+      self.addrs.push_back(Address{ip, port});
+    }
+  }
+
+  const std::vector<PeerInfo> table = rendezvous_exchange(opts_, self);
+
+  // Connect to every lower-ranked peer (all rails), then accept from every
+  // higher-ranked one. Every listener already existed before the table was
+  // published, so the connect phase completes against listen backlogs and
+  // the strict connect-then-accept order cannot deadlock.
+  for (int q = 0; q < opts_.rank; ++q) {
+    const PeerInfo& peer = table[static_cast<std::size_t>(q)];
+    if (peer.addrs.empty()) {
+      throw std::runtime_error("net: rank " + std::to_string(q) +
+                               " missing from rendezvous table");
+    }
+    for (int r = 0; r < opts_.rails; ++r) {
+      const Address& a = peer.addrs[static_cast<std::size_t>(r) %
+                                    peer.addrs.size()];
+      Fd fd = connect_tcp(a, opts_.timeout_s);
+      FrameHeader hello;
+      hello.kind = FrameKind::kHello;
+      hello.src = opts_.rank;
+      hello.rail = static_cast<std::uint32_t>(r);
+      std::byte hdr[kHeaderBytes];
+      encode(hello, hdr);
+      write_all(fd.get(), hdr, kHeaderBytes);
+      register_conn(std::move(fd), q, r);
+    }
+  }
+
+  int expected = (opts_.size - 1 - opts_.rank) * opts_.rails;
+  std::vector<pollfd> pfds;
+  for (const Fd& l : listeners_) {
+    pfds.push_back(pollfd{l.get(), POLLIN, 0});
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(opts_.timeout_s);
+  while (expected > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("net: timed out accepting peer connections");
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), 200);
+    if (n < 0 && errno != EINTR) {
+      throw std::runtime_error("net: poll failed during bootstrap");
+    }
+    for (pollfd& p : pfds) {
+      if ((p.revents & POLLIN) == 0) {
+        continue;
+      }
+      Fd fd = accept_tcp(p.fd);
+      std::byte hdr[kHeaderBytes];
+      read_all(fd.get(), hdr, kHeaderBytes);
+      const FrameHeader h = decode(hdr);
+      if (h.kind != FrameKind::kHello || h.src <= opts_.rank ||
+          h.src >= opts_.size ||
+          h.rail >= static_cast<std::uint32_t>(opts_.rails)) {
+        throw std::runtime_error("net: bad hello during bootstrap");
+      }
+      if (peers_[static_cast<std::size_t>(h.src)]
+              .conns[static_cast<std::size_t>(h.rail)] != -1) {
+        throw std::runtime_error("net: duplicate rail connection");
+      }
+      register_conn(std::move(fd), h.src, static_cast<int>(h.rail));
+      --expected;
+    }
+  }
+  listeners_.clear();  // the mesh is complete; nobody else will connect
+  obs::metrics().counter("net.connections").add(conns_.size());
+}
+
+int Endpoint::register_conn(Fd fd, int peer, int rail) {
+  set_nonblocking(fd.get());
+  const int ci = static_cast<int>(conns_.size());
+  Conn& c = conns_.emplace_back();
+  c.fd = std::move(fd);
+  c.peer = peer;
+  c.rail = rail;
+  c.open = true;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u32 = static_cast<std::uint32_t>(ci);
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, c.fd.get(), &ev) != 0) {
+    throw std::runtime_error("net: epoll_ctl ADD failed");
+  }
+  peers_[static_cast<std::size_t>(peer)]
+      .conns[static_cast<std::size_t>(rail)] = ci;
+  return ci;
+}
+
+// --- op pool -----------------------------------------------------------------
+
+std::uint32_t Endpoint::alloc_op() {
+  std::uint32_t slot;
+  if (!free_ops_.empty()) {
+    slot = free_ops_.back();
+    free_ops_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(ops_.size());
+    ops_.emplace_back();
+  }
+  Op& op = ops_[slot];
+  const std::uint32_t serial = op.serial;
+  op = Op{};
+  op.serial = serial;
+  op.in_use = true;
+  return slot;
+}
+
+Endpoint::Op& Endpoint::op_checked(const rt::Request& r) {
+  if (r.slot >= ops_.size()) {
+    throw std::logic_error("net: request refers to unknown operation");
+  }
+  Op& op = ops_[r.slot];
+  if (!op.in_use || op.serial != r.serial) {
+    throw std::logic_error("net: request already completed (stale)");
+  }
+  return op;
+}
+
+Endpoint::Conn& Endpoint::rail0(int peer) {
+  return conns_[static_cast<std::size_t>(
+      peers_[static_cast<std::size_t>(peer)].conns[0])];
+}
+
+Endpoint::CommState& Endpoint::comm_state(std::uint64_t key) {
+  return comms_[key];
+}
+
+std::uint64_t Endpoint::intern_comm(std::span<const int> members) {
+  std::vector<int> key(members.begin(), members.end());
+  const std::uint32_t occurrence = comm_uses_[key]++;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(key.size()));
+  for (int m : key) {
+    h = fnv1a(h, static_cast<std::uint64_t>(m));
+  }
+  return fnv1a(h, occurrence);
+}
+
+// --- posting -----------------------------------------------------------------
+
+rt::Request Endpoint::post_send(std::uint64_t comm_key,
+                                std::span<const int> members, int me,
+                                int dst, int tag, rt::ConstView buf) {
+  if (fatal_) {
+    throw std::runtime_error(fatal_msg_);
+  }
+  if (buf.is_virtual()) {
+    throw std::invalid_argument(
+        "net: the TCP backend moves real bytes; virtual payloads are only "
+        "meaningful on the simulator");
+  }
+  const int dst_world = members[static_cast<std::size_t>(dst)];
+  if (dst_world == opts_.rank) {
+    deliver_eager_local(comm_key, me, tag, buf);
+    return rt::Request{};  // locally delivered: already complete
+  }
+  Peer& peer = peers_[static_cast<std::size_t>(dst_world)];
+  if (peer.dead || peer.bye_seen || peer.finished) {
+    throw std::runtime_error("net: send to rank " + std::to_string(dst_world) +
+                             " which already shut down");
+  }
+
+  if (buf.len <= opts_.eager_max) {
+    FrameHeader h;
+    h.kind = FrameKind::kEager;
+    h.tag = tag;
+    h.comm_key = comm_key;
+    h.src = me;
+    h.bytes = buf.len;
+    std::vector<std::byte> owned;
+    if (buf.len > 0) {
+      owned.assign(buf.ptr, buf.ptr + buf.len);
+    }
+    eager_tx_->add(1);
+    enqueue(peer.conns[0], h, rt::ConstView{}, std::move(owned), UINT32_MAX);
+    return rt::Request{};  // buffered: complete on return
+  }
+
+  const std::uint32_t slot = alloc_op();
+  Op& op = ops_[slot];
+  op.kind = Op::Kind::kSend;
+  op.sbuf = buf;
+  op.dst_world = dst_world;
+  FrameHeader h;
+  h.kind = FrameKind::kRts;
+  h.tag = tag;
+  h.comm_key = comm_key;
+  h.src = me;
+  h.bytes = buf.len;
+  h.token = slot;
+  rndv_tx_->add(1);
+  enqueue(peer.conns[0], h, rt::ConstView{}, {}, UINT32_MAX);
+  return rt::Request{slot, op.serial};
+}
+
+rt::Request Endpoint::post_recv(std::uint64_t comm_key,
+                                std::span<const int> members, int src,
+                                int tag, rt::MutView buf) {
+  if (fatal_) {
+    throw std::runtime_error(fatal_msg_);
+  }
+  if (buf.is_virtual()) {
+    throw std::invalid_argument("net: virtual receive buffer");
+  }
+  const std::uint32_t slot = alloc_op();
+  Op& op = ops_[slot];
+  op.kind = Op::Kind::kRecv;
+  op.rbuf = buf;
+  op.comm_key = comm_key;
+  op.src = src;
+  op.src_world =
+      src == rt::kAnySource ? -1 : members[static_cast<std::size_t>(src)];
+  op.tag = tag;
+
+  CommState& cs = comm_state(comm_key);
+  op.post_seq = cs.next_post_seq++;
+  // Match the earliest eligible unexpected message (arrival order).
+  for (auto it = cs.unexpected.begin(); it != cs.unexpected.end(); ++it) {
+    const bool src_ok = src == rt::kAnySource || src == it->src;
+    const bool tag_ok = tag == rt::kAnyTag || tag == it->tag;
+    if (!src_ok || !tag_ok) {
+      continue;
+    }
+    op.matched = true;
+    if (it->rndv) {
+      const int peer = it->peer_world;
+      const std::uint64_t token = it->sender_token;
+      const std::uint64_t bytes = it->bytes;
+      cs.unexpected.erase(it);
+      start_rndv_recv(slot, peer, token, bytes);
+    } else {
+      op.received = std::min<std::size_t>(it->bytes, buf.len);
+      if (it->bytes > buf.len) {
+        op.error = true;
+        op.error_msg = trunc_msg("unexpected", it->src, it->tag, it->bytes,
+                                 buf.len);
+      }
+      if (op.received > 0) {
+        std::memcpy(buf.ptr, it->payload.data(), op.received);
+      }
+      op.complete = true;
+      cs.unexpected.erase(it);
+    }
+    return rt::Request{slot, op.serial};
+  }
+  // A receive from an already-departed peer can never match more than the
+  // unexpected queue we just searched.
+  if (op.src_world >= 0) {
+    const Peer& peer = peers_[static_cast<std::size_t>(op.src_world)];
+    if (op.src_world != opts_.rank && (peer.finished || peer.dead)) {
+      op.complete = true;
+      op.error = true;
+      op.error_msg = "net: receive posted for rank " +
+                     std::to_string(op.src_world) +
+                     " which already shut down";
+      return rt::Request{slot, op.serial};
+    }
+  }
+  cs.posted.push_back(slot);
+  return rt::Request{slot, op.serial};
+}
+
+void Endpoint::deliver_eager_local(std::uint64_t comm_key, int src, int tag,
+                                   rt::ConstView payload) {
+  CommState& cs = comm_state(comm_key);
+  const std::uint32_t opid = match_posted(cs, src, tag);
+  if (opid != UINT32_MAX) {
+    Op& op = ops_[opid];
+    op.received = std::min<std::size_t>(payload.len, op.rbuf.len);
+    if (payload.len > op.rbuf.len) {
+      op.error = true;
+      op.error_msg = trunc_msg("self", src, tag, payload.len, op.rbuf.len);
+    }
+    if (op.received > 0) {
+      std::memcpy(op.rbuf.ptr, payload.ptr, op.received);
+    }
+    op.complete = true;
+    return;
+  }
+  Unexpected u;
+  u.src = src;
+  u.tag = tag;
+  u.bytes = payload.len;
+  if (payload.len > 0) {
+    u.payload.assign(payload.ptr, payload.ptr + payload.len);
+  }
+  cs.unexpected.push_back(std::move(u));
+}
+
+std::uint32_t Endpoint::match_posted(CommState& cs, int src, int tag) {
+  for (auto it = cs.posted.begin(); it != cs.posted.end(); ++it) {
+    Op& op = ops_[*it];
+    const bool src_ok = op.src == rt::kAnySource || op.src == src;
+    const bool tag_ok = op.tag == rt::kAnyTag || op.tag == tag;
+    if (src_ok && tag_ok) {
+      const std::uint32_t id = *it;
+      cs.posted.erase(it);
+      ops_[id].matched = true;
+      return id;
+    }
+  }
+  return UINT32_MAX;
+}
+
+void Endpoint::start_rndv_recv(std::uint32_t recv_op, int peer_world,
+                               std::uint64_t sender_token,
+                               std::uint64_t bytes) {
+  Op& op = ops_[recv_op];
+  Peer& peer = peers_[static_cast<std::size_t>(peer_world)];
+  if (peer.dead || peer.finished) {
+    op.complete = true;
+    op.error = true;
+    op.error_msg = "net: rendezvous peer " + std::to_string(peer_world) +
+                   " shut down before sending";
+    return;
+  }
+  const std::uint64_t token = next_rndv_token_++;
+  RndvRecv rr;
+  rr.op = recv_op;
+  rr.bytes = bytes;
+  rr.remaining = bytes;
+  rr.peer_world = peer_world;
+  rr.overflow = bytes > op.rbuf.len;
+  rr.dest = rt::MutView{op.rbuf.ptr,
+                        std::min<std::size_t>(bytes, op.rbuf.len)};
+  op.received = rr.dest.len;
+  if (rr.overflow) {
+    op.error = true;
+    op.error_msg = trunc_msg("rndv", op.src, op.tag, bytes, op.rbuf.len);
+  }
+  rndv_recvs_.emplace(token, rr);
+  FrameHeader h;
+  h.kind = FrameKind::kCts;
+  h.token = sender_token;
+  h.token2 = token;
+  enqueue(peer.conns[0], h, rt::ConstView{}, {}, UINT32_MAX);
+}
+
+void Endpoint::send_data_frames(std::uint32_t send_op,
+                                std::uint64_t recv_token) {
+  Op& op = ops_[send_op];
+  op.cts_seen = true;
+  Peer& peer = peers_[static_cast<std::size_t>(op.dst_world)];
+  const std::size_t bytes = op.sbuf.len;
+  const int rails = opts_.rails;
+  if (bytes >= opts_.stripe_min && rails > 1) {
+    // Stripe: one contiguous chunk per rail, so a single large message
+    // (the locality algorithms' aggregated leader exchange) drives every
+    // connection of the pair at once.
+    const std::size_t chunk =
+        (bytes + static_cast<std::size_t>(rails) - 1) /
+        static_cast<std::size_t>(rails);
+    // Count the chunks BEFORE enqueueing: enqueue flushes synchronously,
+    // and a frame that completes while frames_left undercounts would
+    // complete (and release) the send operation with stripes still queued.
+    op.frames_left = static_cast<std::uint32_t>((bytes + chunk - 1) / chunk);
+    std::size_t off = 0;
+    int rail = 0;
+    while (off < bytes) {
+      const std::size_t n = std::min(chunk, bytes - off);
+      FrameHeader h;
+      h.kind = FrameKind::kData;
+      h.bytes = n;
+      h.token = recv_token;
+      h.token2 = off;
+      enqueue(peer.conns[static_cast<std::size_t>(rail)], h,
+              op.sbuf.sub(off, n), {}, send_op);
+      off += n;
+      ++rail;
+    }
+  } else {
+    const int rail = static_cast<int>(peer.next_rail++ %
+                                      static_cast<std::uint64_t>(rails));
+    FrameHeader h;
+    h.kind = FrameKind::kData;
+    h.bytes = bytes;
+    h.token = recv_token;
+    h.token2 = 0;
+    op.frames_left = 1;
+    enqueue(peer.conns[static_cast<std::size_t>(rail)], h, op.sbuf, {},
+            send_op);
+  }
+}
+
+// --- waiting -----------------------------------------------------------------
+
+void Endpoint::wait(std::span<const rt::Request> reqs) {
+  drive_until(
+      [&] {
+        for (const rt::Request& r : reqs) {
+          if (r.valid() && !op_checked(r).complete) {
+            return false;
+          }
+        }
+        return true;
+      },
+      "wait");
+  bool failed = false;
+  std::string msg;
+  for (const rt::Request& r : reqs) {
+    if (!r.valid()) {
+      continue;
+    }
+    Op& op = op_checked(r);
+    if (op.error && !failed) {
+      failed = true;
+      msg = op.error_msg;
+    }
+    ++op.serial;
+    op.in_use = false;
+    free_ops_.push_back(r.slot);
+  }
+  if (failed) {
+    throw std::runtime_error(msg);
+  }
+}
+
+void Endpoint::drive_until(const std::function<bool()>& done,
+                           const char* what) {
+  while (!done()) {
+    if (fatal_) {
+      throw std::runtime_error(fatal_msg_ + std::string(" (during ") + what +
+                               ")");
+    }
+    progress(200);
+  }
+}
+
+void Endpoint::progress(int timeout_ms) {
+  epoll_event events[64];
+  const int n =
+      ::epoll_wait(epoll_.get(), events, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) {
+      return;
+    }
+    fatal_ = true;
+    fatal_msg_ = "net: epoll_wait failed";
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int ci = static_cast<int>(events[i].data.u32);
+    if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+      handle_readable(ci);
+    }
+    if ((events[i].events & EPOLLOUT) != 0) {
+      handle_writable(ci);
+    }
+  }
+}
+
+// --- receive path ------------------------------------------------------------
+
+void Endpoint::handle_readable(int ci) {
+  Conn& c = conns_[static_cast<std::size_t>(ci)];
+  while (c.open) {
+    if (!c.rx_in_payload) {
+      const std::size_t need = kHeaderBytes - c.rx_header_got;
+      const ssize_t n =
+          ::read(c.fd.get(), c.rx_header + c.rx_header_got, need);
+      if (n == 0) {
+        conn_lost(ci);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        conn_lost(ci);
+        return;
+      }
+      c.rx_header_got += static_cast<std::size_t>(n);
+      if (c.rx_header_got == kHeaderBytes) {
+        on_frame(ci);
+      }
+    } else {
+      // Stream payload: into the matched destination while it lasts, into
+      // the discard sink beyond it (truncated receives stay framed).
+      const std::size_t total = c.rx_frame.bytes;
+      std::size_t got = c.rx_payload_got;
+      std::byte* dst;
+      std::size_t cap;
+      if (got < c.rx_dest.len) {
+        dst = c.rx_dest.ptr + got;
+        cap = c.rx_dest.len - got;
+      } else {
+        dst = thrash_buffer(cap);
+      }
+      const std::size_t want = std::min<std::size_t>(cap, total - got);
+      const ssize_t n = ::read(c.fd.get(), dst, want);
+      if (n == 0) {
+        conn_lost(ci);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        conn_lost(ci);
+        return;
+      }
+      c.rx_payload_got += static_cast<std::size_t>(n);
+      rail_rx_[static_cast<std::size_t>(c.rail)]->add(
+          static_cast<std::uint64_t>(n));
+      if (c.rx_payload_got == total) {
+        finish_rx(ci);
+      }
+    }
+  }
+}
+
+void Endpoint::on_frame(int ci) {
+  Conn& c = conns_[static_cast<std::size_t>(ci)];
+  FrameHeader h;
+  try {
+    h = decode(c.rx_header);
+  } catch (const std::exception& e) {
+    fatal_ = true;
+    fatal_msg_ = std::string("net: ") + e.what();
+    conn_lost(ci);
+    return;
+  }
+  frames_rx_->add(1);
+  c.rx_header_got = 0;
+  c.rx_frame = h;
+  c.rx_payload_got = 0;
+  c.rx_dest = rt::MutView{};
+  c.rx_recv_op = UINT32_MAX;
+
+  switch (h.kind) {
+    case FrameKind::kHello: {
+      fatal_ = true;
+      fatal_msg_ = "net: unexpected hello after bootstrap";
+      conn_lost(ci);
+      return;
+    }
+    case FrameKind::kBye: {
+      peers_[static_cast<std::size_t>(c.peer)].bye_seen = true;
+      return;
+    }
+    case FrameKind::kEager: {
+      CommState& cs = comm_state(h.comm_key);
+      const std::uint32_t opid = match_posted(cs, h.src, h.tag);
+      if (h.bytes == 0) {
+        if (opid != UINT32_MAX) {
+          Op& op = ops_[opid];
+          op.received = 0;
+          op.complete = true;
+        } else {
+          Unexpected u;
+          u.src = h.src;
+          u.tag = h.tag;
+          cs.unexpected.push_back(std::move(u));
+        }
+        return;
+      }
+      if (opid != UINT32_MAX) {
+        Op& op = ops_[opid];
+        op.received = std::min<std::size_t>(h.bytes, op.rbuf.len);
+        if (h.bytes > op.rbuf.len) {
+          op.error = true;
+          op.error_msg =
+              trunc_msg("eager", h.src, h.tag, h.bytes, op.rbuf.len);
+        }
+        c.rx_dest = rt::MutView{op.rbuf.ptr, op.received};
+        c.rx_recv_op = opid;
+      } else {
+        c.rx_owned.resize(h.bytes);
+        c.rx_dest = rt::MutView{c.rx_owned.data(), h.bytes};
+      }
+      c.rx_in_payload = true;
+      if (tracer_ != nullptr) {
+        c.rx_span_open = tracer_->begin(
+            "net.recv", "net", ci + 1,
+            {{"bytes", static_cast<std::int64_t>(h.bytes)},
+             {"peer", c.peer},
+             {"rail", c.rail}});
+      }
+      return;
+    }
+    case FrameKind::kRts: {
+      CommState& cs = comm_state(h.comm_key);
+      const std::uint32_t opid = match_posted(cs, h.src, h.tag);
+      if (opid != UINT32_MAX) {
+        start_rndv_recv(opid, c.peer, h.token, h.bytes);
+      } else {
+        Unexpected u;
+        u.src = h.src;
+        u.tag = h.tag;
+        u.rndv = true;
+        u.bytes = h.bytes;
+        u.peer_world = c.peer;
+        u.sender_token = h.token;
+        cs.unexpected.push_back(std::move(u));
+      }
+      return;
+    }
+    case FrameKind::kCts: {
+      if (h.token >= ops_.size() || !ops_[h.token].in_use ||
+          ops_[h.token].kind != Op::Kind::kSend) {
+        fatal_ = true;
+        fatal_msg_ = "net: CTS for unknown send operation";
+        return;
+      }
+      send_data_frames(static_cast<std::uint32_t>(h.token), h.token2);
+      return;
+    }
+    case FrameKind::kData: {
+      auto it = rndv_recvs_.find(h.token);
+      if (it == rndv_recvs_.end()) {
+        fatal_ = true;
+        fatal_msg_ = "net: data frame for unknown rendezvous token";
+        return;
+      }
+      RndvRecv& rr = it->second;
+      const std::uint64_t off = h.token2;
+      std::size_t avail = 0;
+      if (off < rr.dest.len) {
+        avail = std::min<std::size_t>(h.bytes, rr.dest.len -
+                                                   static_cast<std::size_t>(
+                                                       off));
+      }
+      c.rx_dest = rt::MutView{
+          avail > 0 ? rr.dest.ptr + off : nullptr, avail};
+      c.rx_in_payload = true;
+      if (tracer_ != nullptr) {
+        c.rx_span_open = tracer_->begin(
+            "net.recv", "net", ci + 1,
+            {{"bytes", static_cast<std::int64_t>(h.bytes)},
+             {"peer", c.peer},
+             {"rail", c.rail}});
+      }
+      return;
+    }
+  }
+}
+
+void Endpoint::finish_rx(int ci) {
+  Conn& c = conns_[static_cast<std::size_t>(ci)];
+  const FrameHeader& h = c.rx_frame;
+  if (c.rx_span_open) {
+    tracer_->end(ci + 1);
+    c.rx_span_open = false;
+  }
+  if (h.kind == FrameKind::kEager) {
+    if (c.rx_recv_op != UINT32_MAX) {
+      ops_[c.rx_recv_op].complete = true;
+    } else {
+      // The receive may have been posted while this payload was still
+      // streaming into the staging buffer; it must match NOW — parking
+      // unmatched would let the pair's next frame overtake this one.
+      CommState& cs = comm_state(h.comm_key);
+      const std::uint32_t opid = match_posted(cs, h.src, h.tag);
+      if (opid != UINT32_MAX) {
+        Op& op = ops_[opid];
+        op.received = std::min<std::size_t>(h.bytes, op.rbuf.len);
+        if (h.bytes > op.rbuf.len) {
+          op.error = true;
+          op.error_msg =
+              trunc_msg("late-eager", h.src, h.tag, h.bytes, op.rbuf.len);
+        }
+        if (op.received > 0) {
+          std::memcpy(op.rbuf.ptr, c.rx_owned.data(), op.received);
+        }
+        op.complete = true;
+        c.rx_owned.clear();
+      } else {
+        Unexpected u;
+        u.src = h.src;
+        u.tag = h.tag;
+        u.bytes = h.bytes;
+        u.payload = std::move(c.rx_owned);
+        c.rx_owned = {};
+        cs.unexpected.push_back(std::move(u));
+      }
+    }
+  } else if (h.kind == FrameKind::kData) {
+    auto it = rndv_recvs_.find(h.token);
+    // The token is guaranteed live: it is only erased below, after its
+    // last data byte, and on_frame validated it for this frame.
+    RndvRecv& rr = it->second;
+    rr.remaining -= h.bytes;
+    if (rr.remaining == 0) {
+      ops_[rr.op].complete = true;
+      rndv_recvs_.erase(it);
+    }
+  }
+  c.rx_in_payload = false;
+  c.rx_header_got = 0;
+  c.rx_payload_got = 0;
+  c.rx_dest = rt::MutView{};
+  c.rx_recv_op = UINT32_MAX;
+}
+
+// --- transmit path -----------------------------------------------------------
+
+void Endpoint::enqueue(int ci, const FrameHeader& h, rt::ConstView payload,
+                       std::vector<std::byte> owned, std::uint32_t send_op) {
+  Conn& c = conns_[static_cast<std::size_t>(ci)];
+  if (!c.open) {
+    if (send_op != UINT32_MAX) {
+      Op& op = ops_[send_op];
+      op.complete = true;
+      op.error = true;
+      op.error_msg = "net: connection to rank " + std::to_string(c.peer) +
+                     " is closed";
+    }
+    return;
+  }
+  TxFrame f;
+  encode(h, f.header);
+  f.owned = std::move(owned);
+  f.payload = f.owned.empty() ? payload
+                              : rt::ConstView{f.owned.data(), f.owned.size()};
+  f.send_op = send_op;
+  c.txq.push_back(std::move(f));
+  frames_tx_->add(1);
+  handle_writable(ci);  // opportunistic flush; EPOLLOUT arms on EAGAIN
+}
+
+void Endpoint::handle_writable(int ci) {
+  Conn& c = conns_[static_cast<std::size_t>(ci)];
+  while (c.open && !c.txq.empty()) {
+    TxFrame& f = c.txq.front();
+    if (tracer_ != nullptr && !f.span_open && f.header_sent == 0 &&
+        f.payload.len > 0) {
+      f.span_open = tracer_->begin(
+          "net.send", "net", ci + 1,
+          {{"bytes", static_cast<std::int64_t>(f.payload.len)},
+           {"peer", c.peer},
+           {"rail", c.rail}});
+    }
+    bool blocked = false;
+    while (f.header_sent < kHeaderBytes) {
+      const ssize_t n = ::write(c.fd.get(), f.header + f.header_sent,
+                                kHeaderBytes - f.header_sent);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          blocked = true;
+          break;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        conn_lost(ci);
+        return;
+      }
+      f.header_sent += static_cast<std::size_t>(n);
+    }
+    if (blocked) {
+      rail_retry_[static_cast<std::size_t>(c.rail)]->add(1);
+      break;
+    }
+    while (f.payload_sent < f.payload.len) {
+      const ssize_t n =
+          ::write(c.fd.get(), f.payload.ptr + f.payload_sent,
+                  f.payload.len - f.payload_sent);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          blocked = true;
+          break;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        conn_lost(ci);
+        return;
+      }
+      f.payload_sent += static_cast<std::size_t>(n);
+      rail_tx_[static_cast<std::size_t>(c.rail)]->add(
+          static_cast<std::uint64_t>(n));
+    }
+    if (blocked) {
+      rail_retry_[static_cast<std::size_t>(c.rail)]->add(1);
+      break;
+    }
+    // Frame fully handed to the kernel.
+    if (f.span_open) {
+      tracer_->end(ci + 1);
+    }
+    if (f.send_op != UINT32_MAX) {
+      Op& op = ops_[f.send_op];
+      if (op.frames_left > 0) {
+        --op.frames_left;
+      }
+      if (op.cts_seen && op.frames_left == 0) {
+        op.complete = true;
+      }
+    }
+    c.txq.pop_front();
+  }
+  const bool need_out = c.open && !c.txq.empty();
+  if (need_out != c.want_out) {
+    c.want_out = need_out;
+    update_epoll(ci);
+  }
+  if (c.open && c.txq.empty() && shut_down_ && !c.shut_wr) {
+    ::shutdown(c.fd.get(), SHUT_WR);
+    c.shut_wr = true;
+  }
+}
+
+void Endpoint::update_epoll(int ci) {
+  Conn& c = conns_[static_cast<std::size_t>(ci)];
+  if (!c.open) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | (c.want_out ? EPOLLOUT : 0u);
+  ev.data.u32 = static_cast<std::uint32_t>(ci);
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+}
+
+// --- failure and teardown ----------------------------------------------------
+
+void Endpoint::conn_lost(int ci) {
+  Conn& c = conns_[static_cast<std::size_t>(ci)];
+  if (!c.open) {
+    return;
+  }
+  if (c.rx_span_open) {
+    tracer_->end(ci + 1);
+    c.rx_span_open = false;
+  }
+  c.open = false;
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, c.fd.get(), nullptr);
+  c.fd.reset();
+  // Queued frames die with the connection; fail their send operations.
+  for (TxFrame& f : c.txq) {
+    if (f.span_open) {
+      tracer_->end(ci + 1);
+      f.span_open = false;
+    }
+    if (f.send_op != UINT32_MAX) {
+      Op& op = ops_[f.send_op];
+      op.complete = true;
+      op.error = true;
+      op.error_msg =
+          "net: connection to rank " + std::to_string(c.peer) + " lost";
+    }
+  }
+  c.txq.clear();
+
+  Peer& peer = peers_[static_cast<std::size_t>(c.peer)];
+  if (!peer.bye_seen && !shut_down_) {
+    mark_peer_dead(c.peer);
+    return;
+  }
+  // Orderly close: once every rail is gone the peer is finished.
+  bool all_closed = true;
+  for (int conn : peer.conns) {
+    if (conn >= 0 && conns_[static_cast<std::size_t>(conn)].open) {
+      all_closed = false;
+      break;
+    }
+  }
+  if (all_closed && !peer.finished) {
+    peer.finished = true;
+    on_peer_finished(c.peer);
+  }
+}
+
+void Endpoint::mark_peer_dead(int peer_rank) {
+  Peer& peer = peers_[static_cast<std::size_t>(peer_rank)];
+  if (peer.dead) {
+    return;
+  }
+  peer.dead = true;
+  // A peer vanished mid-run: no pending or future operation can be trusted
+  // to complete, so the whole endpoint fails loudly instead of hanging.
+  fatal_ = true;
+  fatal_msg_ = "net: connection to rank " + std::to_string(peer_rank) +
+               " lost (peer closed mid-message or crashed)";
+  for (int conn : peer.conns) {
+    if (conn >= 0) {
+      conn_lost(conn);
+    }
+  }
+}
+
+void Endpoint::on_peer_finished(int peer_rank) {
+  // The peer exited cleanly; any receive still expecting data from it is
+  // an application-level mismatch — error it rather than hang.
+  for (auto& [key, cs] : comms_) {
+    for (auto it = cs.posted.begin(); it != cs.posted.end();) {
+      Op& op = ops_[*it];
+      if (op.src_world == peer_rank) {
+        op.complete = true;
+        op.error = true;
+        op.error_msg = "net: rank " + std::to_string(peer_rank) +
+                       " finished while a receive from it was pending";
+        it = cs.posted.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto it = rndv_recvs_.begin(); it != rndv_recvs_.end();) {
+    if (it->second.peer_world == peer_rank) {
+      Op& op = ops_[it->second.op];
+      op.complete = true;
+      op.error = true;
+      op.error_msg = "net: rank " + std::to_string(peer_rank) +
+                     " finished mid-rendezvous";
+      it = rndv_recvs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Endpoint::shutdown() noexcept {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  try {
+    // Announce Bye on every open rail (so an EOF on any of them reads as
+    // orderly), flush, half-close, then drain until every connection saw
+    // its peer's EOF — an implicit barrier that guarantees all in-flight
+    // frames were delivered before any socket disappears.
+    for (std::size_t p = 0; p < peers_.size(); ++p) {
+      Peer& peer = peers_[p];
+      if (peer.dead) {
+        continue;
+      }
+      for (int conn : peer.conns) {
+        if (conn >= 0 && conns_[static_cast<std::size_t>(conn)].open) {
+          FrameHeader bye;
+          bye.kind = FrameKind::kBye;
+          enqueue(conn, bye, rt::ConstView{}, {}, UINT32_MAX);
+        }
+      }
+      peer.bye_sent = true;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(opts_.timeout_s);
+    for (;;) {
+      bool any_open = false;
+      for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+        Conn& c = conns_[ci];
+        if (!c.open) {
+          continue;
+        }
+        any_open = true;
+        if (c.txq.empty() && !c.shut_wr) {
+          ::shutdown(c.fd.get(), SHUT_WR);
+          c.shut_wr = true;
+        }
+      }
+      if (!any_open) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        break;  // force-close below rather than hang forever
+      }
+      progress(100);
+      if (fatal_) {
+        break;  // a peer died during teardown; just close up
+      }
+    }
+  } catch (...) {
+    // Destructor context: fall through to the force-close.
+  }
+  for (Conn& c : conns_) {
+    c.open = false;
+    c.txq.clear();
+    c.fd.reset();
+  }
+  listeners_.clear();
+  epoll_.reset();
+}
+
+void Endpoint::abort_for_test() noexcept {
+  // Simulate a crash: drop every socket on the floor, no Bye, no flush.
+  for (Conn& c : conns_) {
+    c.open = false;
+    c.txq.clear();
+    c.fd.reset();
+  }
+  listeners_.clear();
+  epoll_.reset();
+  shut_down_ = true;  // the destructor must not attempt a handshake
+}
+
+}  // namespace mca2a::net

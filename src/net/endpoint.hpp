@@ -1,0 +1,276 @@
+#pragma once
+/// \file endpoint.hpp
+/// The TCP backend's per-process progress engine.
+///
+/// One Endpoint per rank process: it owns every data socket of the mesh
+/// (rails × peers, built by the bootstrap), one epoll instance driving
+/// them all, and the MPI matching state of every communicator that routes
+/// through it. The engine is single-threaded by design — the rank program
+/// runs on the process's main thread and *is* the progress thread: every
+/// blocking wait (rt::Comm::wait_try) spins the epoll loop, which flushes
+/// outgoing frames, reads incoming ones and completes operations, exactly
+/// like an MPI library progressing inside MPI_Wait.
+///
+/// Message protocol (net/wire.hpp has the frame format):
+///  * messages with payload <= eager_max travel as one kEager frame whose
+///    payload is copied out of the user buffer at isend time — buffered
+///    semantics, the send request completes immediately;
+///  * larger messages use rendezvous: a kRts frame announces (comm, src,
+///    tag, bytes); when the receiver matches it against a posted receive
+///    it replies kCts, and only then does the sender stream the body as
+///    kData frames written *directly from the user buffer* into the
+///    receiver's user buffer — no intermediate copy on either side;
+///  * bodies at or above stripe_min are split into `rails` contiguous
+///    chunks, one per rail, so a single large leader-exchange message
+///    drives every connection of the pair concurrently. Smaller bodies
+///    pick one rail round-robin.
+///
+/// Ordering: all matching-relevant frames (kEager, kRts) of a peer pair
+/// travel on rail 0, so TCP's FIFO gives the same non-overtaking matching
+/// guarantee the in-process backends provide; kData frames are tagged
+/// with (receiver token, offset) and may arrive on any rail in any order.
+///
+/// Failure model: an EOF or reset on any connection *before* the peer's
+/// kBye marks that peer dead; every pending or future operation that
+/// depends on it completes with an error (surfaced as std::runtime_error
+/// from the wait), never a hang. Orderly shutdown (Endpoint::shutdown)
+/// exchanges kBye over every rail and drains, so a clean exit leaks
+/// neither processes nor file descriptors.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/bootstrap.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/comm.hpp"
+
+namespace mca2a::obs {
+class Counter;
+class TraceBuffer;
+class TraceRecorder;
+}  // namespace mca2a::obs
+
+namespace mca2a::net {
+
+class Endpoint {
+ public:
+  /// Bootstrap the full mesh: listeners, rendezvous, rails to every peer.
+  /// Blocking; throws on any bootstrap failure.
+  explicit Endpoint(NetOptions opts);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const NetOptions& options() const noexcept { return opts_; }
+  int world_rank() const noexcept { return opts_.rank; }
+  int world_size() const noexcept { return opts_.size; }
+
+  /// Wall seconds since this endpoint's construction.
+  double now() const;
+
+  /// Flight-recorder stream for this process's rank (nullptr when off).
+  obs::TraceBuffer* tracer() const noexcept { return tracer_; }
+
+  // --- operations (called by NetComm; ranks/`src` are in-comm) -------------
+
+  /// `members[i]` = world rank of comm rank i; `me` = caller's comm rank.
+  rt::Request post_send(std::uint64_t comm_key,
+                        std::span<const int> members, int me, int dst,
+                        int tag, rt::ConstView buf);
+  rt::Request post_recv(std::uint64_t comm_key,
+                        std::span<const int> members, int src, int tag,
+                        rt::MutView buf);
+  /// Drive the progress engine until every listed request completes, then
+  /// release them. Throws std::runtime_error on truncation or peer loss.
+  void wait(std::span<const rt::Request> reqs);
+
+  /// Deterministic communicator key for `members` (world ranks, comm
+  /// order): the k-th key drawn for a given member list is identical on
+  /// every member process as long as they create communicators in the
+  /// same order — the collective contract, same rule as the smp backend's
+  /// registry.
+  std::uint64_t intern_comm(std::span<const int> members);
+
+  /// Orderly shutdown: exchange kBye on every rail, drain, close all fds.
+  /// Idempotent; swallows peer-loss errors (the destructor calls it).
+  void shutdown() noexcept;
+
+  /// Test hook: close every data socket *without* the kBye handshake,
+  /// simulating a crashed process (peers must error out, not hang).
+  void abort_for_test() noexcept;
+
+ private:
+  // One queued outgoing frame. `payload` points into the user buffer for
+  // rendezvous data (zero-copy), into `owned` for eager copies.
+  struct TxFrame {
+    std::byte header[kHeaderBytes];
+    std::size_t header_sent = 0;
+    rt::ConstView payload{};
+    std::size_t payload_sent = 0;
+    std::vector<std::byte> owned;
+    std::uint32_t send_op = UINT32_MAX;  ///< op to credit when fully sent
+    bool span_open = false;              ///< net.send span in flight
+  };
+
+  // One data connection (= one rail of one peer pair).
+  struct Conn {
+    Fd fd;
+    int peer = -1;
+    int rail = 0;
+    bool open = false;
+    bool want_out = false;  ///< EPOLLOUT armed
+    bool shut_wr = false;   ///< SHUT_WR issued during orderly shutdown
+    std::deque<TxFrame> txq;
+    // Receive state machine: header assembly, then payload streaming.
+    std::byte rx_header[kHeaderBytes];
+    std::size_t rx_header_got = 0;
+    bool rx_in_payload = false;
+    FrameHeader rx_frame{};
+    std::size_t rx_payload_got = 0;
+    rt::MutView rx_dest{};               ///< matched destination (or null)
+    std::vector<std::byte> rx_owned;     ///< unexpected-eager staging
+    std::uint32_t rx_recv_op = UINT32_MAX;
+    bool rx_span_open = false;
+  };
+
+  struct Peer {
+    std::vector<int> conns;  ///< index into conns_, one per rail
+    bool bye_sent = false;
+    bool bye_seen = false;
+    bool dead = false;      ///< EOF/reset before kBye
+    bool finished = false;  ///< kBye seen and every rail closed cleanly
+    std::uint64_t next_rail = 0;  ///< round-robin for sub-stripe bodies
+  };
+
+  // A pending operation (send or recv) owned by a Request slot.
+  struct Op {
+    enum class Kind { kSend, kRecv } kind = Kind::kRecv;
+    bool in_use = false;
+    bool complete = false;
+    bool error = false;
+    std::string error_msg;
+    std::uint32_t serial = 1;
+    // Recv fields.
+    rt::MutView rbuf{};
+    std::uint64_t comm_key = 0;
+    int src = 0;        ///< in-comm rank or rt::kAnySource
+    int src_world = -1; ///< resolved world rank, -1 for any-source
+    int tag = 0;
+    std::uint64_t post_seq = 0;
+    bool matched = false;       ///< consumed from the posted queue
+    std::size_t received = 0;
+    std::size_t rndv_remaining = 0;
+    // Send fields.
+    rt::ConstView sbuf{};
+    int dst_world = -1;
+    std::uint32_t frames_left = 0;  ///< rendezvous data frames unsent
+    bool cts_seen = false;
+  };
+
+  // An eager message or RTS that arrived before its receive was posted.
+  struct Unexpected {
+    int src = 0;  ///< in-comm rank
+    int tag = 0;
+    bool rndv = false;
+    // Eager: copied payload. Rendezvous: size + sender handle.
+    std::vector<std::byte> payload;
+    std::size_t bytes = 0;
+    int peer_world = -1;
+    std::uint64_t sender_token = 0;
+  };
+
+  // Matching state of one communicator key (created on demand — a peer
+  // may send before this process created the matching sub-communicator).
+  struct CommState {
+    std::deque<std::uint32_t> posted;  ///< recv op ids, post order
+    std::deque<Unexpected> unexpected; ///< arrival order
+    std::uint64_t next_post_seq = 0;
+  };
+
+  // A rendezvous receive in flight, keyed by receiver token.
+  struct RndvRecv {
+    std::uint32_t op = UINT32_MAX;
+    rt::MutView dest{};     ///< clamped to the posted buffer
+    std::uint64_t bytes = 0;
+    std::uint64_t remaining = 0;
+    bool overflow = false;  ///< message larger than the posted buffer
+    int peer_world = -1;
+  };
+
+  // --- bootstrap -----------------------------------------------------------
+  void build_mesh();
+  int register_conn(Fd fd, int peer, int rail);
+
+  // --- progress ------------------------------------------------------------
+  void progress(int timeout_ms);
+  void drive_until(const std::function<bool()>& done, const char* what);
+  void handle_readable(int ci);
+  void handle_writable(int ci);
+  void on_frame(int ci);         ///< header complete: route by kind
+  void finish_rx(int ci);        ///< payload complete
+  void enqueue(int ci, const FrameHeader& h, rt::ConstView payload,
+               std::vector<std::byte> owned, std::uint32_t send_op);
+  void update_epoll(int ci);
+  void conn_lost(int ci);
+  /// Unexpected EOF/reset: the whole endpoint fails (every pending and
+  /// future wait throws) — a clean error beats a silent hang.
+  void mark_peer_dead(int peer);
+  /// Orderly peer exit with our receives still pending: op-level errors.
+  void on_peer_finished(int peer);
+
+  // --- matching ------------------------------------------------------------
+  CommState& comm_state(std::uint64_t key);
+  /// First posted receive in `cs` matching (src, tag), or UINT32_MAX.
+  std::uint32_t match_posted(CommState& cs, int src, int tag);
+  void deliver_eager_local(std::uint64_t comm_key, int src, int tag,
+                           rt::ConstView payload);
+  void start_rndv_recv(std::uint32_t recv_op, int peer_world,
+                       std::uint64_t sender_token, std::uint64_t bytes);
+  void send_data_frames(std::uint32_t send_op, std::uint64_t recv_token);
+
+  std::uint32_t alloc_op();
+  Op& op_checked(const rt::Request& r);
+  Conn& rail0(int peer);
+
+  NetOptions opts_;
+  std::chrono::steady_clock::time_point epoch_;
+  Fd epoll_;
+  std::vector<Fd> listeners_;
+  std::deque<Conn> conns_;
+  std::vector<Peer> peers_;
+  std::deque<Op> ops_;
+  std::vector<std::uint32_t> free_ops_;
+  std::unordered_map<std::uint64_t, CommState> comms_;
+  std::map<std::vector<int>, std::uint32_t> comm_uses_;
+  std::unordered_map<std::uint64_t, RndvRecv> rndv_recvs_;
+  std::uint64_t next_rndv_token_ = 1;
+  bool shut_down_ = false;
+  bool fatal_ = false;
+  std::string fatal_msg_;
+
+  // Observability: per-rail tx/rx byte and retry counters plus frame
+  // totals, registered once; the flight-recorder stream for this rank.
+  std::vector<obs::Counter*> rail_tx_;
+  std::vector<obs::Counter*> rail_rx_;
+  std::vector<obs::Counter*> rail_retry_;
+  obs::Counter* frames_tx_ = nullptr;
+  obs::Counter* frames_rx_ = nullptr;
+  obs::Counter* eager_tx_ = nullptr;
+  obs::Counter* rndv_tx_ = nullptr;
+  obs::TraceRecorder* trace_rec_ = nullptr;
+  int trace_session_ = -1;
+  obs::TraceBuffer* tracer_ = nullptr;
+};
+
+}  // namespace mca2a::net

@@ -1,0 +1,98 @@
+#include "net/net_comm.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mca2a::net {
+
+std::unique_ptr<NetComm> NetComm::connect_world(NetOptions opts) {
+  auto ep = std::make_shared<Endpoint>(std::move(opts));
+  std::vector<int> members(static_cast<std::size_t>(ep->world_size()));
+  std::iota(members.begin(), members.end(), 0);
+  const std::uint64_t key = ep->intern_comm(members);
+  const int rank = ep->world_rank();
+  auto comm = std::unique_ptr<NetComm>(
+      new NetComm(std::move(ep), key, std::move(members), rank));
+  comm->is_world_ = true;
+  return comm;
+}
+
+std::unique_ptr<NetComm> NetComm::process_world() {
+  return connect_world(options_from_env());
+}
+
+NetComm::NetComm(std::shared_ptr<Endpoint> ep, std::uint64_t comm_key,
+                 std::vector<int> members, int rank)
+    : rt::Comm(rank, static_cast<int>(members.size())),
+      ep_(std::move(ep)),
+      comm_key_(comm_key),
+      members_(std::move(members)),
+      is_world_(false) {}
+
+NetComm::~NetComm() {
+  if (is_world_) {
+    ep_->shutdown();
+  }
+}
+
+void NetComm::shutdown() noexcept { ep_->shutdown(); }
+
+rt::Request NetComm::isend(rt::ConstView buf, int dst, int tag) {
+  if (dst < 0 || dst >= size_) {
+    throw std::invalid_argument("net: isend destination out of range");
+  }
+  return ep_->post_send(comm_key_, members_, rank_, dst, tag, buf);
+}
+
+rt::Request NetComm::irecv(rt::MutView buf, int src, int tag) {
+  if (src != rt::kAnySource && (src < 0 || src >= size_)) {
+    throw std::invalid_argument("net: irecv source out of range");
+  }
+  return ep_->post_recv(comm_key_, members_, src, tag, buf);
+}
+
+bool NetComm::wait_try(std::span<const rt::Request> reqs) {
+  ep_->wait(reqs);
+  return true;  // blocking backend: complete on return, like smp
+}
+
+void NetComm::wait_suspend(std::span<const rt::Request>,
+                           std::coroutine_handle<>) {
+  throw std::logic_error(
+      "net: wait_suspend is a simulator facility; the TCP backend blocks "
+      "in wait_try");
+}
+
+double NetComm::now() const { return ep_->now(); }
+
+rt::Buffer NetComm::alloc_buffer(std::size_t bytes) const {
+  return rt::Buffer::real(bytes);  // sockets move real bytes, always
+}
+
+obs::TraceBuffer* NetComm::tracer() const noexcept { return ep_->tracer(); }
+
+std::unique_ptr<rt::Comm> NetComm::create_subcomm(
+    std::span<const int> members) {
+  std::vector<int> world;
+  world.reserve(members.size());
+  int my_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int m = members[i];
+    if (m < 0 || m >= size_) {
+      throw std::invalid_argument("net: subcomm member out of range");
+    }
+    if (m == rank_) {
+      my_rank = static_cast<int>(i);
+    }
+    world.push_back(members_[static_cast<std::size_t>(m)]);
+  }
+  if (my_rank < 0) {
+    throw std::invalid_argument(
+        "net: create_subcomm members must include the calling rank");
+  }
+  const std::uint64_t key = ep_->intern_comm(world);
+  return std::unique_ptr<rt::Comm>(
+      new NetComm(ep_, key, std::move(world), my_rank));
+}
+
+}  // namespace mca2a::net

@@ -1,0 +1,70 @@
+#pragma once
+/// \file net_comm.hpp
+/// rt::Comm over real TCP sockets: the third backend.
+///
+/// Where the simulator models a cluster inside one process and the smp
+/// backend runs ranks as threads of one process, the net backend runs each
+/// rank as its *own process*, connected to every peer by a mesh of TCP
+/// connections (net/endpoint.hpp). A rank program built against rt::Comm
+/// runs unchanged: `tools/a2arun -n 8 ./prog` launches eight processes,
+/// each of which calls net::process_world() to join the job described by
+/// its A2A_NET_* environment and gets back the world communicator.
+///
+/// The backend is blocking in the smp sense: wait_try drives the progress
+/// engine until the requests complete and returns true; wait_suspend (a
+/// simulator facility) throws. now() is this process's wall clock, so
+/// autotune profiles recorded under backend "net" are real end-to-end
+/// socket measurements and never pool with sim or smp samples.
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "runtime/comm.hpp"
+
+namespace mca2a::net {
+
+class NetComm final : public rt::Comm {
+ public:
+  /// World communicator: bootstrap the mesh described by `opts` (blocking;
+  /// every process of the job must call this concurrently).
+  static std::unique_ptr<NetComm> connect_world(NetOptions opts);
+  /// World communicator from the A2A_NET_* environment (what a process
+  /// launched by tools/a2arun calls first).
+  static std::unique_ptr<NetComm> process_world();
+
+  ~NetComm() override;
+
+  rt::Request isend(rt::ConstView buf, int dst, int tag) override;
+  rt::Request irecv(rt::MutView buf, int src, int tag) override;
+  bool wait_try(std::span<const rt::Request> reqs) override;
+  [[noreturn]] void wait_suspend(std::span<const rt::Request> reqs,
+                                 std::coroutine_handle<> h) override;
+  double now() const override;
+  std::string_view backend_name() const noexcept override { return "net"; }
+  rt::Buffer alloc_buffer(std::size_t bytes) const override;
+  void charge_copy(std::size_t /*bytes*/) override {}  // wall time is real
+  std::unique_ptr<rt::Comm> create_subcomm(
+      std::span<const int> members) override;
+  obs::TraceBuffer* tracer() const noexcept override;
+
+  /// The endpoint shared by this communicator tree (test access).
+  Endpoint& endpoint() noexcept { return *ep_; }
+
+  /// Orderly leave: kBye handshake, drain, close every socket. Implied by
+  /// destroying the world communicator; explicit calls are idempotent.
+  void shutdown() noexcept;
+
+ private:
+  NetComm(std::shared_ptr<Endpoint> ep, std::uint64_t comm_key,
+          std::vector<int> members, int rank);
+
+  std::shared_ptr<Endpoint> ep_;  ///< shared with every subcomm
+  std::uint64_t comm_key_;
+  std::vector<int> members_;  ///< comm rank -> world rank
+  bool is_world_;
+};
+
+}  // namespace mca2a::net

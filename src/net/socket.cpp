@@ -1,0 +1,199 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+namespace mca2a::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in make_sockaddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (host.empty()) {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    const std::string ip = resolve_ipv4(host);
+    if (::inet_pton(AF_INET, ip.c_str(), &sa.sin_addr) != 1) {
+      throw std::runtime_error("net: cannot parse address " + host);
+    }
+  }
+  return sa;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Address parse_address(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    throw std::invalid_argument("net: expected host:port, got '" + s + "'");
+  }
+  Address a;
+  a.host = s.substr(0, colon);
+  const long p = std::strtol(s.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) {
+    throw std::invalid_argument("net: bad port in '" + s + "'");
+  }
+  a.port = static_cast<std::uint16_t>(p);
+  return a;
+}
+
+std::string resolve_ipv4(const std::string& host) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+      res == nullptr) {
+    throw std::runtime_error("net: cannot resolve host " + host);
+  }
+  char buf[INET_ADDRSTRLEN] = {};
+  const auto* sa = reinterpret_cast<const sockaddr_in*>(res->ai_addr);
+  ::inet_ntop(AF_INET, &sa->sin_addr, buf, sizeof(buf));
+  ::freeaddrinfo(res);
+  return buf;
+}
+
+std::pair<Fd, std::uint16_t> listen_tcp(const std::string& host,
+                                        std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("net: socket");
+  }
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = make_sockaddr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    throw_errno("net: bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("net: listen");
+  }
+  return {std::move(fd), local_address(fd.get()).port};
+}
+
+Fd connect_tcp(const Address& addr, double timeout_s) {
+  const sockaddr_in sa = make_sockaddr(addr.host, addr.port);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      throw_errno("net: socket");
+    }
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                  sizeof(sa)) == 0) {
+      set_nodelay(fd.get());
+      return fd;
+    }
+    // The peer's listener (typically the rendezvous root) may simply not
+    // be up yet; back off briefly and retry until the deadline.
+    if ((errno != ECONNREFUSED && errno != ETIMEDOUT && errno != EINTR) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      throw std::system_error(errno, std::generic_category(),
+                              "net: connect to " + addr.host + ":" +
+                                  std::to_string(addr.port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Fd accept_tcp(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Fd(fd);
+    }
+    if (errno != EINTR) {
+      throw_errno("net: accept");
+    }
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("net: fcntl O_NONBLOCK");
+  }
+}
+
+void write_all(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("net: write");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void read_all(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n == 0) {
+      throw std::runtime_error("net: unexpected EOF");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("net: read");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+Address local_address(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw_errno("net: getsockname");
+  }
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
+  return Address{buf, ntohs(sa.sin_port)};
+}
+
+std::uint16_t free_port() {
+  auto [fd, port] = listen_tcp("127.0.0.1", 0, 1);
+  return port;
+}
+
+}  // namespace mca2a::net

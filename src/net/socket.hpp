@@ -1,0 +1,84 @@
+#pragma once
+/// \file socket.hpp
+/// Thin RAII and address helpers over POSIX TCP sockets, shared by the
+/// bootstrap (blocking, sequential) and the progress engine (nonblocking,
+/// epoll-driven). Nothing here knows about frames or ranks.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace mca2a::net {
+
+/// Owning file descriptor. Closing is best-effort (destructors must not
+/// throw); every other error surfaces as std::system_error at the call
+/// site that hit it.
+class Fd {
+ public:
+  Fd() noexcept = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Release ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+  /// Close now (idempotent).
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// IPv4 endpoint as the bootstrap protocol exchanges it.
+struct Address {
+  std::string host;  ///< dotted-quad or resolvable name
+  std::uint16_t port = 0;
+};
+
+/// Parse "host:port". Throws std::invalid_argument on malformed input.
+Address parse_address(const std::string& s);
+
+/// Resolve `host` (name or dotted quad) to a dotted-quad IPv4 string.
+/// Throws std::runtime_error when resolution fails.
+std::string resolve_ipv4(const std::string& host);
+
+/// Create a listening TCP socket bound to `host` (empty = INADDR_ANY) and
+/// `port` (0 = ephemeral). Returns the socket and the actually-bound port.
+std::pair<Fd, std::uint16_t> listen_tcp(const std::string& host,
+                                        std::uint16_t port, int backlog);
+
+/// Blocking connect with retry until `timeout_s` (the peer's listener may
+/// come up later during bootstrap). TCP_NODELAY is set on the result.
+Fd connect_tcp(const Address& addr, double timeout_s);
+
+/// Blocking accept; TCP_NODELAY is set on the result. Throws on error.
+Fd accept_tcp(int listen_fd);
+
+/// Switch the descriptor to nonblocking mode.
+void set_nonblocking(int fd);
+
+/// Write exactly `len` bytes (blocking socket). Throws on error/EOF.
+void write_all(int fd, const void* buf, std::size_t len);
+/// Read exactly `len` bytes (blocking socket). Throws on error/EOF.
+void read_all(int fd, void* buf, std::size_t len);
+
+/// Local address of a connected/bound socket as dotted quad + port.
+Address local_address(int fd);
+
+/// Bind-to-port-0 probe: an ephemeral localhost port that was free at call
+/// time (launchers use it to pick a rendezvous port).
+std::uint16_t free_port();
+
+}  // namespace mca2a::net

@@ -227,6 +227,47 @@ TEST(ExecutionProfiler, ParseRejectsMalformedLines) {
                std::runtime_error);
 }
 
+TEST(ExecutionProfiler, NetSamplesNeverPoolWithSmpOrSim) {
+  // Wall-clock socket time and in-process time are different quantities:
+  // the same (machine, op, size, algorithm, group) under backend "net"
+  // must key a distinct accumulator.
+  const topo::Machine machine = topo::dane(2);
+  ExecutionProfiler p;
+  p.record(key_for(machine, 64, 3, 112, "net"), 5e-3);
+  p.record(key_for(machine, 64, 3, 112, "smp"), 1e-4);
+  EXPECT_EQ(p.size(), 2u);
+  const auto net_stats = p.lookup(key_for(machine, 64, 3, 112, "net"));
+  const auto smp_stats = p.lookup(key_for(machine, 64, 3, 112, "smp"));
+  ASSERT_TRUE(net_stats.has_value());
+  ASSERT_TRUE(smp_stats.has_value());
+  EXPECT_EQ(net_stats->n, 1u);
+  EXPECT_EQ(net_stats->mean, 5e-3);
+  EXPECT_EQ(smp_stats->n, 1u);
+  EXPECT_EQ(smp_stats->mean, 1e-4);
+  EXPECT_FALSE(p.lookup(key_for(machine, 64, 3, 112, "sim")).has_value());
+}
+
+TEST(ExecutionProfiler, NetProfileLineRoundTrip) {
+  // The on-disk format carries the backend token verbatim — a "net" line
+  // written by a socket job must parse back to a net-keyed entry.
+  auto [key, stats] = autotune::parse_profile_line(
+      "prof dane 2 112 a2a 64 3 112 net 2 5e-03 1e-08 4e-03");
+  EXPECT_EQ(key.backend, "net");
+  EXPECT_EQ(stats.n, 2u);
+  EXPECT_EQ(stats.mean, 5e-3);
+
+  ExecutionProfiler p;
+  p.merge_entry(key, stats);
+  std::stringstream ss;
+  autotune::write_profile_section(ss, p);
+  EXPECT_NE(ss.str().find(" net "), std::string::npos);
+  auto [key2, stats2] = autotune::parse_profile_line(
+      ss.str().substr(0, ss.str().find('\n')));
+  EXPECT_EQ(key2.backend, "net");
+  EXPECT_EQ(stats2.mean, stats.mean);
+  EXPECT_EQ(stats2.m2, stats.m2);
+}
+
 // --- TuningTable v3 ----------------------------------------------------------
 
 TEST(TuningTableV3, EmptyProfileKeepsV2Header) {
@@ -275,6 +316,28 @@ TEST(TuningTableV3, ProfileRoundTripsThroughV3) {
   const plan::TuningTable again = plan::TuningTable::load(ss2);
   EXPECT_EQ(again.profile().size(), 2u);
   EXPECT_EQ(again.size(), loaded.size());
+}
+
+TEST(TuningTableV3, NetProfileRoundTripsThroughTable) {
+  // A table holding both net and smp samples of the same shape saves and
+  // reloads them as separate entries — pooling across backends would let a
+  // simulator number masquerade as a socket measurement.
+  const topo::Machine machine = topo::dane(2);
+  plan::TuningTable table;
+  table.profile().record(key_for(machine, 64, 3, 112, "net"), 5e-3);
+  table.profile().record(key_for(machine, 64, 3, 112, "smp"), 1e-4);
+  std::stringstream ss;
+  table.save(ss);
+  const plan::TuningTable loaded = plan::TuningTable::load(ss);
+  EXPECT_EQ(loaded.profile().size(), 2u);
+  const auto net_stats =
+      loaded.profile().lookup(key_for(machine, 64, 3, 112, "net"));
+  const auto smp_stats =
+      loaded.profile().lookup(key_for(machine, 64, 3, 112, "smp"));
+  ASSERT_TRUE(net_stats.has_value());
+  ASSERT_TRUE(smp_stats.has_value());
+  EXPECT_EQ(net_stats->mean, 5e-3);
+  EXPECT_EQ(smp_stats->mean, 1e-4);
 }
 
 TEST(TuningTableV3, V1AndV2FilesStillLoad) {

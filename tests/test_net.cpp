@@ -1,0 +1,321 @@
+/// Tests for the real-network (TCP) backend that run inside the ordinary
+/// gtest binary — and therefore inside the ASan job — with no launcher:
+/// every "rank" is a thread owning its own net::Endpoint, and the mesh
+/// between them is real loopback sockets (bootstrap, epoll progress, wire
+/// framing, rails — the full stack except process isolation, which
+/// tests/net/net_grid.cpp covers under tools/a2arun).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/bootstrap.hpp"
+#include "net/net_comm.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/task.hpp"
+#include "test_util.hpp"
+
+namespace mca2a {
+namespace {
+
+using rt::Buffer;
+using rt::Comm;
+using rt::Request;
+using rt::Task;
+
+/// Launch `n` thread-ranks over real loopback sockets and run `body` on
+/// each rank's world communicator. Rethrows the first rank's exception
+/// (by rank order) after all threads joined.
+void run_net_threads(int n, const std::function<Task<void>(Comm&)>& body,
+                     int rails = 2, std::size_t eager_max = 16 * 1024,
+                     std::size_t stripe_min = 256 * 1024) {
+  const std::uint16_t port = net::free_port();
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        net::NetOptions opts;
+        opts.rank = rank;
+        opts.size = n;
+        opts.rendezvous = net::Address{"127.0.0.1", port};
+        opts.rails = rails;
+        opts.eager_max = eager_max;
+        opts.stripe_min = stripe_min;
+        opts.timeout_s = 30.0;
+        auto world = net::NetComm::connect_world(opts);
+        rt::sync_wait(body(*world));
+      } catch (...) {
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+TEST(NetWire, HeaderRoundTrip) {
+  net::FrameHeader h;
+  h.kind = net::FrameKind::kData;
+  h.tag = -7;
+  h.comm_key = 0xDEADBEEFCAFEF00Dull;
+  h.src = 1234;
+  h.rail = 3;
+  h.bytes = (1ull << 40) + 17;
+  h.token = 42;
+  h.token2 = 0xFFFFFFFFFFFFFFFFull;
+  std::byte buf[net::kHeaderBytes];
+  net::encode(h, buf);
+  const net::FrameHeader d = net::decode(buf);
+  EXPECT_EQ(d.kind, h.kind);
+  EXPECT_EQ(d.tag, h.tag);
+  EXPECT_EQ(d.comm_key, h.comm_key);
+  EXPECT_EQ(d.src, h.src);
+  EXPECT_EQ(d.rail, h.rail);
+  EXPECT_EQ(d.bytes, h.bytes);
+  EXPECT_EQ(d.token, h.token);
+  EXPECT_EQ(d.token2, h.token2);
+}
+
+TEST(NetWire, BadMagicAndKindThrow) {
+  net::FrameHeader h;
+  h.kind = net::FrameKind::kEager;
+  std::byte buf[net::kHeaderBytes];
+  net::encode(h, buf);
+  std::byte bad[net::kHeaderBytes];
+  std::memcpy(bad, buf, sizeof(buf));
+  bad[3] = std::byte{0x00};  // clobber the magic nibble
+  EXPECT_THROW(net::decode(bad), std::runtime_error);
+  std::memcpy(bad, buf, sizeof(buf));
+  bad[0] = std::byte{0x09};  // kind 9: out of range, magic intact
+  EXPECT_THROW(net::decode(bad), std::runtime_error);
+}
+
+TEST(NetBootstrap, OptionsValidate) {
+  net::NetOptions opts;
+  opts.rank = 0;
+  opts.size = 2;
+  opts.rendezvous = net::Address{"127.0.0.1", 1};
+  EXPECT_NO_THROW(opts.validate());
+  net::NetOptions bad = opts;
+  bad.rank = 2;  // out of [0, size)
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = opts;
+  bad.rails = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(NetBootstrap, ParseAddress) {
+  const net::Address a = net::parse_address("10.1.2.3:4455");
+  EXPECT_EQ(a.host, "10.1.2.3");
+  EXPECT_EQ(a.port, 4455);
+  EXPECT_THROW(net::parse_address("no-port-here"), std::invalid_argument);
+}
+
+TEST(NetP2P, PingPongEagerAndRendezvous) {
+  // 1 KiB stays eager, 192 KiB crosses into rendezvous (threshold 16 KiB).
+  run_net_threads(2, [](Comm& c) -> Task<void> {
+    const int peer = 1 - c.rank();
+    for (std::size_t bytes : {std::size_t{1} << 10, std::size_t{192} << 10}) {
+      Buffer s = Buffer::real(bytes);
+      Buffer r = Buffer::real(bytes);
+      for (std::size_t k = 0; k < bytes; ++k) {
+        s.data()[k] = test::pattern(c.rank(), peer, k);
+      }
+      co_await c.sendrecv(s.view(), peer, 1, r.view(), peer, 1);
+      for (std::size_t k = 0; k < bytes; ++k) {
+        if (r.data()[k] != test::pattern(peer, c.rank(), k)) {
+          throw std::runtime_error("payload corrupt at byte " +
+                                   std::to_string(k));
+        }
+      }
+    }
+  });
+}
+
+TEST(NetP2P, MultiRailStriping) {
+  // Tiny thresholds force eager->rndv at 64 B and striping at 256 B over
+  // 3 rails; a 1 MiB message then exercises out-of-order reassembly.
+  run_net_threads(
+      2,
+      [](Comm& c) -> Task<void> {
+        const int peer = 1 - c.rank();
+        const std::size_t bytes = 1 << 20;
+        Buffer s = Buffer::real(bytes);
+        Buffer r = Buffer::real(bytes);
+        for (std::size_t k = 0; k < bytes; ++k) {
+          s.data()[k] = test::pattern(c.rank(), peer, k);
+        }
+        co_await c.sendrecv(s.view(), peer, 2, r.view(), peer, 2);
+        for (std::size_t k = 0; k < bytes; ++k) {
+          if (r.data()[k] != test::pattern(peer, c.rank(), k)) {
+            throw std::runtime_error("striped payload corrupt at byte " +
+                                     std::to_string(k));
+          }
+        }
+        // Rails beyond 0 must have genuinely carried bytes.
+        if (c.rank() == 0) {
+          const auto& reg = obs::metrics();
+          std::uint64_t beyond = reg.counter_value("net.rail.1.tx_bytes") +
+                                 reg.counter_value("net.rail.2.tx_bytes");
+          if (beyond == 0) {
+            throw std::runtime_error("no bytes on rails 1/2");
+          }
+        }
+      },
+      /*rails=*/3, /*eager_max=*/64, /*stripe_min=*/256);
+}
+
+TEST(NetP2P, WildcardsAndFifoOrder) {
+  run_net_threads(3, [](Comm& c) -> Task<void> {
+    Buffer b = Buffer::real(4);
+    if (c.rank() != 0) {
+      // Two ordered messages per sender; per-pair FIFO must hold.
+      for (int i = 0; i < 2; ++i) {
+        b.typed<int>()[0] = 100 * c.rank() + i;
+        co_await c.send(b.view(), 0, 7);
+      }
+    } else {
+      int last_from[3] = {-1, -1, -1};
+      for (int i = 0; i < 4; ++i) {
+        co_await c.recv(b.view(), rt::kAnySource, rt::kAnyTag);
+        const int v = b.typed<int>()[0];
+        const int from = v / 100;
+        if (v % 100 <= last_from[from]) {
+          throw std::runtime_error("per-pair order violated");
+        }
+        last_from[from] = v % 100;
+      }
+    }
+  });
+}
+
+TEST(NetP2P, ZeroByteMessages) {
+  run_net_threads(2, [](Comm& c) -> Task<void> {
+    const int peer = 1 - c.rank();
+    co_await c.sendrecv(rt::ConstView{}, peer, 3, rt::MutView{}, peer, 3);
+  });
+}
+
+TEST(NetP2P, TruncationThrowsOnBothPaths) {
+  run_net_threads(2, [](Comm& c) -> Task<void> {
+    // 64 B eager and 64 KiB rendezvous, both into an 8-byte buffer.
+    for (std::size_t bytes : {std::size_t{64}, std::size_t{64} << 10}) {
+      if (c.rank() == 0) {
+        Buffer big = Buffer::real(bytes);
+        co_await c.send(big.view(), 1, 4);
+      } else {
+        Buffer small = Buffer::real(8);
+        bool threw = false;
+        try {
+          co_await c.recv(small.view(), 0, 4);
+        } catch (const std::runtime_error&) {
+          threw = true;
+        }
+        if (!threw) {
+          throw std::runtime_error("truncation did not throw");
+        }
+      }
+    }
+  });
+}
+
+TEST(NetP2P, SelfSend) {
+  run_net_threads(2, [](Comm& c) -> Task<void> {
+    Buffer s = Buffer::real(64);
+    Buffer r = Buffer::real(64);
+    for (std::size_t k = 0; k < 64; ++k) {
+      s.data()[k] = test::pattern(c.rank(), c.rank(), k);
+    }
+    co_await c.sendrecv(s.view(), c.rank(), 9, r.view(), c.rank(), 9);
+    for (std::size_t k = 0; k < 64; ++k) {
+      if (r.data()[k] != test::pattern(c.rank(), c.rank(), k)) {
+        throw std::runtime_error("self-send corrupt");
+      }
+    }
+  });
+}
+
+TEST(NetSubcomm, IsolationAndDeterministicKeys) {
+  run_net_threads(4, [](Comm& c) -> Task<void> {
+    // Same tag on world and on the even/odd subcomm; never cross-matches.
+    std::vector<int> mine;
+    for (int r = c.rank() % 2; r < 4; r += 2) {
+      mine.push_back(r);
+    }
+    auto sub = c.create_subcomm(mine);
+    const int speer = 1 - sub->rank();
+    Buffer w = Buffer::real(4);
+    Buffer s = Buffer::real(4);
+    Buffer rw = Buffer::real(4);
+    Buffer rs = Buffer::real(4);
+    w.typed<int>()[0] = 10 + c.rank();
+    s.typed<int>()[0] = 20 + c.rank();
+    const int wpeer = (c.rank() + 2) % 4;  // same parity: also in `mine`
+    co_await c.sendrecv(w.view(), wpeer, 5, rw.view(), wpeer, 5);
+    co_await sub->sendrecv(s.view(), speer, 5, rs.view(), speer, 5);
+    if (rw.typed<int>()[0] != 10 + wpeer) {
+      throw std::runtime_error("world message misrouted");
+    }
+    if (rs.typed<int>()[0] != 20 + mine[static_cast<std::size_t>(speer)]) {
+      throw std::runtime_error("subcomm message misrouted");
+    }
+  });
+}
+
+TEST(NetTeardown, PeerLossErrorsInsteadOfHanging) {
+  run_net_threads(3, [](Comm& c) -> Task<void> {
+    auto& nc = static_cast<net::NetComm&>(c);
+    if (c.rank() == 1) {
+      // Drop every socket without the Bye handshake.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      nc.endpoint().abort_for_test();
+      co_return;
+    }
+    Buffer b = Buffer::real(1 << 16);
+    bool threw = false;
+    try {
+      const Request r = c.irecv(b.view(), 1, 3);
+      c.wait_try({&r, 1});
+    } catch (const std::runtime_error& e) {
+      threw = std::string(e.what()).find("lost") != std::string::npos;
+    }
+    if (!threw) {
+      throw std::runtime_error("peer loss did not error the wait");
+    }
+  });
+}
+
+TEST(NetObs, CountersAndBackendName) {
+  const auto& reg = obs::metrics();
+  const std::uint64_t eager0 = reg.counter_value("net.eager_tx");
+  const std::uint64_t frames0 = reg.counter_value("net.frames_tx");
+  run_net_threads(2, [](Comm& c) -> Task<void> {
+    if (c.backend_name() != "net") {
+      throw std::runtime_error("backend_name");
+    }
+    if (c.now() < 0.0) {
+      throw std::runtime_error("clock");
+    }
+    Buffer b = Buffer::real(256);
+    co_await c.sendrecv(b.view(), 1 - c.rank(), 6, b.view(), 1 - c.rank(), 6);
+  });
+  EXPECT_GT(reg.counter_value("net.eager_tx"), eager0);
+  EXPECT_GT(reg.counter_value("net.frames_tx"), frames0);
+}
+
+}  // namespace
+}  // namespace mca2a
