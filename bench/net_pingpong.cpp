@@ -30,9 +30,11 @@
 ///   A2A_BENCH_JSON    output directory for BENCH_net.json
 ///   A2A_BENCH_CSV     output directory for net.csv
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -123,16 +125,30 @@ int run_child(int override_reps) {
 // --- parent orchestration ----------------------------------------------------
 
 int spawn_job(int rails, const std::string& out_path, int override_reps) {
-  const std::string rend =
-      "127.0.0.1:" + std::to_string(mca2a::net::free_port());
+  // Bind the rendezvous port up front and hand the live listener to rank 0
+  // (A2A_NET_REND_FD): picking a port and re-binding it later would race
+  // against any other process on the machine.
+  auto [listener, port] = mca2a::net::listen_tcp("127.0.0.1", 0, 4);
+  const std::string rend = "127.0.0.1:" + std::to_string(port);
+  const int rend_fd = listener.release();
   std::vector<pid_t> pids;
   for (int rank = 0; rank < 2; ++rank) {
     const pid_t pid = ::fork();
     if (pid < 0) {
       std::perror("net_pingpong: fork");
+      ::close(rend_fd);
+      for (const pid_t p : pids) {
+        ::kill(p, SIGKILL);
+        ::waitpid(p, nullptr, 0);
+      }
       return 1;
     }
     if (pid == 0) {
+      if (rank == 0) {
+        ::setenv("A2A_NET_REND_FD", std::to_string(rend_fd).c_str(), 1);
+      } else {
+        ::close(rend_fd);
+      }
       ::setenv("A2A_NET_RANK", std::to_string(rank).c_str(), 1);
       ::setenv("A2A_NET_SIZE", "2", 1);
       ::setenv("A2A_NET_REND", rend.c_str(), 1);
@@ -148,17 +164,42 @@ int spawn_job(int rails, const std::string& out_path, int override_reps) {
     }
     pids.push_back(pid);
   }
+  ::close(rend_fd);  // rank 0's inherited copy keeps the listener alive
+  // Reap in completion order; on the first failure SIGKILL the ranks that
+  // are still running BEFORE waiting on them (a hung sibling must not
+  // block us, and an already-reaped pid must never be signalled — the pid
+  // may have been reused by an unrelated process).
   int rc = 0;
-  for (const pid_t pid : pids) {
+  std::size_t remaining = pids.size();
+  while (remaining > 0) {
     int status = 0;
-    ::waitpid(pid, &status, 0);
+    const pid_t p = ::waitpid(-1, &status, 0);
+    if (p < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      rc = 1;
+      break;
+    }
+    bool ours = false;
+    for (pid_t& pid : pids) {
+      if (pid == p) {
+        pid = -1;
+        ours = true;
+        break;
+      }
+    }
+    if (!ours) {
+      continue;
+    }
+    --remaining;
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
       rc = 1;
-    }
-  }
-  if (rc != 0) {
-    for (const pid_t pid : pids) {
-      ::kill(pid, SIGKILL);
+      for (const pid_t pid : pids) {
+        if (pid > 0) {
+          ::kill(pid, SIGKILL);
+        }
+      }
     }
   }
   return rc;

@@ -1,20 +1,56 @@
 #include "net/bootstrap.hpp"
 
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace mca2a::net {
 
 namespace {
 
-/// Read one '\n'-terminated line from a blocking socket (bootstrap only;
-/// byte-at-a-time is fine for a dozen short lines).
-std::string read_line(int fd) {
+using Clock = std::chrono::steady_clock;
+
+/// Block until `fd` is readable or `deadline` passes. The rendezvous obeys
+/// the same "error instead of hang" contract as build_mesh: a rank that
+/// never starts, or a stray client that connects and writes nothing, must
+/// turn into a thrown timeout, not an eternal blocking read/accept.
+void wait_readable(int fd, Clock::time_point deadline, const char* what) {
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      throw std::runtime_error(std::string("net: rendezvous timed out ") +
+                               what);
+    }
+    const auto left_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    pollfd p{fd, POLLIN, 0};
+    const int n =
+        ::poll(&p, 1, static_cast<int>(std::min<long long>(left_ms, 200)));
+    if (n > 0) {
+      return;
+    }
+    if (n < 0 && errno != EINTR) {
+      throw std::system_error(errno, std::generic_category(), "net: poll");
+    }
+  }
+}
+
+/// Read one '\n'-terminated line from a blocking socket, polling before
+/// every byte so a silent peer cannot stall the exchange past `deadline`
+/// (bootstrap only; byte-at-a-time is fine for a dozen short lines).
+std::string read_line(int fd, Clock::time_point deadline) {
   std::string line;
   char c = 0;
   for (;;) {
+    wait_readable(fd, deadline, "reading a registration line");
     read_all(fd, &c, 1);
     if (c == '\n') {
       return line;
@@ -98,6 +134,9 @@ NetOptions options_from_env() {
   o.rank = std::atoi(rank);
   o.size = std::atoi(size);
   o.rendezvous = parse_address(rend);
+  if (const char* v = std::getenv("A2A_NET_REND_FD")) {
+    o.rendezvous_fd = std::atoi(v);
+  }
   if (const char* v = std::getenv("A2A_NET_RAILS")) {
     o.rails = std::atoi(v);
   }
@@ -131,22 +170,34 @@ std::vector<PeerInfo> rendezvous_exchange(const NetOptions& opts,
                                           const PeerInfo& self) {
   std::vector<PeerInfo> table(static_cast<std::size_t>(opts.size));
   if (opts.size == 1) {
+    Fd{opts.rendezvous_fd};  // consume an inherited listener, if any
     table[0] = self;
     return table;
   }
 
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opts.timeout_s));
+
   if (opts.rank == 0) {
-    // Serve: collect size-1 registrations, then publish the table.
-    auto [listener, port] =
-        listen_tcp("", opts.rendezvous.port, opts.size + 8);
-    (void)port;
+    // Serve: collect size-1 registrations, then publish the table. A
+    // launcher that already bound the rendezvous port hands the listener
+    // down as an inherited fd (closing the race between picking a port
+    // and re-binding it); otherwise bind it here.
+    Fd listener(opts.rendezvous_fd);
+    if (!listener.valid()) {
+      listener = std::move(
+          listen_tcp("", opts.rendezvous.port, opts.size + 8).first);
+    }
     table[0] = self;
     std::vector<Fd> conns;
     conns.reserve(static_cast<std::size_t>(opts.size) - 1);
     std::vector<int> conn_rank(static_cast<std::size_t>(opts.size) - 1, -1);
     for (int i = 0; i < opts.size - 1; ++i) {
+      wait_readable(listener.get(), deadline,
+                    "waiting for rank registrations");
       Fd c = accept_tcp(listener.get());
-      PeerInfo p = parse_reg(read_line(c.get()), opts.size);
+      PeerInfo p = parse_reg(read_line(c.get(), deadline), opts.size);
       if (!table[static_cast<std::size_t>(p.rank)].addrs.empty() ||
           p.rank == 0) {
         throw std::runtime_error("net: duplicate registration for rank " +
@@ -168,10 +219,15 @@ std::vector<PeerInfo> rendezvous_exchange(const NetOptions& opts,
     return table;
   }
 
-  // Register, then read the table back.
+  // Register, then read the table back. Rank 0 legitimately waits for the
+  // slowest rank before publishing, so the table read gets its own
+  // timeout_s window starting after our connect succeeded.
   Fd c = connect_tcp(opts.rendezvous, opts.timeout_s);
   write_line(c.get(), format_reg(self));
-  const std::string head = read_line(c.get());
+  const auto table_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opts.timeout_s));
+  const std::string head = read_line(c.get(), table_deadline);
   std::istringstream is(head);
   std::string word;
   int n = 0;
@@ -180,7 +236,7 @@ std::vector<PeerInfo> rendezvous_exchange(const NetOptions& opts,
                              "'");
   }
   for (int i = 0; i < n; ++i) {
-    PeerInfo p = parse_reg(read_line(c.get()), opts.size);
+    PeerInfo p = parse_reg(read_line(c.get(), table_deadline), opts.size);
     table[static_cast<std::size_t>(p.rank)] = std::move(p);
   }
   return table;

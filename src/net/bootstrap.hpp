@@ -40,6 +40,12 @@ struct NetOptions {
   int rank = -1;
   int size = 0;
   Address rendezvous;           ///< rank 0 binds it, everyone else connects
+  /// Rank 0 only: an already-bound, already-listening rendezvous socket
+  /// inherited from the launcher (A2A_NET_REND_FD). Launchers that pick an
+  /// ephemeral port keep the listener open and pass it down so the port
+  /// cannot be claimed by another process between pick and bind; -1 means
+  /// rank 0 binds `rendezvous` itself. rendezvous_exchange takes ownership.
+  int rendezvous_fd = -1;
   int rails = 2;                ///< connections per peer pair (A2A_NET_RAILS)
   std::size_t eager_max = 16 * 1024;    ///< eager/rendezvous switch (bytes)
   std::size_t stripe_min = 256 * 1024;  ///< stripe-across-rails threshold
@@ -49,8 +55,9 @@ struct NetOptions {
   void validate() const;  ///< throws std::invalid_argument on nonsense
 };
 
-/// Parse A2A_NET_RANK / A2A_NET_SIZE / A2A_NET_REND / A2A_NET_RAILS /
-/// A2A_NET_EAGER / A2A_NET_STRIPE / A2A_NET_IFACE / A2A_NET_TIMEOUT.
+/// Parse A2A_NET_RANK / A2A_NET_SIZE / A2A_NET_REND / A2A_NET_REND_FD /
+/// A2A_NET_RAILS / A2A_NET_EAGER / A2A_NET_STRIPE / A2A_NET_IFACE /
+/// A2A_NET_TIMEOUT.
 /// Throws std::runtime_error when the three mandatory variables are
 /// missing (i.e. the process was not started by a launcher).
 NetOptions options_from_env();

@@ -119,6 +119,8 @@ void Endpoint::build_mesh() {
     p.conns.assign(static_cast<std::size_t>(opts_.rails), -1);
   }
   if (opts_.size == 1) {
+    Fd{opts_.rendezvous_fd};  // consume an inherited listener, if any
+    opts_.rendezvous_fd = -1;
     return;  // all traffic is self-delivery
   }
 
@@ -142,6 +144,7 @@ void Endpoint::build_mesh() {
   }
 
   const std::vector<PeerInfo> table = rendezvous_exchange(opts_, self);
+  opts_.rendezvous_fd = -1;  // rendezvous_exchange owned and closed it
 
   // Connect to every lower-ranked peer (all rails), then accept from every
   // higher-ranked one. Every listener already existed before the table was
@@ -879,8 +882,11 @@ void Endpoint::handle_writable(int ci) {
     }
     bool blocked = false;
     while (f.header_sent < kHeaderBytes) {
-      const ssize_t n = ::write(c.fd.get(), f.header + f.header_sent,
-                                kHeaderBytes - f.header_sent);
+      // MSG_NOSIGNAL everywhere we write a socket: a dead peer must come
+      // back as EPIPE -> conn_lost() -> the documented runtime_error, not
+      // as a SIGPIPE that kills the whole rank process.
+      const ssize_t n = ::send(c.fd.get(), f.header + f.header_sent,
+                               kHeaderBytes - f.header_sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
           blocked = true;
@@ -900,8 +906,8 @@ void Endpoint::handle_writable(int ci) {
     }
     while (f.payload_sent < f.payload.len) {
       const ssize_t n =
-          ::write(c.fd.get(), f.payload.ptr + f.payload_sent,
-                  f.payload.len - f.payload_sent);
+          ::send(c.fd.get(), f.payload.ptr + f.payload_sent,
+                 f.payload.len - f.payload_sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
           blocked = true;

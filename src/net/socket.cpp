@@ -150,7 +150,9 @@ void set_nonblocking(int fd) {
 void write_all(int fd, const void* buf, std::size_t len) {
   const char* p = static_cast<const char*>(buf);
   while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+    // MSG_NOSIGNAL: a peer that died mid-exchange must surface as EPIPE,
+    // never as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -189,11 +191,6 @@ Address local_address(int fd) {
   char buf[INET_ADDRSTRLEN] = {};
   ::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
   return Address{buf, ntohs(sa.sin_port)};
-}
-
-std::uint16_t free_port() {
-  auto [fd, port] = listen_tcp("127.0.0.1", 0, 1);
-  return port;
 }
 
 }  // namespace mca2a::net

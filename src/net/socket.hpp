@@ -75,10 +75,10 @@ void write_all(int fd, const void* buf, std::size_t len);
 void read_all(int fd, void* buf, std::size_t len);
 
 /// Local address of a connected/bound socket as dotted quad + port.
+/// Launchers picking an ephemeral rendezvous port bind with listen_tcp
+/// (port 0), read the port from here, and KEEP the listener open, passing
+/// it to rank 0 (NetOptions::rendezvous_fd) — closing and re-binding would
+/// race against any other process grabbing the port in between.
 Address local_address(int fd);
-
-/// Bind-to-port-0 probe: an ephemeral localhost port that was free at call
-/// time (launchers use it to pick a rendezvous port).
-std::uint16_t free_port();
 
 }  // namespace mca2a::net

@@ -36,7 +36,11 @@ using rt::Task;
 void run_net_threads(int n, const std::function<Task<void>(Comm&)>& body,
                      int rails = 2, std::size_t eager_max = 16 * 1024,
                      std::size_t stripe_min = 256 * 1024) {
-  const std::uint16_t port = net::free_port();
+  // Bind the rendezvous listener up front and hand it to rank 0, exactly
+  // as the launchers do (NetOptions::rendezvous_fd): no pick-then-rebind
+  // port race, even with many test jobs on one machine.
+  auto [listener, port] = net::listen_tcp("127.0.0.1", 0, n + 8);
+  const int rend_fd = listener.release();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   for (int rank = 0; rank < n; ++rank) {
@@ -46,6 +50,7 @@ void run_net_threads(int n, const std::function<Task<void>(Comm&)>& body,
         opts.rank = rank;
         opts.size = n;
         opts.rendezvous = net::Address{"127.0.0.1", port};
+        opts.rendezvous_fd = rank == 0 ? rend_fd : -1;
         opts.rails = rails;
         opts.eager_max = eager_max;
         opts.stripe_min = stripe_min;
@@ -296,6 +301,36 @@ TEST(NetTeardown, PeerLossErrorsInsteadOfHanging) {
     if (!threw) {
       throw std::runtime_error("peer loss did not error the wait");
     }
+  });
+}
+
+TEST(NetTeardown, SendToDeadPeerErrorsInsteadOfSigpipe) {
+  run_net_threads(2, [](Comm& c) -> Task<void> {
+    auto& nc = static_cast<net::NetComm&>(c);
+    if (c.rank() == 1) {
+      nc.endpoint().abort_for_test();  // no Bye, no flush: looks crashed
+      co_return;
+    }
+    // Keep flushing eager frames at the dead peer. The first writes land
+    // in the socket buffer; once the peer's RST comes back the kernel
+    // returns EPIPE, which must surface as the documented runtime_error —
+    // not as a process-killing SIGPIPE (all socket writes use
+    // MSG_NOSIGNAL). Unlike the receive-side test above, this drives the
+    // *write* path against a reset connection.
+    Buffer b = Buffer::real(512);
+    bool threw = false;
+    try {
+      for (int i = 0; i < 10000 && !threw; ++i) {
+        (void)c.isend(b.view(), 1, 4);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    if (!threw) {
+      throw std::runtime_error("send to dead peer did not error");
+    }
+    co_return;
   });
 }
 

@@ -8,12 +8,18 @@
 ///                                               start via `ssh host env
 ///                                               A2A_NET_...=... prog`)
 ///
-/// The launcher picks a free rendezvous port, spawns one process per rank
-/// with A2A_NET_RANK / A2A_NET_SIZE / A2A_NET_REND (plus the knobs given
-/// as flags) in its environment, and waits. If any rank fails — nonzero
+/// The launcher binds an ephemeral rendezvous listener (kept open and
+/// inherited by rank 0 as A2A_NET_REND_FD, so the chosen port cannot be
+/// stolen before rank 0 serves on it), spawns one process per rank with
+/// A2A_NET_RANK / A2A_NET_SIZE / A2A_NET_REND (plus the knobs given as
+/// flags) in its environment, and waits. If any rank fails — nonzero
 /// exit, signal, or the launcher itself receives SIGINT/SIGTERM — every
 /// other rank is killed (TERM, then KILL after a grace period), so a
-/// broken run never leaves orphan processes holding sockets.
+/// broken local run never leaves orphan processes holding sockets. For
+/// --hostfile remote ranks this is best-effort: the remote command runs
+/// under a forced pty (ssh -tt) so that killing the local ssh client
+/// hangs up the remote tty and SIGHUPs the rank, but a remote side that
+/// ignores SIGHUP can still outlive the job.
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -157,7 +163,7 @@ std::string shell_quote(const std::string& s) {
 }
 
 pid_t spawn_rank(const Options& o, int rank, const std::string& host,
-                 const std::string& rend) {
+                 const std::string& rend, int rend_fd) {
   // Rank-specific environment, applied in the child after fork.
   std::vector<std::pair<std::string, std::string>> env = {
       {"A2A_NET_RANK", std::to_string(rank)},
@@ -191,6 +197,16 @@ pid_t spawn_rank(const Options& o, int rank, const std::string& host,
 
   // Child.
   if (is_local(host)) {
+    // The pre-bound rendezvous listener goes to rank 0 (which serves on
+    // it); every other rank closes its inherited copy so no data-plane
+    // process holds a stray listening socket.
+    if (rend_fd >= 0) {
+      if (rank == 0) {
+        env.emplace_back("A2A_NET_REND_FD", std::to_string(rend_fd));
+      } else {
+        ::close(rend_fd);
+      }
+    }
     for (const auto& [k, v] : env) {
       ::setenv(k.c_str(), v.c_str(), 1);
     }
@@ -202,9 +218,11 @@ pid_t spawn_rank(const Options& o, int rank, const std::string& host,
     ::execvp(argv[0], argv.data());
     std::perror("a2arun: exec");
   } else {
-    // Remote rank: `ssh host env K=V... prog args...`. Best-effort — the
-    // program path must exist on the remote host and ssh must be
+    // Remote rank: `ssh -tt host env K=V... prog args...`. Best-effort —
+    // the program path must exist on the remote host and ssh must be
     // passwordless; the rendezvous address must be reachable from there.
+    // -tt forces a remote pty, so killing the local ssh client hangs up
+    // the tty and SIGHUPs the remote rank instead of orphaning it.
     std::string cmd = "env";
     for (const auto& [k, v] : env) {
       cmd += " " + k + "=" + shell_quote(v);
@@ -212,8 +230,8 @@ pid_t spawn_rank(const Options& o, int rank, const std::string& host,
     for (const std::string& a : o.prog) {
       cmd += " " + shell_quote(a);
     }
-    ::execlp("ssh", "ssh", "-o", "BatchMode=yes", host.c_str(), cmd.c_str(),
-             static_cast<char*>(nullptr));
+    ::execlp("ssh", "ssh", "-tt", "-o", "BatchMode=yes", host.c_str(),
+             cmd.c_str(), static_cast<char*>(nullptr));
     std::perror("a2arun: exec ssh");
   }
   ::_exit(127);
@@ -233,6 +251,7 @@ int main(int argc, char** argv) {
     any_remote = any_remote || !is_local(h);
   }
   std::string rend = o.rendezvous;
+  int rend_fd = -1;  // pre-bound listener handed to local rank 0
   if (rend.empty()) {
     if (any_remote) {
       std::fprintf(stderr,
@@ -240,7 +259,12 @@ int main(int argc, char** argv) {
                    "with a host reachable from every machine\n");
       return 2;
     }
-    rend = "127.0.0.1:" + std::to_string(mca2a::net::free_port());
+    // Bind the ephemeral rendezvous port NOW and keep the listener open:
+    // rank 0 inherits it (A2A_NET_REND_FD), so nobody can grab the port
+    // between picking and serving, and two concurrent jobs cannot collide.
+    auto [listener, port] = mca2a::net::listen_tcp("127.0.0.1", 0, o.n + 8);
+    rend = "127.0.0.1:" + std::to_string(port);
+    rend_fd = listener.release();
   }
 
   struct sigaction sa {};
@@ -252,11 +276,14 @@ int main(int argc, char** argv) {
   for (int r = 0; r < o.n; ++r) {
     const std::string& host =
         hosts[static_cast<std::size_t>(r) % hosts.size()];
-    pids[static_cast<std::size_t>(r)] = spawn_rank(o, r, host, rend);
+    pids[static_cast<std::size_t>(r)] = spawn_rank(o, r, host, rend, rend_fd);
     if (pids[static_cast<std::size_t>(r)] < 0) {
       g_signal = SIGTERM;  // spawn failure: tear everything down
       break;
     }
+  }
+  if (rend_fd >= 0) {
+    ::close(rend_fd);  // rank 0's inherited copy keeps the listener alive
   }
 
   // Wait for every rank; first failure (or a signal to the launcher)
