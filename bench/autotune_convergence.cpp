@@ -23,19 +23,20 @@
 /// the env-configured global path too. Always writes BENCH_autotune.json
 /// (build tree by default, $A2A_BENCH_JSON overrides).
 
-#include "bench_common.hpp"
 
+
+#include "autotune/selector.hpp"
+#include "bench_common.hpp"
+#include "plan/plan.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/env.hpp"
+#include "smp/smp_runtime.hpp"
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <limits>
 #include <string>
 #include <vector>
-
-#include "autotune/selector.hpp"
-#include "plan/plan.hpp"
-#include "runtime/collectives.hpp"
-#include "smp/smp_runtime.hpp"
 
 using namespace mca2a;
 
@@ -316,7 +317,7 @@ void register_smp_case(bench::Figure& fig, std::size_t block) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = std::getenv("A2A_FAST") != nullptr;
+  const bool fast = rt::env::get_flag("A2A_FAST");
   bench::Figure fig("autotune",
                     "Online autotuning convergence: per-execution time vs "
                     "best static algorithm (Dane 2-node sim; 2x8-thread smp)",

@@ -1,4 +1,5 @@
 #include "bench_common.hpp"
+#include "runtime/env.hpp"
 
 #include <array>
 #include <iostream>
@@ -7,14 +8,14 @@
 namespace mca2a::benchx {
 
 std::vector<std::size_t> default_sizes() {
-  if (std::getenv("A2A_FAST") != nullptr) {
+  if (rt::env::get_flag("A2A_FAST")) {
     return {4, 64, 1024, 4096};
   }
   return {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
 }
 
 std::vector<int> default_nodes() {
-  if (std::getenv("A2A_FAST") != nullptr) {
+  if (rt::env::get_flag("A2A_FAST")) {
     return {2, 8, 32};
   }
   return {2, 4, 8, 16, 32};
@@ -36,7 +37,7 @@ bench::RunSpec make_spec(const topo::MachineDesc& machine,
   // Figure benches time the steady-state exchange: execute through a
   // persistent plan so communicator construction and selection stay out of
   // the timed region (A2A_NO_PLAN=1 restores the legacy per-run path).
-  spec.use_plan = std::getenv("A2A_NO_PLAN") == nullptr;
+  spec.use_plan = !rt::env::get_flag("A2A_NO_PLAN");
   bench::apply_env(spec);
   return spec;
 }

@@ -10,15 +10,16 @@
 
 #include <optional>
 
+
+
 #include "bench_common.hpp"
-
-#include <algorithm>
-
 #include "coll_ext/allreduce.hpp"
 #include "coll_ext/op_desc.hpp"
 #include "plan/plan.hpp"
 #include "runtime/collectives.hpp"
+#include "runtime/env.hpp"
 #include "sim/cluster.hpp"
+#include <algorithm>
 
 using namespace mca2a;
 
@@ -37,7 +38,7 @@ double run_allreduce(const SeriesDef& s, std::size_t bytes) {
   cfg.carry_data = false;
   sim::Cluster cluster(cfg);
   const topo::Machine& machine = cluster.machine();
-  const bool use_plan = std::getenv("A2A_NO_PLAN") == nullptr;
+  const bool use_plan = !rt::env::get_flag("A2A_NO_PLAN");
   std::vector<double> start(machine.total_ranks()), end(machine.total_ranks());
   cluster.run([&](rt::Comm& c) -> rt::Task<void> {
     const coll::Combiner op = coll::sum_combiner<double>();

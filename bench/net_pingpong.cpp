@@ -48,6 +48,7 @@
 #include "net/net_comm.hpp"
 #include "net/socket.hpp"
 #include "runtime/buffer.hpp"
+#include "runtime/env.hpp"
 
 namespace {
 
@@ -55,7 +56,7 @@ using mca2a::rt::Buffer;
 using mca2a::rt::Request;
 
 std::vector<std::size_t> message_sizes() {
-  if (std::getenv("A2A_FAST") != nullptr) {
+  if (mca2a::rt::env::get_flag("A2A_FAST")) {
     return {4, 4096, 1 << 20};
   }
   // 4 B to 4 MiB, one point per factor of 4: spans pure-latency eager
@@ -112,8 +113,8 @@ int run_child(int override_reps) {
   }
 
   if (me == 0) {
-    if (const char* path = std::getenv("A2A_NET_PP_OUT")) {
-      std::ofstream f(path, std::ios::app);
+    if (const auto path = mca2a::rt::env::get_string("A2A_NET_PP_OUT")) {
+      std::ofstream f(*path, std::ios::app);
       f << out.str();
     } else {
       std::fputs(out.str().c_str(), stdout);

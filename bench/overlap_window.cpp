@@ -17,6 +17,7 @@
 /// bench.
 
 #include "bench_common.hpp"
+#include "runtime/env.hpp"
 
 #include <cstdio>
 
@@ -62,7 +63,7 @@ void register_point(bench::Figure& fig, const std::string& size_name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = std::getenv("A2A_FAST") != nullptr;
+  const bool fast = rt::env::get_flag("A2A_FAST");
   bench::Figure fig(
       "overlap",
       "Overlap window: 4 node-aware exchanges, compute grain sweep (Dane, "

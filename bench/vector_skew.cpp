@@ -16,18 +16,19 @@
 /// $A2A_BENCH_JSON if set, else the build tree's bench/ directory); the
 /// text table and CSV work like every other figure bench.
 
-#include "bench_common.hpp"
 
+
+#include "bench_common.hpp"
+#include "coll_ext/alltoallv.hpp"
+#include "plan/plan.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/env.hpp"
+#include "smp/smp_runtime.hpp"
 #include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <optional>
 #include <vector>
-
-#include "coll_ext/alltoallv.hpp"
-#include "plan/plan.hpp"
-#include "runtime/collectives.hpp"
-#include "smp/smp_runtime.hpp"
 
 using namespace mca2a;
 
@@ -59,7 +60,7 @@ void register_sim_point(bench::Figure& fig, const Variant& v,
   spec.group_size = v.group_size;
   spec.block = mean;
   spec.vector_imbalance = imb;
-  spec.use_plan = std::getenv("A2A_NO_PLAN") == nullptr;
+  spec.use_plan = !rt::env::get_flag("A2A_NO_PLAN");
   bench::apply_env(spec);
   const std::string series =
       std::string(v.name) + " " + std::to_string(mean) + " B";
@@ -149,7 +150,7 @@ void register_smp_point(bench::Figure& fig, const Variant& v,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = std::getenv("A2A_FAST") != nullptr;
+  const bool fast = rt::env::get_flag("A2A_FAST");
   bench::Figure fig("vector_skew",
                     "Locality-aware alltoallv vs count imbalance (Dane, 2 "
                     "nodes; smp series: 2x8 threads)",

@@ -26,6 +26,7 @@
 #include "plan/plan.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm_bundle.hpp"
+#include "runtime/env.hpp"
 #include "smp/smp_runtime.hpp"
 #include "topo/presets.hpp"
 
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
       // construction and scratch live here, not in the timed region.
       std::optional<plan::CollectivePlan> pl;
       std::optional<rt::LocalityComms> lc;
-      if (std::getenv("A2A_NO_PLAN") == nullptr) {
+      if (!rt::env::get_flag("A2A_NO_PLAN")) {
         coll::AlltoallDesc desc;
         desc.block = block;
         desc.algo = algo;

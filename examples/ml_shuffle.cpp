@@ -48,6 +48,7 @@
 #include "plan/plan.hpp"
 #include "plan/schedule.hpp"
 #include "runtime/collectives.hpp"
+#include "runtime/env.hpp"
 #include "smp/smp_runtime.hpp"
 #include "topo/presets.hpp"
 
@@ -70,7 +71,7 @@ std::optional<plan::CollectivePlan> make_shuffle_plan(
     const std::vector<std::size_t>& scounts,
     const std::vector<std::size_t>& rcounts, const coll::AlltoallvSkew& skew,
     coll::AlltoallvAlgo algo, int group_size) {
-  if (std::getenv("A2A_NO_PLAN") != nullptr) {
+  if (rt::env::get_flag("A2A_NO_PLAN")) {
     return std::nullopt;
   }
   coll::AlltoallvDesc desc;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "runtime/env.hpp"
 
 namespace mca2a::autotune {
 
@@ -31,8 +32,8 @@ GlobalState& global_state() {
       return s;
     }
     s.selector = std::make_unique<OnlineSelector>(s.mode);
-    if (const char* p = std::getenv("A2A_PROFILE"); p != nullptr && *p) {
-      s.path = p;
+    if (const auto p = rt::env::get_string("A2A_PROFILE")) {
+      s.path = *p;
       std::ifstream is(s.path);
       if (is) {
         try {
@@ -64,22 +65,15 @@ GlobalState& global_state() {
 }  // namespace
 
 Mode mode_from_env() {
-  const char* v = std::getenv("A2A_AUTOTUNE");
-  if (v == nullptr || *v == '\0') {
+  const auto v = rt::env::get_string("A2A_AUTOTUNE");
+  if (!v) {
     return Mode::kOff;
   }
-  if (const auto m = mode_from_string(v)) {
+  if (const auto m = mode_from_string(*v)) {
     return *m;
   }
-  static bool warned = false;
-  if (!warned) {
-    warned = true;
-    std::fprintf(stderr,
-                 "mca2a: unknown A2A_AUTOTUNE value '%s' (want off, observe "
-                 "or adapt); autotuning stays off\n",
-                 v);
-  }
-  return Mode::kOff;
+  throw rt::env::EnvError("env knob A2A_AUTOTUNE='" + *v +
+                          "': expected off, observe or adapt");
 }
 
 OnlineSelector* global_selector() { return global_state().selector.get(); }

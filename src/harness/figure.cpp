@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "harness/table.hpp"
+#include "runtime/env.hpp"
 
 namespace mca2a::bench {
 
@@ -169,10 +170,9 @@ void Figure::write_json(std::ostream& os) const {
 
 std::string Figure::write_json_file(const std::string& path) const {
   std::string out = path;
-  if (const char* dir = std::getenv("A2A_BENCH_JSON");
-      dir != nullptr && *dir != '\0') {
+  if (const auto dir = rt::env::get_string("A2A_BENCH_JSON")) {
     const std::size_t slash = path.find_last_of('/');
-    out = std::string(dir) + "/" +
+    out = *dir + "/" +
           (slash == std::string::npos ? path : path.substr(slash + 1));
   }
   std::ofstream f(out);
@@ -184,11 +184,11 @@ std::string Figure::write_json_file(const std::string& path) const {
 }
 
 std::string Figure::write_csv_env() const {
-  const char* dir = std::getenv("A2A_BENCH_CSV");
-  if (dir == nullptr || *dir == '\0') {
+  const auto dir = rt::env::get_string("A2A_BENCH_CSV");
+  if (!dir) {
     return {};
   }
-  const std::string path = std::string(dir) + "/" + id_ + ".csv";
+  const std::string path = *dir + "/" + id_ + ".csv";
   std::ofstream f(path);
   if (f) {
     write_csv(f);

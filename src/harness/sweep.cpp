@@ -21,6 +21,7 @@
 #include "plan/schedule.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm_bundle.hpp"
+#include "runtime/env.hpp"
 #include "sim/cluster.hpp"
 #include "sim/sim_comm.hpp"
 
@@ -79,14 +80,14 @@ double RunResult::percentile_of(const std::vector<double>& samples, double q) {
 }
 
 void apply_env(RunSpec& spec) {
-  if (const char* reps = std::getenv("A2A_BENCH_REPS")) {
-    spec.reps = std::max(1, std::atoi(reps));
-  }
-  if (const char* sigma = std::getenv("A2A_NOISE")) {
-    spec.net.noise_sigma = std::max(0.0, std::atof(sigma));
-  }
-  if (const char* backend = std::getenv("A2A_BACKEND")) {
-    spec.backend = backend;
+  spec.reps = static_cast<int>(
+      rt::env::get_int("A2A_BENCH_REPS", spec.reps, 1, 1 << 20));
+  spec.net.noise_sigma =
+      rt::env::get_double("A2A_NOISE", spec.net.noise_sigma, 0.0, 1e9);
+  static constexpr std::string_view kBackends[] = {"sim", "smp", "net"};
+  const int backend = rt::env::get_choice("A2A_BACKEND", kBackends, -1);
+  if (backend >= 0) {
+    spec.backend = kBackends[static_cast<std::size_t>(backend)];
   }
 }
 

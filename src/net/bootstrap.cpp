@@ -4,12 +4,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <chrono>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <system_error>
+
+#include "runtime/env.hpp"
 
 namespace mca2a::net {
 
@@ -118,50 +121,31 @@ void NetOptions::validate() const {
 }
 
 bool env_configured() noexcept {
-  return std::getenv("A2A_NET_RANK") != nullptr;
+  return rt::env::is_set("A2A_NET_RANK");
 }
 
 NetOptions options_from_env() {
-  const char* rank = std::getenv("A2A_NET_RANK");
-  const char* size = std::getenv("A2A_NET_SIZE");
-  const char* rend = std::getenv("A2A_NET_REND");
-  if (rank == nullptr || size == nullptr || rend == nullptr) {
+  const auto rend = rt::env::get_string("A2A_NET_REND");
+  if (!rt::env::is_set("A2A_NET_RANK") || !rt::env::is_set("A2A_NET_SIZE") ||
+      !rend) {
     throw std::runtime_error(
         "net: A2A_NET_RANK/A2A_NET_SIZE/A2A_NET_REND not set — launch this "
         "program with tools/a2arun");
   }
   NetOptions o;
-  o.rank = std::atoi(rank);
-  o.size = std::atoi(size);
-  o.rendezvous = parse_address(rend);
-  if (const char* v = std::getenv("A2A_NET_REND_FD")) {
-    o.rendezvous_fd = std::atoi(v);
-  }
-  if (const char* v = std::getenv("A2A_NET_RAILS")) {
-    o.rails = std::atoi(v);
-  }
-  if (const char* v = std::getenv("A2A_NET_EAGER")) {
-    o.eager_max = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-  }
-  if (const char* v = std::getenv("A2A_NET_STRIPE")) {
-    o.stripe_min = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-  }
-  if (const char* v = std::getenv("A2A_NET_TIMEOUT")) {
-    o.timeout_s = std::atof(v);
-  }
-  if (const char* v = std::getenv("A2A_NET_IFACE")) {
-    std::string s(v);
-    std::size_t pos = 0;
-    while (pos != std::string::npos) {
-      const std::size_t comma = s.find(',', pos);
-      const std::string part = s.substr(
-          pos, comma == std::string::npos ? std::string::npos : comma - pos);
-      if (!part.empty()) {
-        o.ifaces.push_back(part);
-      }
-      pos = comma == std::string::npos ? comma : comma + 1;
-    }
-  }
+  o.size = static_cast<int>(rt::env::get_int("A2A_NET_SIZE", 1, 1, 1 << 20));
+  o.rank =
+      static_cast<int>(rt::env::get_int("A2A_NET_RANK", 0, 0, o.size - 1));
+  o.rendezvous = parse_address(rend->c_str());
+  o.rendezvous_fd = static_cast<int>(
+      rt::env::get_int("A2A_NET_REND_FD", o.rendezvous_fd, -1, INT_MAX));
+  o.rails = static_cast<int>(rt::env::get_int("A2A_NET_RAILS", o.rails, 1, 64));
+  o.eager_max = rt::env::get_size("A2A_NET_EAGER", o.eager_max, 0,
+                                  std::size_t{1} << 40);
+  o.stripe_min = rt::env::get_size("A2A_NET_STRIPE", o.stripe_min, 1,
+                                   std::size_t{1} << 40);
+  o.timeout_s = rt::env::get_double("A2A_NET_TIMEOUT", o.timeout_s, 1e-3, 1e6);
+  o.ifaces = rt::env::get_list("A2A_NET_IFACE");
   o.validate();
   return o;
 }

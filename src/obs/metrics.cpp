@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "runtime/env.hpp"
+
 namespace mca2a::obs {
 
 std::uint64_t Histogram::count() const noexcept {
@@ -198,12 +200,12 @@ void write_metrics_files(const std::string& path) {
 namespace {
 
 void dump_metrics_at_exit() {
-  const char* path = std::getenv("A2A_METRICS");
-  if (path == nullptr || *path == '\0') {
+  const auto path = rt::env::get_string("A2A_METRICS");
+  if (!path) {
     return;
   }
   try {
-    write_metrics_files(path);
+    write_metrics_files(*path);
   } catch (...) {
     // Exit path: a failed snapshot write must not abort the process.
   }

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/env.hpp"
+
 namespace mca2a::obs {
 
 // --------------------------------------------------------------------------
@@ -314,18 +316,14 @@ void write_env_traces_at_exit();
 
 TraceRecorder* env_recorder() {
   static std::unique_ptr<TraceRecorder> rec = [] {
-    const char* dir = std::getenv("A2A_TRACE");
-    if (dir == nullptr || *dir == '\0') {
+    const auto dir = rt::env::get_string("A2A_TRACE");
+    if (!dir) {
       return std::unique_ptr<TraceRecorder>();
     }
     TraceConfig cfg;
-    cfg.dir = dir;
-    if (const char* cap = std::getenv("A2A_TRACE_EVENTS")) {
-      const long long n = std::atoll(cap);
-      if (n > 0) {
-        cfg.events_per_rank = static_cast<std::size_t>(n);
-      }
-    }
+    cfg.dir = *dir;
+    cfg.events_per_rank = rt::env::get_size(
+        "A2A_TRACE_EVENTS", cfg.events_per_rank, 1, std::size_t{1} << 32);
     return std::make_unique<TraceRecorder>(std::move(cfg));
   }();
   static const bool hooked = [] {

@@ -10,6 +10,7 @@
 #include "coll_ext/alltoallv.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "plan/verify.hpp"
 
 namespace mca2a::plan {
 
@@ -175,6 +176,11 @@ void CollectivePlan::check_can_start() const {
 CollectiveHandle CollectivePlan::launch(rt::ConstView send, rt::MutView recv,
                                         coll::Trace* trace, int tag_stream) {
   check_can_start();
+  // Static pre-flight verification (plan/verify.hpp): on in debug builds
+  // and under A2A_VERIFY_PLANS=1, free otherwise.
+  if (verify_enabled()) {
+    require_verified(verify(*this, tag_stream), "CollectivePlan::start");
+  }
   auto st = std::make_shared<CollectiveHandle::State>();
   st->op = std::make_shared<rt::AsyncOp>();
   st->plan = this;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/trace.hpp"
+#include "plan/verify.hpp"
 
 namespace mca2a::plan {
 
@@ -131,8 +132,26 @@ rt::Task<void> Schedule::run() {
   // (leaders finish before non-leaders, noise reorders events); drawing
   // at start time would let ranks disagree on stream assignment, which is
   // exactly the cross-matching the streams exist to prevent.
-  for (Op& op : ops_) {
-    op.tag_stream = op.plan->comm().acquire_tag_stream();
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    ops_[i].tag_stream = i < forced_streams_.size()
+                             ? forced_streams_[i]
+                             : ops_[i].plan->comm().acquire_tag_stream();
+  }
+  // Static batch verification (plan/verify.hpp): with the streams fixed,
+  // prove tag-stream disjointness of every potentially-concurrent pair and
+  // the one-in-flight-per-plan ordering before anything starts.
+  if (verify_enabled()) {
+    std::vector<VerifyOp> vops;
+    vops.reserve(ops_.size());
+    for (const Op& op : ops_) {
+      VerifyOp v;
+      v.comm = &op.plan->comm();
+      v.tag_stream = op.tag_stream;
+      v.plan = op.plan;
+      v.deps = op.deps;
+      vops.push_back(std::move(v));
+    }
+    require_verified(verify(vops), "Schedule::run");
   }
   // Dependency edges, once per run on the direct-call lane: a timeline
   // reader can reconstruct the DAG from (before, after) pairs and match

@@ -90,6 +90,14 @@ class Schedule {
   rt::Task<void> run();
 
   int size() const noexcept { return static_cast<int>(ops_.size()); }
+
+  /// Test hook: force the tag streams run() would otherwise reserve from
+  /// the communicator, one per op in add order. Exists so tests can build
+  /// a deliberately tag-conflicting schedule and prove the pre-flight
+  /// verifier (plan/verify.hpp) rejects it; never use outside tests.
+  void force_tag_streams_for_test(std::vector<int> streams) {
+    forced_streams_ = std::move(streams);
+  }
   /// Valid after run(). Ops whose dependencies failed report zero times.
   const OpStats& stats(int op) const { return ops_.at(op).stats; }
   /// Max finish over ops minus min start over ops (this rank's clock).
@@ -115,6 +123,7 @@ class Schedule {
   rt::Task<void> drive(int i);
 
   std::vector<Op> ops_;
+  std::vector<int> forced_streams_;  ///< test-only, see force_tag_streams_for_test
   /// One completion event per op; drivers of dependents wait on these.
   std::vector<std::shared_ptr<rt::AsyncOp>> done_;
   bool ran_ = false;

@@ -1,0 +1,187 @@
+#include "plan/verify.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "plan/plan.hpp"
+#include "runtime/env.hpp"
+#include "runtime/tags.hpp"
+
+namespace mca2a::plan {
+
+namespace {
+
+/// ordered[i][j]: a dependency path forces i to complete before j starts
+/// (or vice versa with i/j swapped). Schedules are small (tens of ops), so
+/// a DFS per source over the dependency edges is plenty.
+std::vector<std::vector<bool>> reachability(std::span<const VerifyOp> ops) {
+  const int n = static_cast<int>(ops.size());
+  // successors[d] = ops that depend on d (d must finish before them).
+  std::vector<std::vector<int>> successors(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (const int d : ops[static_cast<std::size_t>(i)].deps) {
+      if (d >= 0 && d < n) {
+        successors[static_cast<std::size_t>(d)].push_back(i);
+      }
+    }
+  }
+  std::vector<std::vector<bool>> reach(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> stack{s};
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      stack.pop_back();
+      for (const int nxt : successors[static_cast<std::size_t>(cur)]) {
+        if (!reach[static_cast<std::size_t>(s)][static_cast<std::size_t>(
+                nxt)]) {
+          reach[static_cast<std::size_t>(s)][static_cast<std::size_t>(nxt)] =
+              true;
+          stack.push_back(nxt);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    os << (i == 0 ? "" : "\n") << "  [" << i + 1 << "] " << errors[i];
+  }
+  return os.str();
+}
+
+VerifyReport verify(std::span<const VerifyOp> ops) {
+  VerifyReport rep;
+  const int n = static_cast<int>(ops.size());
+
+  // Edge sanity first: everything later assumes indices are usable.
+  for (int i = 0; i < n; ++i) {
+    for (const int d : ops[static_cast<std::size_t>(i)].deps) {
+      if (d < 0 || d >= n) {
+        rep.errors.push_back("op " + std::to_string(i) +
+                             " depends on nonexistent op " +
+                             std::to_string(d));
+      } else if (d == i) {
+        rep.errors.push_back("op " + std::to_string(i) +
+                             " depends on itself");
+      }
+    }
+    const int s = ops[static_cast<std::size_t>(i)].tag_stream;
+    if (s < 0 || s >= rt::tags::kNumStreams) {
+      rep.errors.push_back("op " + std::to_string(i) + " tag stream " +
+                           std::to_string(s) + " outside [0, " +
+                           std::to_string(rt::tags::kNumStreams) + ")");
+    }
+  }
+  if (!rep.ok()) {
+    return rep;
+  }
+
+  const auto reach = reachability(ops);
+
+  // A dependency cycle shows up as an op that reaches itself: every op on
+  // the cycle waits (transitively) for its own completion — deadlock.
+  for (int i = 0; i < n; ++i) {
+    if (reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)]) {
+      rep.errors.push_back("op " + std::to_string(i) +
+                           " sits on a happens-before cycle (deadlock: it "
+                           "transitively waits for itself)");
+    }
+  }
+  if (!rep.ok()) {
+    return rep;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const VerifyOp& a = ops[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      const VerifyOp& b = ops[static_cast<std::size_t>(j)];
+      const bool ordered =
+          reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] ||
+          reach[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      if (ordered) {
+        continue;  // never concurrent: no matching or plan conflict possible
+      }
+      if (a.plan != nullptr && a.plan == b.plan) {
+        rep.errors.push_back(
+            "ops " + std::to_string(i) + " and " + std::to_string(j) +
+            " run on the same plan without a dependency path between them "
+            "(a plan admits one in-flight operation)");
+      }
+      if (a.comm != nullptr && a.comm == b.comm &&
+          a.tag_stream == b.tag_stream) {
+        rep.errors.push_back(
+            "concurrent ops " + std::to_string(i) + " and " +
+            std::to_string(j) + " share tag stream " +
+            std::to_string(a.tag_stream) +
+            " on the same communicator: their wire tags coincide and "
+            "messages can cross-match");
+      }
+    }
+  }
+  return rep;
+}
+
+VerifyReport verify(const CollectivePlan& p, int tag_stream) {
+  VerifyReport rep;
+  if (p.in_flight() != 0) {
+    rep.errors.push_back(
+        "plan already has an operation in flight (one at a time; overlap "
+        "via distinct plans or a Schedule)");
+  }
+  if (tag_stream != -1 &&
+      (tag_stream < 0 || tag_stream >= rt::tags::kNumStreams)) {
+    rep.errors.push_back("tag stream " + std::to_string(tag_stream) +
+                         " outside [0, " +
+                         std::to_string(rt::tags::kNumStreams) + ")");
+  }
+  if (p.scratch().outstanding_bytes() != 0) {
+    rep.errors.push_back(
+        "scratch arena has " +
+        std::to_string(p.scratch().outstanding_bytes()) +
+        " outstanding bytes at start: a previous execution leaked a "
+        "scratch buffer past its lifetime");
+  }
+  return rep;
+}
+
+namespace {
+// -1 = follow build/env default, 0/1 = forced by the test hook. Atomic:
+// backend rank threads all consult it (and tests flip it from every rank
+// thread of a run_smp body); relaxed is enough — it carries no data.
+std::atomic<int> g_verify_forced{-1};
+}  // namespace
+
+bool verify_enabled() {
+  const int forced = g_verify_forced.load(std::memory_order_relaxed);
+  if (forced != -1) {
+    return forced != 0;
+  }
+#ifdef NDEBUG
+  constexpr bool kDefault = false;
+#else
+  constexpr bool kDefault = true;
+#endif
+  static const bool on = rt::env::get_flag("A2A_VERIFY_PLANS", kDefault);
+  return on;
+}
+
+void set_verify_enabled_for_test(int on) {
+  g_verify_forced.store(on, std::memory_order_relaxed);
+}
+
+void require_verified(const VerifyReport& report, const char* context) {
+  if (!report.ok()) {
+    throw std::logic_error(std::string("plan::verify failed (") + context +
+                           "):\n" + report.to_string());
+  }
+}
+
+}  // namespace mca2a::plan

@@ -1,0 +1,91 @@
+#pragma once
+/// \file verify.hpp
+/// Static verification of built plans and schedules before execution.
+///
+/// A CollectivePlan or a plan::Schedule encodes enough structure — resolved
+/// algorithm, tag stream, scratch arena, happens-before edges — that the
+/// classic concurrency bugs of this codebase are checkable *before* any
+/// message moves:
+///
+///  * **Tag-stream disjointness.** Two operations that may be in flight at
+///    the same time (no dependency path between them) on the same
+///    communicator must run in different tag streams, or their wire tags
+///    coincide and messages cross-match (runtime/tags.hpp).
+///  * **Deadlock freedom.** The happens-before graph of a batch must be
+///    acyclic, and two operations on the *same* plan must be ordered by a
+///    dependency path — a plan admits one in-flight operation (the MPI
+///    persistent-request rule), so unordered same-plan ops either throw
+///    mid-batch or deadlock.
+///  * **Scratch-arena lifetime containment.** Every scratch buffer borrowed
+///    from a plan's arena during one execution must be returned before the
+///    next starts; outstanding bytes at start time mean a previous
+///    execution leaked a buffer it may still write through.
+///
+/// verify() runs automatically before every start() and Schedule::run()
+/// when the verifier is enabled: by default in debug (!NDEBUG) builds, and
+/// in any build via `A2A_VERIFY_PLANS=1` (`=0` force-disables). A failed
+/// check throws std::logic_error carrying every finding. The check surface
+/// is also exposed directly (verify(...) returning a VerifyReport) so tests
+/// and tools can run it on constructed — including deliberately broken —
+/// operation sets.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mca2a::rt {
+class Comm;
+}
+
+namespace mca2a::plan {
+
+class CollectivePlan;
+
+/// Outcome of a verification pass: empty errors == verified.
+struct VerifyReport {
+  std::vector<std::string> errors;
+
+  bool ok() const noexcept { return errors.empty(); }
+  /// All findings joined into one human-readable block.
+  std::string to_string() const;
+};
+
+/// Abstract summary of one operation in a (potentially concurrent) batch —
+/// what verify() needs to know about a Schedule op or a bare start().
+/// Tests build these directly to prove the verifier rejects bad batches.
+struct VerifyOp {
+  /// Matching domain: tags are scoped per communicator, so only ops on the
+  /// same communicator object can cross-match.
+  const rt::Comm* comm = nullptr;
+  /// Tag stream (runtime/tags.hpp) the op's traffic runs in.
+  int tag_stream = 0;
+  /// Identity of the owning plan (one in-flight op per plan); nullptr when
+  /// the ops are known to come from distinct plans.
+  const void* plan = nullptr;
+  /// Indices (into the batch) of ops that must complete before this one
+  /// starts — the happens-before edges.
+  std::vector<int> deps;
+};
+
+/// Verify a batch of operations: dependency-graph sanity (indices in
+/// range, no self-edges, acyclic), same-plan ordering, and tag-stream
+/// disjointness between every pair of ops that could be concurrent.
+VerifyReport verify(std::span<const VerifyOp> ops);
+
+/// Verify a single plan immediately before it starts an operation in
+/// `tag_stream`: the plan must be idle, the stream in range, and the
+/// scratch arena fully returned (lifetime containment). Pass -1 for
+/// tag_stream when the stream has not been drawn yet.
+VerifyReport verify(const CollectivePlan& p, int tag_stream = -1);
+
+/// Whether automatic verification is on: A2A_VERIFY_PLANS when set,
+/// otherwise on in debug (!NDEBUG) builds and off in release.
+bool verify_enabled();
+/// Test hook: force the automatic verifier on/off (-1 restores the
+/// environment/build default).
+void set_verify_enabled_for_test(int on);
+
+/// Throw std::logic_error carrying the report when it is not ok().
+void require_verified(const VerifyReport& report, const char* context);
+
+}  // namespace mca2a::plan

@@ -1,0 +1,153 @@
+#include "runtime/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <sstream>
+
+namespace mca2a::rt::env {
+
+namespace {
+
+// The one place the library reads the process environment. Everything else
+// goes through the typed accessors below (enforced by tools/a2alint.py).
+const char* raw(const char* name) { return std::getenv(name); }
+
+[[noreturn]] void fail(const char* name, const std::string& value,
+                       const std::string& expected) {
+  throw EnvError(std::string("env knob ") + name + "='" + value +
+                 "': " + expected);
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+bool is_set(const char* name) {
+  const char* v = raw(name);
+  return v != nullptr && *v != '\0';
+}
+
+std::optional<std::string> get_string(const char* name) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') {
+    return std::nullopt;
+  }
+  return std::string(v);
+}
+
+bool get_flag(const char* name, bool def) {
+  const auto v = get_string(name);
+  if (!v) {
+    return def;
+  }
+  const std::string s = lower(*v);
+  if (s == "1" || s == "true" || s == "on" || s == "yes") {
+    return true;
+  }
+  if (s == "0" || s == "false" || s == "off" || s == "no") {
+    return false;
+  }
+  fail(name, *v, "expected a boolean (1/true/on/yes or 0/false/off/no)");
+}
+
+long long get_int(const char* name, long long def, long long min,
+                  long long max) {
+  const auto v = get_string(name);
+  if (!v) {
+    return def;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v->c_str(), &end, 10);
+  std::ostringstream range;
+  range << "expected an integer in [" << min << ", " << max << "]";
+  if (end == v->c_str() || *end != '\0' || errno == ERANGE) {
+    fail(name, *v, range.str());
+  }
+  if (n < min || n > max) {
+    fail(name, *v, range.str());
+  }
+  return n;
+}
+
+std::size_t get_size(const char* name, std::size_t def, std::size_t min,
+                     std::size_t max) {
+  const long long cap = static_cast<long long>(
+      std::min<std::size_t>(max, static_cast<std::size_t>(LLONG_MAX)));
+  const long long n =
+      get_int(name, static_cast<long long>(def),
+              static_cast<long long>(std::min<std::size_t>(
+                  min, static_cast<std::size_t>(LLONG_MAX))),
+              cap);
+  return static_cast<std::size_t>(n);
+}
+
+double get_double(const char* name, double def, double min, double max) {
+  const auto v = get_string(name);
+  if (!v) {
+    return def;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v->c_str(), &end);
+  std::ostringstream range;
+  range << "expected a number in [" << min << ", " << max << "]";
+  if (end == v->c_str() || *end != '\0' || errno == ERANGE) {
+    fail(name, *v, range.str());
+  }
+  if (!(d >= min && d <= max)) {  // NaN lands here too
+    fail(name, *v, range.str());
+  }
+  return d;
+}
+
+int get_choice(const char* name, std::span<const std::string_view> allowed,
+               int def_index) {
+  const auto v = get_string(name);
+  if (!v) {
+    return def_index;
+  }
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    if (*v == allowed[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  std::string expected = "expected one of ";
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    expected += (i == 0 ? "" : ", ");
+    expected += allowed[i];
+  }
+  fail(name, *v, expected);
+}
+
+std::vector<std::string> get_list(const char* name) {
+  std::vector<std::string> out;
+  const auto v = get_string(name);
+  if (!v) {
+    return out;
+  }
+  std::size_t pos = 0;
+  while (pos <= v->size()) {
+    const std::size_t comma = v->find(',', pos);
+    const std::size_t end = comma == std::string::npos ? v->size() : comma;
+    if (end > pos) {
+      out.push_back(v->substr(pos, end - pos));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace mca2a::rt::env

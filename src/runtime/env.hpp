@@ -1,0 +1,65 @@
+#pragma once
+/// \file env.hpp
+/// Validated parsing for the `A2A_*` environment knobs.
+///
+/// Every knob the library and its benches read goes through these helpers —
+/// the single `std::getenv` chokepoint lives in env.cpp, and
+/// tools/a2alint.py (check `env-knob`) rejects any other `getenv` call in
+/// the tree, plus any `A2A_*` knob name that does not appear in the knob
+/// tables under docs/. The contract is fail-fast: a knob that is set to
+/// garbage or to an out-of-range value throws rt::env::EnvError with the
+/// knob name, the offending value and what was expected, instead of
+/// silently falling back to a default the user did not ask for.
+///
+/// Unset (or set-but-empty) knobs always mean "use the default"; emptiness
+/// is never an error. See docs/development.md for the knob inventory.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mca2a::rt::env {
+
+/// Thrown when a knob is set to a value that does not parse or is out of
+/// range. The message always carries the knob name and the raw value.
+class EnvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// True when `name` is set to a non-empty value.
+bool is_set(const char* name);
+
+/// The knob's raw value; nullopt when unset or empty.
+std::optional<std::string> get_string(const char* name);
+
+/// Boolean knob. Unset/empty -> `def`. Accepts 1/true/on/yes and
+/// 0/false/off/no (case-insensitive); anything else throws.
+bool get_flag(const char* name, bool def = false);
+
+/// Integer knob in [min, max]. Unset/empty -> `def`. Garbage, trailing
+/// junk, or an out-of-range value throws.
+long long get_int(const char* name, long long def, long long min,
+                  long long max);
+
+/// Size knob (non-negative integer) in [min, max]. Unset/empty -> `def`.
+std::size_t get_size(const char* name, std::size_t def, std::size_t min,
+                     std::size_t max);
+
+/// Floating-point knob in [min, max]. Unset/empty -> `def`.
+double get_double(const char* name, double def, double min, double max);
+
+/// Enumerated knob: the value must equal one of `allowed`
+/// (case-sensitive). Unset/empty -> `def_index`. Returns the index into
+/// `allowed`; anything not listed throws with the full choice list.
+int get_choice(const char* name, std::span<const std::string_view> allowed,
+               int def_index);
+
+/// Comma-separated list knob; empty segments are skipped. Unset -> {}.
+std::vector<std::string> get_list(const char* name);
+
+}  // namespace mca2a::rt::env

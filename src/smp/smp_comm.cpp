@@ -68,10 +68,15 @@ std::uint32_t SmpCluster::intern_comm(std::vector<int> world_ranks,
 
 SmpComm::SmpComm(SmpCluster& cluster, std::uint32_t comm_id, int rank,
                  int size)
-    : rt::Comm(rank, size), cluster_(&cluster), comm_id_(comm_id) {}
+    : rt::Comm(rank, size), cluster_(&cluster) {
+  // Resolve the registry entry once, under the same mutex intern_comm
+  // appends under; afterwards the message path never touches comms_.
+  std::lock_guard<std::mutex> lock(cluster.registry_mu_);
+  entry_ = &cluster.comms_[comm_id];
+}
 
 Mailbox& SmpComm::mailbox(int rank_in_comm) const {
-  return cluster_->comms_[comm_id_].mailboxes[rank_in_comm];
+  return entry_->mailboxes[static_cast<std::size_t>(rank_in_comm)];
 }
 
 rt::Request SmpComm::isend(rt::ConstView buf, int dst, int tag) {
@@ -171,7 +176,7 @@ std::unique_ptr<rt::Comm> SmpComm::create_subcomm(
   if (members.empty()) {
     throw std::invalid_argument("create_subcomm: empty member list");
   }
-  const std::vector<int>& parent = cluster_->comms_[comm_id_].world_ranks;
+  const std::vector<int>& parent = entry_->world_ranks;
   std::vector<int> world;
   world.reserve(members.size());
   int my_idx = -1;

@@ -104,8 +104,7 @@ class SmpComm final : public rt::Comm {
 
   /// World rank of this endpoint.
   int world_rank() const noexcept {
-    return cluster_->comms_[comm_id_].world_ranks[static_cast<std::size_t>(
-        rank_)];
+    return entry_->world_ranks[static_cast<std::size_t>(rank_)];
   }
 
  private:
@@ -113,7 +112,12 @@ class SmpComm final : public rt::Comm {
   PostedRecv& op_checked(const rt::Request& r);
 
   SmpCluster* cluster_;
-  std::uint32_t comm_id_;
+  /// Cached registry entry, resolved under registry_mu_ at construction.
+  /// CommEntry addresses are stable (deque), but indexing comms_ itself is
+  /// NOT safe concurrently with another rank's intern_comm appending to
+  /// it — the deque's internal block map may be reallocating. Every
+  /// message-path access goes through this pointer instead.
+  SmpCluster::CommEntry* entry_;
   // Receive-op pool (sends complete eagerly and need no slot). deque keeps
   // addresses stable while mailboxes hold PostedRecv pointers.
   std::deque<PostedRecv> ops_;

@@ -1,0 +1,220 @@
+/// Static plan/schedule verifier (plan/verify.hpp): the abstract VerifyOp
+/// surface on constructed — including deliberately broken — batches, the
+/// pre-start plan checks, and the automatic wiring into Schedule::run()
+/// through the forced-stream test hook (a real tag-conflicting Schedule
+/// must be rejected before anything starts).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll_ext/op_desc.hpp"
+#include "core/alltoall.hpp"
+#include "model/presets.hpp"
+#include "plan/plan.hpp"
+#include "plan/schedule.hpp"
+#include "plan/verify.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/tags.hpp"
+#include "smp/smp_runtime.hpp"
+#include "test_util.hpp"
+#include "topo/presets.hpp"
+
+namespace mca2a {
+namespace {
+
+using rt::Buffer;
+using rt::Comm;
+using rt::Task;
+
+plan::CollectivePlan make_plan_for(Comm& world, const topo::Machine& machine,
+                                   std::size_t block) {
+  coll::AlltoallDesc desc;
+  desc.block = block;
+  desc.algo = coll::Algo::kPairwiseDirect;
+  return plan::make_plan(world, machine, model::test_params(), desc);
+}
+
+/// Distinct nonzero pointers to stand in for comm/plan identities; the
+/// verifier only compares them, never dereferences.
+int token_a, token_b;
+const rt::Comm* comm_token(int& t) {
+  return reinterpret_cast<const rt::Comm*>(&t);
+}
+
+// ---------------------------------------------------------------------------
+// VerifyOp surface: constructed batches
+// ---------------------------------------------------------------------------
+
+TEST(PlanVerify, OrderedOrStreamDisjointBatchesPass) {
+  // Two concurrent ops on one comm in different streams + a dependent op
+  // reusing a stream: ordered with both, so no conflict.
+  std::vector<plan::VerifyOp> ops(3);
+  ops[0] = {comm_token(token_a), 1, &token_a, {}};
+  ops[1] = {comm_token(token_a), 2, &token_b, {}};
+  ops[2] = {comm_token(token_a), 1, &token_b, {0, 1}};
+  const plan::VerifyReport rep = plan::verify(ops);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(PlanVerify, ConcurrentSameStreamSameCommRejected) {
+  std::vector<plan::VerifyOp> ops(2);
+  ops[0] = {comm_token(token_a), 3, nullptr, {}};
+  ops[1] = {comm_token(token_a), 3, nullptr, {}};
+  const plan::VerifyReport rep = plan::verify(ops);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("cross-match"), std::string::npos)
+      << rep.to_string();
+}
+
+TEST(PlanVerify, SameStreamOnDifferentCommsIsFine) {
+  std::vector<plan::VerifyOp> ops(2);
+  ops[0] = {comm_token(token_a), 3, nullptr, {}};
+  ops[1] = {comm_token(token_b), 3, nullptr, {}};
+  EXPECT_TRUE(plan::verify(ops).ok());
+}
+
+TEST(PlanVerify, OrderedSameStreamIsFine) {
+  std::vector<plan::VerifyOp> ops(2);
+  ops[0] = {comm_token(token_a), 3, nullptr, {}};
+  ops[1] = {comm_token(token_a), 3, nullptr, {0}};
+  EXPECT_TRUE(plan::verify(ops).ok());
+}
+
+TEST(PlanVerify, TransitiveOrderingCounts) {
+  // 0 -> 1 -> 2: ops 0 and 2 share a stream but are ordered through 1.
+  std::vector<plan::VerifyOp> ops(3);
+  ops[0] = {comm_token(token_a), 1, nullptr, {}};
+  ops[1] = {comm_token(token_a), 2, nullptr, {0}};
+  ops[2] = {comm_token(token_a), 1, nullptr, {1}};
+  EXPECT_TRUE(plan::verify(ops).ok());
+}
+
+TEST(PlanVerify, HappensBeforeCycleRejectedAsDeadlock) {
+  std::vector<plan::VerifyOp> ops(2);
+  ops[0] = {comm_token(token_a), 1, nullptr, {1}};
+  ops[1] = {comm_token(token_a), 2, nullptr, {0}};
+  const plan::VerifyReport rep = plan::verify(ops);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("deadlock"), std::string::npos);
+}
+
+TEST(PlanVerify, UnorderedOpsOnOnePlanRejected) {
+  std::vector<plan::VerifyOp> ops(2);
+  ops[0] = {comm_token(token_a), 1, &token_a, {}};
+  ops[1] = {comm_token(token_a), 2, &token_a, {}};
+  const plan::VerifyReport rep = plan::verify(ops);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.to_string().find("same plan"), std::string::npos);
+}
+
+TEST(PlanVerify, EdgeAndStreamSanity) {
+  {
+    std::vector<plan::VerifyOp> ops(1);
+    ops[0] = {comm_token(token_a), 1, nullptr, {7}};
+    EXPECT_FALSE(plan::verify(ops).ok());  // dep out of range
+  }
+  {
+    std::vector<plan::VerifyOp> ops(1);
+    ops[0] = {comm_token(token_a), 1, nullptr, {0}};
+    EXPECT_FALSE(plan::verify(ops).ok());  // self-dependency
+  }
+  {
+    std::vector<plan::VerifyOp> ops(1);
+    ops[0] = {comm_token(token_a), rt::tags::kNumStreams, nullptr, {}};
+    EXPECT_FALSE(plan::verify(ops).ok());  // stream out of range
+  }
+  EXPECT_TRUE(plan::verify(std::vector<plan::VerifyOp>{}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level checks
+// ---------------------------------------------------------------------------
+
+TEST(PlanVerify, IdlePlanWithReturnedScratchPasses) {
+  const topo::Machine machine = topo::generic(1, 2);
+  test::run_smp(machine.total_ranks(), [&](Comm& world) -> Task<void> {
+    plan::CollectivePlan p = make_plan_for(world, machine, 16);
+    const plan::VerifyReport rep = plan::verify(p, 1);
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+    EXPECT_FALSE(plan::verify(p, rt::tags::kNumStreams).ok());
+    EXPECT_FALSE(plan::verify(p, -2).ok());
+
+    // A full execute leaves the arena fully returned: still verified.
+    const int sz = world.size();
+    Buffer s = Buffer::real(16 * static_cast<std::size_t>(sz));
+    Buffer r = Buffer::real(16 * static_cast<std::size_t>(sz));
+    test::fill_send(s, world.rank(), sz, 16);
+    co_await p.execute(rt::ConstView(s.view()), r.view());
+    EXPECT_TRUE(plan::verify(p).ok());
+    EXPECT_EQ(p.scratch().outstanding_bytes(), 0u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Automatic wiring: Schedule::run() rejects a tag-conflicting batch
+// ---------------------------------------------------------------------------
+
+TEST(PlanVerify, TagConflictingScheduleRejectedBeforeRunning) {
+  const topo::Machine machine = topo::generic(1, 2);
+  // Force the verifier on before the rank threads spawn (and restore only
+  // after they join): flipping it inside the body would race the other
+  // ranks' Schedule::run entry.
+  plan::set_verify_enabled_for_test(1);
+  test::run_smp(machine.total_ranks(), [&](Comm& world) -> Task<void> {
+    const int p = world.size();
+    const std::size_t block = 8;
+    plan::CollectivePlan pa = make_plan_for(world, machine, block);
+    plan::CollectivePlan pb = make_plan_for(world, machine, block);
+    Buffer s = Buffer::real(block * static_cast<std::size_t>(p));
+    Buffer r1 = Buffer::real(block * static_cast<std::size_t>(p));
+    Buffer r2 = Buffer::real(block * static_cast<std::size_t>(p));
+    test::fill_send(s, world.rank(), p, block);
+
+    plan::Schedule bad;
+    bad.add(pa, rt::ConstView(s.view()), r1.view());
+    bad.add(pb, rt::ConstView(s.view()), r2.view());
+    // Both independent ops forced into stream 1 on the same communicator:
+    // their wire tags coincide, which must be rejected up front — before
+    // either op starts (nothing is in flight to drain afterwards).
+    bad.force_tag_streams_for_test({1, 1});
+    try {
+      co_await bad.run();
+      ADD_FAILURE() << "tag-conflicting schedule was not rejected";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("cross-match"), std::string::npos)
+          << e.what();
+    }
+    EXPECT_EQ(pa.in_flight(), 0);
+    EXPECT_EQ(pb.in_flight(), 0);
+    co_return;
+  });
+  plan::set_verify_enabled_for_test(-1);
+}
+
+TEST(PlanVerify, VerifiedScheduleStillRunsWithVerifierForcedOn) {
+  const topo::Machine machine = topo::generic(1, 2);
+  plan::set_verify_enabled_for_test(1);
+  test::run_smp(machine.total_ranks(), [&](Comm& world) -> Task<void> {
+    const int p = world.size();
+    const std::size_t block = 8;
+    plan::CollectivePlan pa = make_plan_for(world, machine, block);
+    plan::CollectivePlan pb = make_plan_for(world, machine, block);
+    Buffer s = Buffer::real(block * static_cast<std::size_t>(p));
+    Buffer r1 = Buffer::real(block * static_cast<std::size_t>(p));
+    Buffer r2 = Buffer::real(block * static_cast<std::size_t>(p));
+    test::fill_send(s, world.rank(), p, block);
+
+    plan::Schedule sched;
+    const int a = sched.add(pa, rt::ConstView(s.view()), r1.view());
+    const int b = sched.add(pb, rt::ConstView(s.view()), r2.view());
+    sched.add_dependency(a, b);
+    co_await sched.run();
+    EXPECT_TRUE(test::check_recv(r1, world.rank(), p, block));
+    EXPECT_TRUE(test::check_recv(r2, world.rank(), p, block));
+  });
+  plan::set_verify_enabled_for_test(-1);
+}
+
+}  // namespace
+}  // namespace mca2a

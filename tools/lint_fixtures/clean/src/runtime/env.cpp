@@ -1,0 +1,4 @@
+// Fixture: the single sanctioned getenv() chokepoint.
+#include <cstdlib>
+const char* raw(const char* name) { return std::getenv(name); }
+bool fast() { return raw("A2A_FAST") != nullptr; }

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: the one file allowed to do kInternalTagBase arithmetic.
+inline constexpr int kInternalTagBase = 1 << 20;
+inline constexpr int kStreamStride = 128;
+inline int make(int op, int stream) {
+  return kInternalTagBase + stream * kStreamStride + op;
+}

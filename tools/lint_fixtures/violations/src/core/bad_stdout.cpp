@@ -1,0 +1,8 @@
+// Fixture: library code writing to the application's stdout.
+#include <cstdio>
+#include <iostream>
+
+void report(int x) {
+  std::cout << x << "\n";
+  printf("%d\n", x);
+}

@@ -1,0 +1,14 @@
+// Fixture: both historical raw-tag failure modes.
+struct Comm {
+  void send(const void* buf, int dst, int tag);
+  void irecv(void* buf, int src, int tag);
+};
+
+void exchange(Comm& c, const void* s, void* r) {
+  const int kTag = (1 << 20) + 33;  // literal base arith is caught below
+  c.send(s, 1, kTag);
+  c.irecv(r, 0, 42);  // literal tag straight into the call
+}
+
+inline constexpr int kInternalTagBase = 1 << 20;
+const int kHandRolled = kInternalTagBase + 7;

@@ -1,0 +1,3 @@
+// Fixture: a getenv() outside env.cpp reading an undocumented knob.
+#include <cstdlib>
+bool secret() { return std::getenv("A2A_SECRET_KNOB") != nullptr; }

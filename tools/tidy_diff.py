@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff clang-tidy output against the committed baseline.
+
+clang-tidy output (from run-clang-tidy or clang-tidy directly) is read on
+stdin. Each `path:line:col: warning: message [check]` diagnostic is
+normalized to `path | check | message` — line/column numbers are dropped so
+unrelated edits above a pinned finding don't churn the baseline — and the
+multiset is compared against tools/tidy_baseline.txt:
+
+  * findings not in the baseline fail the run (new debt);
+  * baseline entries that no longer fire are reported as removable
+    (shrinking the baseline is welcome, and keeping it tight keeps the
+    diff mode honest), but do not fail.
+
+Usage:
+    run-clang-tidy -quiet -p build $(git ls-files 'src/*.cpp') \
+        | tools/tidy_diff.py [--baseline tools/tidy_baseline.txt] \
+                             [--update]
+
+--update rewrites the baseline from stdin instead of diffing (for the
+rare, justified adoption of new debt). Stdlib only.
+"""
+
+import argparse
+import collections
+import os
+import re
+import sys
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):\d+:\d+:\s+(?:warning|error):\s+"
+    r"(?P<message>.*?)\s+\[(?P<check>[A-Za-z0-9.,\-]+)\]\s*$")
+
+
+def normalize(path, root):
+    path = os.path.normpath(path)
+    root = os.path.normpath(root) + os.sep
+    if path.startswith(root):
+        path = path[len(root):]
+    return path.replace(os.sep, "/")
+
+
+def parse(stream, root):
+    found = collections.Counter()
+    for line in stream:
+        m = DIAG_RE.match(line.rstrip("\n"))
+        if not m:
+            continue
+        key = "%s | %s | %s" % (normalize(m.group("path"), root),
+                                m.group("check"), m.group("message"))
+        found[key] += 1
+    return found
+
+
+def load_baseline(path):
+    base = collections.Counter()
+    if os.path.isfile(path):
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    base[stripped] += 1
+    return base
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "tidy_baseline.txt"))
+    ap.add_argument("--root", default=os.getcwd(),
+                    help="prefix stripped from diagnostic paths")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from stdin")
+    opts = ap.parse_args(argv)
+
+    found = parse(sys.stdin, opts.root)
+    if opts.update:
+        with open(opts.baseline, "w", encoding="utf-8") as f:
+            f.write("# clang-tidy baseline: one normalized finding per "
+                    "line (path | check | message).\n"
+                    "# Regenerate with tools/tidy_diff.py --update; only "
+                    "grow it with a justification in the PR.\n")
+            for key in sorted(found.elements()):
+                f.write(key + "\n")
+        print("tidy_diff: baseline rewritten with %d finding(s)"
+              % sum(found.values()))
+        return 0
+
+    base = load_baseline(opts.baseline)
+    new = found - base
+    gone = base - found
+    for key in sorted(gone.elements()):
+        print("tidy_diff: fixed (remove from baseline): %s" % key)
+    if new:
+        for key in sorted(new.elements()):
+            print("tidy_diff: NEW: %s" % key, file=sys.stderr)
+        print("tidy_diff: %d new clang-tidy finding(s) over the baseline"
+              % sum(new.values()), file=sys.stderr)
+        return 1
+    print("tidy_diff: clean (%d finding(s), all baselined)"
+          % sum(found.values()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
