@@ -174,16 +174,15 @@ std::optional<OnlineSelector::Candidate> OnlineSelector::pick(
       obs::metrics().counter("autotune.explorations");
   static obs::Counter& m_exploit =
       obs::metrics().counter("autotune.exploitations");
-  std::lock_guard<std::mutex> lk(mu_);
   if (explore_idx < ranked.size()) {
-    ++explorations_;
+    explorations_.fetch_add(1, std::memory_order_relaxed);
     m_explore.add();
     if (explored != nullptr) {
       *explored = true;
     }
     return ranked[explore_idx];  // predicted_seconds: the model's estimate
   }
-  ++exploitations_;
+  exploitations_.fetch_add(1, std::memory_order_relaxed);
   m_exploit.add();
   if (explored != nullptr) {
     *explored = false;

@@ -43,6 +43,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -136,8 +137,12 @@ class OnlineSelector {
   /// by exploiting the measured winner. Counted per consult: with every
   /// rank of a communicator consulting one shared selector, one collective
   /// plan round adds world-size counts.
-  std::uint64_t explorations() const noexcept { return explorations_; }
-  std::uint64_t exploitations() const noexcept { return exploitations_; }
+  std::uint64_t explorations() const noexcept {
+    return explorations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t exploitations() const noexcept {
+    return exploitations_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One frozen (algorithm, group size) candidate with its model
@@ -164,11 +169,13 @@ class OnlineSelector {
   Config cfg_;
   ExecutionProfiler profiler_;
 
-  // choose_*/calibration bookkeeping (distinct from the profiler's lock;
-  // record() never takes it).
+  // choose_*/calibration bookkeeping (distinct from the profiler's locks;
+  // record() never takes it). The explore/exploit tallies are relaxed
+  // atomics — pure statistics, never ordering anything — so the hot
+  // decision tail of pick() stays off this mutex.
   std::mutex mu_;
-  std::uint64_t explorations_ = 0;
-  std::uint64_t exploitations_ = 0;
+  std::atomic<std::uint64_t> explorations_{0};
+  std::atomic<std::uint64_t> exploitations_{0};
   struct CalCacheEntry {
     std::string machine;
     int nodes = 0;

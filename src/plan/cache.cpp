@@ -86,47 +86,53 @@ PlanKey PlanCache::key_of(const rt::Comm& world, const coll::OpDesc& desc,
   return key;
 }
 
-std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
-    rt::Comm& world, const topo::Machine& machine, const model::NetParams& net,
-    const coll::OpDesc& desc, const PlanOptions& opts) {
+std::shared_ptr<CollectivePlan> PlanCache::find_hit(const rt::Comm& world,
+                                                    const coll::OpDesc& desc,
+                                                    const PlanOptions& opts) {
+  const PlanKey key = key_of(world, desc, opts);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    return nullptr;
+  }
+  // Alltoallv keys embed only a hash of the count vectors; guard the
+  // astronomically-unlikely collision, where returning the resident plan
+  // would silently exchange with the other shape's displacements. Reported
+  // as a miss (nullptr): insert_miss later finds the key resident and
+  // hands the fresh plan back uncached.
+  if (desc.kind() == coll::OpKind::kAlltoallv) {
+    const auto& want = desc.alltoallv();
+    const auto& have = it->second->second->desc().alltoallv();
+    if (want.send_counts != have.send_counts ||
+        want.recv_counts != have.recv_counts) {
+      return nullptr;
+    }
+  }
+  const int kind_idx = static_cast<int>(desc.kind());
+  ++stats_.hits;
+  ++stats_.per_op[kind_idx].hits;
+  cache_metrics().hits[kind_idx]->add();
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->second;
+}
+
+std::shared_ptr<CollectivePlan> PlanCache::insert_miss(
+    const rt::Comm& world, const coll::OpDesc& desc, const PlanOptions& opts,
+    std::shared_ptr<CollectivePlan> plan) {
   const PlanKey key = key_of(world, desc, opts);
   const int kind_idx = static_cast<int>(desc.kind());
-  OpStats& op_stats = stats_.per_op[kind_idx];
   CacheMetrics& gm = cache_metrics();
-  const auto it = map_.find(key);
-  if (it != map_.end()) {
-    // Alltoallv keys embed only a hash of the count vectors; guard the
-    // astronomically-unlikely collision, where returning the resident plan
-    // would silently exchange with the other shape's displacements.
-    if (desc.kind() == coll::OpKind::kAlltoallv) {
-      const auto& want = desc.alltoallv();
-      const auto& have = it->second->second->desc().alltoallv();
-      if (want.send_counts != have.send_counts ||
-          want.recv_counts != have.recv_counts) {
-        ++stats_.misses;
-        ++op_stats.misses;
-        ++stats_.constructions;
-        gm.misses[kind_idx]->add();
-        return std::make_shared<CollectivePlan>(
-            make_plan(world, machine, net, desc, opts));
-      }
-    }
-    ++stats_.hits;
-    ++op_stats.hits;
-    gm.hits[kind_idx]->add();
-    lru_.splice(lru_.begin(), lru_, it->second);  // touch
-    return it->second->second;
-  }
-
   ++stats_.misses;
-  ++op_stats.misses;
+  ++stats_.per_op[kind_idx].misses;
   ++stats_.constructions;
   gm.misses[kind_idx]->add();
-  auto plan = std::make_shared<CollectivePlan>(
-      make_plan(world, machine, net, desc, opts));
+  if (map_.contains(key)) {
+    // Key resident after all: either the alltoallv collision case or a
+    // racing build that got here second. Keep the resident entry; the
+    // fresh plan serves its caller uncached.
+    return plan;
+  }
   lru_.emplace_front(key, plan);
   map_[key] = lru_.begin();
-
   while (map_.size() > capacity_) {
     gm.evictions[static_cast<int>(lru_.back().second->desc().kind())]->add();
     map_.erase(lru_.back().first);
@@ -134,6 +140,17 @@ std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
     ++stats_.evictions;
   }
   return plan;
+}
+
+std::shared_ptr<CollectivePlan> PlanCache::get_or_create(
+    rt::Comm& world, const topo::Machine& machine, const model::NetParams& net,
+    const coll::OpDesc& desc, const PlanOptions& opts) {
+  if (auto hit = find_hit(world, desc, opts)) {
+    return hit;
+  }
+  return insert_miss(world, desc, opts,
+                     std::make_shared<CollectivePlan>(
+                         make_plan(world, machine, net, desc, opts)));
 }
 
 std::shared_ptr<CollectivePlan> PlanCache::get_or_create(

@@ -110,6 +110,25 @@ class PlanCache {
                                                 std::size_t block,
                                                 const PlanOptions& opts = {});
 
+  /// Lookup-only half of get_or_create: on a hit, count it, touch the LRU
+  /// and return the resident plan. Returns nullptr on a miss — and on an
+  /// alltoallv count-vector hash collision — without counting anything, so
+  /// a caller (ShardedPlanCache) can drop its lock, build the plan, and
+  /// complete the miss with insert_miss(). find_hit + insert_miss replay
+  /// get_or_create counter for counter.
+  std::shared_ptr<CollectivePlan> find_hit(const rt::Comm& world,
+                                           const coll::OpDesc& desc,
+                                           const PlanOptions& opts = {});
+
+  /// Record the miss a nullptr find_hit reported and cache `plan`,
+  /// evicting least-recently-used entries while over capacity. When the
+  /// key is already resident (the collision case above, or a racing build
+  /// that lost), the resident entry is kept and `plan` is returned
+  /// uncached.
+  std::shared_ptr<CollectivePlan> insert_miss(
+      const rt::Comm& world, const coll::OpDesc& desc, const PlanOptions& opts,
+      std::shared_ptr<CollectivePlan> plan);
+
   const Stats& stats() const noexcept { return stats_; }
   /// Counters for one op kind.
   const OpStats& stats(coll::OpKind op) const noexcept {

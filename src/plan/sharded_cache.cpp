@@ -1,0 +1,130 @@
+#include "plan/sharded_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace mca2a::plan {
+
+struct ShardedPlanCache::Shard {
+  explicit Shard(std::size_t cap) : cache(cap) {}
+  mutable std::mutex mu;
+  PlanCache cache;
+};
+
+namespace {
+
+std::size_t default_shards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hw == 0 ? 1 : hw, 16);
+}
+
+}  // namespace
+
+ShardedPlanCache::ShardedPlanCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t n = shards == 0 ? default_shards() : shards;
+  const std::size_t per_shard = std::max<std::size_t>(1, (capacity + n - 1) / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+ShardedPlanCache::~ShardedPlanCache() = default;
+
+ShardedPlanCache::Shard& ShardedPlanCache::my_shard() const {
+  // Same sticky round-robin pinning as ExecutionProfiler::my_shard: one
+  // thread always reaches the same shard of a given cache, so its hits
+  // stay hits. Stale pins for destroyed caches are harmless (the modulo
+  // keeps a recycled address's inherited pin in range).
+  thread_local std::vector<std::pair<const ShardedPlanCache*, std::size_t>>
+      pins;
+  for (const auto& [owner, idx] : pins) {
+    if (owner == this) {
+      return *shards_[idx % shards_.size()];
+    }
+  }
+  static std::atomic<std::size_t> rr{0};
+  const std::size_t idx = rr.fetch_add(1, std::memory_order_relaxed);
+  pins.emplace_back(this, idx);
+  return *shards_[idx % shards_.size()];
+}
+
+std::shared_ptr<CollectivePlan> ShardedPlanCache::get_or_create(
+    rt::Comm& world, const topo::Machine& machine, const model::NetParams& net,
+    const coll::OpDesc& desc, const PlanOptions& opts) {
+  Shard& s = my_shard();
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (auto hit = s.cache.find_hit(world, desc, opts)) {
+      return hit;
+    }
+  }
+  // Build outside the lock: make_plan may be slow (tuner consults, subcomm
+  // construction) and must not serialize the shard's other threads.
+  auto plan = std::make_shared<CollectivePlan>(
+      make_plan(world, machine, net, desc, opts));
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.cache.insert_miss(world, desc, opts, std::move(plan));
+}
+
+std::shared_ptr<CollectivePlan> ShardedPlanCache::get_or_create(
+    rt::Comm& world, const topo::Machine& machine, const model::NetParams& net,
+    std::size_t block, const PlanOptions& opts) {
+  coll::AlltoallDesc d;
+  d.block = block;
+  return get_or_create(world, machine, net, coll::OpDesc(std::move(d)), opts);
+}
+
+PlanCache::Stats ShardedPlanCache::stats() const {
+  PlanCache::Stats total;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    const PlanCache::Stats& s = sp->cache.stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.constructions += s.constructions;
+    total.evictions += s.evictions;
+    for (std::size_t k = 0; k < total.per_op.size(); ++k) {
+      total.per_op[k].hits += s.per_op[k].hits;
+      total.per_op[k].misses += s.per_op[k].misses;
+    }
+  }
+  return total;
+}
+
+std::size_t ShardedPlanCache::size() const {
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    total += sp->cache.size();
+  }
+  return total;
+}
+
+std::size_t ShardedPlanCache::capacity() const {
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    total += sp->cache.capacity();
+  }
+  return total;
+}
+
+std::size_t ShardedPlanCache::erase_comm(const rt::Comm& world) {
+  std::size_t dropped = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    dropped += sp->cache.erase_comm(world);
+  }
+  return dropped;
+}
+
+void ShardedPlanCache::clear() {
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    sp->cache.clear();
+  }
+}
+
+}  // namespace mca2a::plan

@@ -1,0 +1,90 @@
+#pragma once
+/// \file sharded_cache.hpp
+/// Thread-safe sharded front for PlanCache.
+///
+/// A PlanCache belongs to one rank and is not thread-safe; the threads
+/// backend's rank threads sharing one cache need a concurrent front. A
+/// ShardedPlanCache splits the capacity across internal shards, each a
+/// mutex-guarded PlanCache. Every calling thread pins itself (round-robin,
+/// sticky per cache) to one shard, so distinct threads mostly touch
+/// distinct mutexes and the LRU lists never see cross-thread interleaving
+/// within a shard's ordering.
+///
+/// Plan construction happens OUTSIDE the shard lock: get_or_create is a
+/// two-phase find_hit / build / insert_miss sequence (see PlanCache), so a
+/// slow make_plan on one thread never blocks another thread's hits. Two
+/// threads pinned to the same shard may race-build the same key; the
+/// second insert keeps the resident entry and returns its own plan
+/// uncached — both plans are valid, the duplicate build is the documented
+/// cost of not holding a lock across make_plan.
+///
+/// Caveats carried over from PlanCache: entries key on communicator
+/// address (call erase_comm before destroying a communicator the cache has
+/// seen), and a key pinned by one thread lands in that thread's shard — a
+/// second thread requesting the same key from another shard builds and
+/// caches its own copy. That is by design: plans hold rank-local state, so
+/// cross-thread sharing of a CollectivePlan is never wanted on the threads
+/// backend.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "plan/cache.hpp"
+
+namespace mca2a::plan {
+
+class ShardedPlanCache {
+ public:
+  /// `capacity` is the total plan budget, split evenly across `shards`
+  /// (each shard holds at least one plan). `shards` = 0 picks
+  /// min(hardware_concurrency, 16).
+  explicit ShardedPlanCache(std::size_t capacity = 16, std::size_t shards = 0);
+  ~ShardedPlanCache();
+  ShardedPlanCache(const ShardedPlanCache&) = delete;
+  ShardedPlanCache& operator=(const ShardedPlanCache&) = delete;
+
+  /// Two-phase fetch on the calling thread's shard: find_hit under the
+  /// shard lock, make_plan unlocked, insert_miss under the lock.
+  std::shared_ptr<CollectivePlan> get_or_create(
+      rt::Comm& world, const topo::Machine& machine,
+      const model::NetParams& net, const coll::OpDesc& desc,
+      const PlanOptions& opts = {});
+
+  /// Alltoall shorthand: `block` bytes per rank pair.
+  std::shared_ptr<CollectivePlan> get_or_create(rt::Comm& world,
+                                                const topo::Machine& machine,
+                                                const model::NetParams& net,
+                                                std::size_t block,
+                                                const PlanOptions& opts = {});
+
+  /// Counters summed across shards. Per-shard hit/miss accounting is
+  /// exact, so on a deterministic replay the sums equal what one global
+  /// PlanCache would have counted.
+  PlanCache::Stats stats() const;
+
+  /// Resident plans summed across shards.
+  std::size_t size() const;
+  /// Total capacity (shard count × per-shard capacity; >= the constructor
+  /// argument because of the at-least-one-per-shard floor).
+  std::size_t capacity() const;
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Drop `world`'s entries from every shard (any thread may have cached
+  /// plans for it). Returns the number of entries dropped.
+  std::size_t erase_comm(const rt::Comm& world);
+
+  /// Drop every cached plan in every shard (counters are preserved).
+  void clear();
+
+ private:
+  struct Shard;
+
+  /// The calling thread's shard for this cache (sticky round-robin).
+  Shard& my_shard() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mca2a::plan

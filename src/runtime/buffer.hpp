@@ -58,6 +58,12 @@ class Buffer {
 
   /// Allocate `bytes` of zero-initialized real memory.
   static Buffer real(std::size_t bytes);
+  /// Allocate `bytes` of real memory with UNSPECIFIED contents: no memset,
+  /// so no page is touched at allocation time. For scratch whose consumers
+  /// overwrite everything they read (rt::ScratchArena's contract) — the
+  /// allocating thread's later first write, not this call, faults each page
+  /// in, which is what places pages correctly under NUMA first-touch.
+  static Buffer real_uninit(std::size_t bytes);
   /// Create a virtual buffer of `bytes` (no allocation).
   static Buffer virt(std::size_t bytes);
 

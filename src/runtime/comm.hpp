@@ -126,6 +126,16 @@ class Comm {
   /// on the simulator depending on its carry-data configuration.
   virtual Buffer alloc_buffer(std::size_t bytes) const = 0;
 
+  /// Allocate scratch whose initial contents are UNSPECIFIED — the
+  /// allocation path of rt::ScratchArena, whose contract already requires
+  /// algorithms to fully overwrite every region they later read. Defaults
+  /// to alloc_buffer; backends on real memory may skip zero-initialization
+  /// so the first writer's thread is the one that faults the pages in
+  /// (NUMA first-touch places them on that thread's node).
+  virtual Buffer alloc_scratch_buffer(std::size_t bytes) const {
+    return alloc_buffer(bytes);
+  }
+
   /// Account for a local repack of `bytes` (advances the simulator's rank
   /// clock by the model's packing cost; no-op on the threads backend).
   virtual void charge_copy(std::size_t bytes) = 0;

@@ -2,83 +2,446 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <new>
 #include <stdexcept>
+#include <thread>
 
+#include "obs/metrics.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/env.hpp"
 
 namespace mca2a::smp {
 
 namespace {
 
-void copy_payload(rt::MutView dst, rt::ConstView src, std::size_t bytes) {
-  if (dst.len < bytes) {
-    throw std::runtime_error(
-        "message truncation: receive buffer smaller than incoming message");
-  }
-  if (dst.ptr != nullptr && src.ptr != nullptr && bytes > 0) {
-    std::memcpy(dst.ptr, src.ptr, bytes);
-  }
+/// Fixed prefix of every ring slot; inline payload follows immediately.
+/// Only the owning lane's producer writes a slot between publish and the
+/// consumer's head release, so the fields need no per-field atomicity —
+/// the Lamport index pair orders the whole slot.
+struct SlotHeader {
+  std::uint64_t seq = 0;
+  std::size_t bytes = 0;
+  int tag = 0;
+  bool has_data = false;
+  std::byte* heap = nullptr;  // owned when non-null; else payload is inline
+};
+
+constexpr std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
 }
 
 }  // namespace
 
-bool Mailbox::deliver(int src, int tag, rt::ConstView payload) {
-  std::lock_guard<std::mutex> lock(mu);
-  // First posted receive whose (source, tag) accepts this message.
+/// One SPSC lane: producer = src's rank thread, consumer = the mailbox
+/// owner. Field groups live on separate cache lines so the producer's
+/// tail publishing never false-shares with the consumer's head cursor.
+struct Mailbox::Lane {
+  // Producer-owned.
+  std::uint64_t next_seq = 0;
+  // Lamport indices (free-running; slot = index % capacity).
+  alignas(64) std::atomic<std::uint64_t> tail{0};
+  alignas(64) std::atomic<std::uint64_t> head{0};
+  // Consumer-owned: next sequence number to enter matching order, plus
+  // the reorder stash that merges ring and overflow arrivals back into
+  // strict per-pair order (keyed by seq).
+  alignas(64) std::uint64_t next_take = 0;
+  std::map<std::uint64_t, UnexpectedMsg> stash;
+  std::unique_ptr<std::byte[]> slots;
+
+  Lane(std::uint32_t nslots, std::size_t stride)
+      : slots(new std::byte[std::size_t{nslots} * stride]) {
+    for (std::uint32_t i = 0; i < nslots; ++i) {
+      new (slots.get() + std::size_t{i} * stride) SlotHeader{};
+    }
+  }
+
+  SlotHeader* slot(std::size_t stride, std::uint32_t nslots,
+                   std::uint64_t idx) {
+    return reinterpret_cast<SlotHeader*>(slots.get() + (idx % nslots) * stride);
+  }
+};
+
+namespace {
+
+std::byte* slot_payload(SlotHeader* s) {
+  return reinterpret_cast<std::byte*>(s) + sizeof(SlotHeader);
+}
+
+}  // namespace
+
+MailboxConfig MailboxConfig::from_env() {
+  static constexpr std::string_view kKinds[] = {"ring", "mutex"};
+  MailboxConfig cfg;
+  cfg.kind = rt::env::get_choice("A2A_SMP_MAILBOX", kKinds, 0) == 0
+                 ? MailboxKind::kRing
+                 : MailboxKind::kMutex;
+  cfg.ring_slots = static_cast<std::uint32_t>(
+      rt::env::get_size("A2A_SMP_RING_SLOTS", cfg.ring_slots, 2, 1u << 20));
+  cfg.ring_inline = static_cast<std::uint32_t>(
+      rt::env::get_size("A2A_SMP_RING_INLINE", cfg.ring_inline, 0, 1u << 20));
+  cfg.spin = static_cast<int>(
+      rt::env::get_int("A2A_SMP_SPIN", cfg.spin, 0, 1'000'000));
+  return cfg;
+}
+
+Mailbox::Mailbox(int comm_size, const MailboxConfig& cfg)
+    : cfg_(cfg),
+      comm_size_(comm_size),
+      stride_(align_up(sizeof(SlotHeader) + cfg.ring_inline, 64)) {
+  if (cfg_.kind == MailboxKind::kRing) {
+    lanes_ = std::vector<std::atomic<Lane*>>(
+        static_cast<std::size_t>(comm_size));
+  }
+}
+
+Mailbox::~Mailbox() {
+  for (auto& lp : lanes_) {
+    Lane* lane = lp.load(std::memory_order_acquire);
+    if (lane == nullptr) {
+      continue;
+    }
+    const std::uint64_t t = lane->tail.load(std::memory_order_acquire);
+    for (std::uint64_t h = lane->head.load(std::memory_order_relaxed); h != t;
+         ++h) {
+      delete[] lane->slot(stride_, cfg_.ring_slots, h)->heap;
+    }
+    delete lane;
+  }
+}
+
+Mailbox::Lane& Mailbox::lane_for_send(int src) {
+  std::atomic<Lane*>& entry = lanes_[static_cast<std::size_t>(src)];
+  Lane* lane = entry.load(std::memory_order_acquire);
+  if (lane == nullptr) {
+    // Exactly one producer per lane, so the check-then-create needs no
+    // CAS; the release store pairs with the consumer's acquire load.
+    lane = new Lane(cfg_.ring_slots, stride_);
+    entry.store(lane, std::memory_order_release);
+  }
+  return *lane;
+}
+
+void Mailbox::send(int src, int tag, rt::ConstView payload) {
+  if (cfg_.kind == MailboxKind::kMutex) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (accept(src, tag, payload, nullptr)) {
+      mutex_epoch_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();
+    }
+    return;
+  }
+
+  Lane& lane = lane_for_send(src);
+  const std::uint64_t seq = lane.next_seq++;
+  const std::uint64_t t = lane.tail.load(std::memory_order_relaxed);
+  if (t - lane.head.load(std::memory_order_acquire) < cfg_.ring_slots) {
+    SlotHeader* s = lane.slot(stride_, cfg_.ring_slots, t);
+    s->seq = seq;
+    s->tag = tag;
+    s->bytes = payload.len;
+    s->has_data = payload.ptr != nullptr && payload.len > 0;
+    s->heap = nullptr;
+    if (s->has_data) {
+      if (payload.len <= cfg_.ring_inline) {
+        std::memcpy(slot_payload(s), payload.ptr, payload.len);
+      } else {
+        s->heap = new std::byte[payload.len];
+        std::memcpy(s->heap, payload.ptr, payload.len);
+      }
+    }
+    lane.tail.store(t + 1, std::memory_order_release);
+    static obs::Counter& g_ring =
+        obs::metrics().counter("smp.mailbox.ring_sends");
+    g_ring.add();
+  } else {
+    // Lane full: eager semantics forbid blocking (both peers of an
+    // exchange may send before either receives), so spill to the
+    // unbounded overflow list. The seq stamp lets the consumer restore
+    // per-pair order.
+    OverflowMsg m;
+    m.src = src;
+    m.tag = tag;
+    m.seq = seq;
+    m.bytes = payload.len;
+    m.has_data = payload.ptr != nullptr && payload.len > 0;
+    if (m.has_data) {
+      m.data.reset(new std::byte[payload.len]);
+      std::memcpy(m.data.get(), payload.ptr, payload.len);
+    }
+    {
+      std::lock_guard<std::mutex> lk(overflow_mu_);
+      overflow_.push_back(std::move(m));
+      overflow_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    static obs::Counter& g_over =
+        obs::metrics().counter("smp.mailbox.overflow_sends");
+    g_over.add();
+  }
+  ring_doorbell();
+}
+
+void Mailbox::ring_doorbell() {
+  // Dekker pairing with idle(): after this fence and the sleeper's, either
+  // we observe sleepers_ != 0 or the sleeper's recheck observes our
+  // published arrival.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  static obs::Counter& g_wakeups =
+      obs::metrics().counter("smp.mailbox.wakeups");
+  g_wakeups.add();
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    ++wake_epoch_;
+  }
+  wake_cv_.notify_all();
+}
+
+bool Mailbox::match_posted(int src, int tag, rt::ConstView payload) {
   auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* r) {
     const bool src_ok = r->src == rt::kAnySource || r->src == src;
     const bool tag_ok = r->tag == rt::kAnyTag || r->tag == tag;
     return src_ok && tag_ok;
   });
-  if (it != posted_.end()) {
-    PostedRecv* r = *it;
-    posted_.erase(it);
-    if (r->buf.len < payload.len) {
-      // Truncation is the receiver's error (like MPI_ERR_TRUNCATE): flag it
-      // so the receiver's wait throws, rather than failing in this thread.
-      r->error = true;
-      r->complete = true;
-      cv.notify_all();
-      return true;
-    }
-    copy_payload(r->buf, payload, payload.len);
-    r->received = payload.len;
-    r->complete = true;
-    cv.notify_all();
+  if (it == posted_.end()) {
+    return false;
+  }
+  PostedRecv* r = *it;
+  posted_.erase(it);
+  if (r->buf.len < payload.len) {
+    // Truncation is the receiver's error (like MPI_ERR_TRUNCATE): flag it
+    // so the receiver's wait throws, rather than failing in this thread.
+    r->error = true;
+    r->complete.store(true, std::memory_order_release);
+    return true;
+  }
+  if (r->buf.ptr != nullptr && payload.ptr != nullptr && payload.len > 0) {
+    std::memcpy(r->buf.ptr, payload.ptr, payload.len);
+  }
+  r->received = payload.len;
+  r->complete.store(true, std::memory_order_release);
+  return true;
+}
+
+bool Mailbox::accept(int src, int tag, rt::ConstView payload,
+                     std::unique_ptr<std::byte[]> owned) {
+  if (match_posted(src, tag, payload)) {
     return true;
   }
   UnexpectedMsg m;
   m.src = src;
   m.tag = tag;
   m.bytes = payload.len;
-  if (payload.ptr != nullptr && payload.len > 0) {
-    m.payload.assign(payload.ptr, payload.ptr + payload.len);
+  m.has_data = payload.ptr != nullptr && payload.len > 0;
+  if (m.has_data) {
+    if (owned != nullptr) {
+      m.data = std::move(owned);
+    } else {
+      m.data.reset(new std::byte[payload.len]);
+      std::memcpy(m.data.get(), payload.ptr, payload.len);
+    }
   }
-  unexpected_.push_back(std::move(m));
+  arrived_.push_back(std::move(m));
   return false;
 }
 
+void Mailbox::drain_overflow() {
+  std::deque<OverflowMsg> taken;
+  {
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    taken.swap(overflow_);
+    overflow_count_.fetch_sub(taken.size(), std::memory_order_relaxed);
+  }
+  for (OverflowMsg& m : taken) {
+    // The producer created its lane before it could ever overflow, and
+    // the overflow mutex carries the happens-before to us.
+    Lane* lane = lanes_[static_cast<std::size_t>(m.src)].load(
+        std::memory_order_acquire);
+    UnexpectedMsg u;
+    u.src = m.src;
+    u.tag = m.tag;
+    u.bytes = m.bytes;
+    u.has_data = m.has_data;
+    u.data = std::move(m.data);
+    lane->stash.emplace(m.seq, std::move(u));
+  }
+}
+
+void Mailbox::pump_lane(int src, Lane& lane) {
+  for (;;) {
+    // In-order stash entries (earlier overflow or set-aside slots) first.
+    auto it = lane.stash.begin();
+    if (it != lane.stash.end() && it->first == lane.next_take) {
+      UnexpectedMsg u = std::move(it->second);
+      lane.stash.erase(it);
+      ++lane.next_take;
+      // Evaluate the view before the unique_ptr argument is constructed:
+      // argument evaluation order is unspecified and moving `u.data` first
+      // would hand accept() a null payload.
+      const rt::ConstView payload = u.view();
+      accept(src, u.tag, payload, std::move(u.data));
+      continue;
+    }
+    const std::uint64_t h = lane.head.load(std::memory_order_relaxed);
+    if (lane.tail.load(std::memory_order_acquire) == h) {
+      return;
+    }
+    SlotHeader* s = lane.slot(stride_, cfg_.ring_slots, h);
+    if (s->seq == lane.next_take) {
+      ++lane.next_take;
+      const rt::ConstView payload{
+          s->has_data ? (s->heap != nullptr ? s->heap : slot_payload(s))
+                      : nullptr,
+          s->bytes};
+      std::unique_ptr<std::byte[]> owned(s->heap);
+      s->heap = nullptr;
+      // Matching copies straight out of the slot; only then is the slot
+      // released back to the producer.
+      accept(src, s->tag, payload, std::move(owned));
+      lane.head.store(h + 1, std::memory_order_release);
+    } else {
+      // A predecessor is still in the overflow list: set this slot aside
+      // (reorder stash) so the producer regains ring space either way.
+      UnexpectedMsg u;
+      u.src = src;
+      u.tag = s->tag;
+      u.bytes = s->bytes;
+      u.has_data = s->has_data;
+      if (s->heap != nullptr) {
+        u.data.reset(s->heap);
+        s->heap = nullptr;
+      } else if (u.has_data) {
+        u.data.reset(new std::byte[s->bytes]);
+        std::memcpy(u.data.get(), slot_payload(s), s->bytes);
+      }
+      lane.stash.emplace(s->seq, std::move(u));
+      lane.head.store(h + 1, std::memory_order_release);
+    }
+  }
+}
+
+void Mailbox::drain() {
+  if (cfg_.kind == MailboxKind::kMutex) {
+    return;
+  }
+  if (overflow_count_.load(std::memory_order_acquire) != 0) {
+    drain_overflow();
+  }
+  // Lane order is fixed (source-major) and per-lane order is strict seq
+  // order, so the arrival order entering matching is deterministic
+  // whenever the sends are quiesced (e.g. behind a barrier) — the
+  // property the ordering oracle test pins.
+  for (int src = 0; src < comm_size_; ++src) {
+    Lane* lane =
+        lanes_[static_cast<std::size_t>(src)].load(std::memory_order_acquire);
+    if (lane != nullptr) {
+      pump_lane(src, *lane);
+    }
+  }
+}
+
 bool Mailbox::post_or_match(PostedRecv* r) {
-  std::lock_guard<std::mutex> lock(mu);
+  if (cfg_.kind == MailboxKind::kRing) {
+    drain();
+  }
+  // Ring mode: matching state is owner-thread-only; no lock needed.
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (cfg_.kind == MailboxKind::kMutex) {
+    lock.lock();
+  }
   auto it = std::find_if(
-      unexpected_.begin(), unexpected_.end(), [&](const UnexpectedMsg& m) {
+      arrived_.begin(), arrived_.end(), [&](const UnexpectedMsg& m) {
         const bool src_ok = r->src == rt::kAnySource || r->src == m.src;
         const bool tag_ok = r->tag == rt::kAnyTag || r->tag == m.tag;
         return src_ok && tag_ok;
       });
-  if (it != unexpected_.end()) {
-    rt::ConstView payload{it->payload.empty() ? nullptr : it->payload.data(),
-                          it->bytes};
-    copy_payload(r->buf, payload, it->bytes);
+  if (it != arrived_.end()) {
+    if (r->buf.len < it->bytes) {
+      throw std::runtime_error(
+          "message truncation: receive buffer smaller than incoming message");
+    }
+    const rt::ConstView payload = it->view();
+    if (r->buf.ptr != nullptr && payload.ptr != nullptr && payload.len > 0) {
+      std::memcpy(r->buf.ptr, payload.ptr, payload.len);
+    }
     r->received = it->bytes;
-    r->complete = true;
-    unexpected_.erase(it);
+    r->complete.store(true, std::memory_order_release);
+    arrived_.erase(it);
     return true;
   }
   r->post_seq = next_post_seq_++;
-  r->complete = false;
+  r->error = false;
+  r->received = 0;
+  r->complete.store(false, std::memory_order_relaxed);
   posted_.push_back(r);
   return false;
+}
+
+std::uint64_t Mailbox::epoch() const {
+  return cfg_.kind == MailboxKind::kMutex
+             ? mutex_epoch_.load(std::memory_order_acquire)
+             : 0;
+}
+
+bool Mailbox::arrivals_visible() const {
+  if (overflow_count_.load(std::memory_order_acquire) != 0) {
+    return true;
+  }
+  for (const auto& lp : lanes_) {
+    const Lane* lane = lp.load(std::memory_order_acquire);
+    if (lane != nullptr && lane->tail.load(std::memory_order_acquire) !=
+                               lane->head.load(std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mailbox::idle(std::uint64_t observed_epoch, int& spins) {
+  if (cfg_.kind == MailboxKind::kMutex) {
+    // The epoch was captured before the caller's completion check, so a
+    // delivery in between leaves the predicate already true: no lost
+    // wakeup, no sleep-past-completion.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return mutex_epoch_.load(std::memory_order_relaxed) != observed_epoch;
+    });
+    return;
+  }
+  ++spins;
+  if (spins <= cfg_.spin) {
+    // Mostly pause (SMT-friendly), periodically yield (oversubscription-
+    // friendly: a 2x-threads-per-core run must keep making progress).
+    if ((spins & 7) == 0) {
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+    return;
+  }
+  spins = 0;
+  static obs::Counter& g_sleeps = obs::metrics().counter("smp.mailbox.sleeps");
+  g_sleeps.add();
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  sleepers_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!arrivals_visible()) {
+    const std::uint64_t e = wake_epoch_;
+    wake_cv_.wait(lk, [&] { return wake_epoch_ != e; });
+  }
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace mca2a::smp

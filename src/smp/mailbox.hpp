@@ -2,17 +2,51 @@
 /// \file mailbox.hpp
 /// Matching queues for the shared-memory backend.
 ///
-/// Every (communicator, rank) pair owns one Mailbox guarded by a mutex:
-/// senders deliver into it (matching a posted receive and copying payload
-/// directly, or parking the message in the unexpected queue), receivers
-/// post into it or harvest unexpected messages. MPI matching rules apply:
+/// Every (communicator, rank) pair owns one Mailbox. Two interchangeable
+/// transports sit behind the same matching semantics, selected per cluster
+/// by `A2A_SMP_MAILBOX` (see MailboxConfig):
+///
+///  * `ring` (default) — one bounded lock-free SPSC ring per source rank.
+///    A lane belongs to exactly one (src, dst, comm) triple, so the
+///    single-producer/single-consumer invariant holds by construction:
+///    the producer is src's rank thread, the consumer is the owning
+///    rank's thread. Producers publish with a release store of the tail
+///    index, consumers acquire it; head mirrors the protocol in the other
+///    direction (Lamport ring). When a lane is full the sender falls back
+///    to a mutex-guarded unbounded overflow list — sends stay eager and
+///    never block, which the backend's buffered-send semantics require
+///    (both peers of a pairwise exchange may send before either
+///    receives). Every message carries a per-lane sequence number; the
+///    consumer merges ring and overflow arrivals back into strict
+///    per-pair order before matching, so FIFO and non-overtaking survive
+///    the two-path transport.
+///
+///  * `mutex` — the original mutex-per-mailbox design, kept as the
+///    baseline the thread-scaling bench and the ordering property tests
+///    compare against.
+///
+/// Matching state (posted receives, unmatched arrivals) is owned by the
+/// receiving rank's thread and, in ring mode, is touched by no one else:
+/// matching itself needs no lock. MPI matching rules apply in both modes:
 /// (source, tag) with wildcards, FIFO among eligible candidates, and
 /// non-overtaking delivery between a fixed pair of ranks.
+///
+/// Sleep/wake contract (ring mode): a receiver that has spun without
+/// progress parks on the mailbox doorbell. The sender's publish and the
+/// receiver's registration are separated by seq_cst fences in the Dekker
+/// pattern — after both fences, either the sender observes `sleepers_ != 0`
+/// (and rings the doorbell under the wake mutex) or the receiver observes
+/// the published arrival during its pre-sleep recheck. Payload
+/// happens-before never relies on those fences; it rides entirely on the
+/// ring's release/release index pair (or the overflow mutex), which is
+/// what keeps the design TSan-provable.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -20,46 +54,148 @@
 
 namespace mca2a::smp {
 
+/// Which transport a cluster's mailboxes use.
+enum class MailboxKind : int { kRing = 0, kMutex };
+
+/// Per-cluster mailbox tuning, normally read once from the environment at
+/// SmpCluster construction; tests and benches pass explicit configs so a
+/// mutex-vs-ring comparison never mutates the environment of live threads.
+struct MailboxConfig {
+  MailboxKind kind = MailboxKind::kRing;
+  /// SPSC ring capacity in messages, per (src, dst, comm) lane.
+  std::uint32_t ring_slots = 64;
+  /// Payload bytes stored inline in a ring slot; larger messages travel
+  /// as a heap block whose ownership passes through the ring.
+  std::uint32_t ring_inline = 256;
+  /// Receiver poll iterations without progress before it parks on the
+  /// doorbell (0 = park immediately; oversubscribed runs want it small).
+  int spin = 64;
+
+  /// Read A2A_SMP_MAILBOX / A2A_SMP_RING_SLOTS / A2A_SMP_RING_INLINE /
+  /// A2A_SMP_SPIN via rt::env (fail-fast validation).
+  static MailboxConfig from_env();
+};
+
 /// A receive posted by the owning rank, waiting for a matching message.
+/// `complete` is the only cross-thread field in ring mode (and pairs
+/// release/acquire with `error`/`received`, written before the release
+/// store); in mutex mode the delivering sender writes all three.
 struct PostedRecv {
   rt::MutView buf{};
   int src = 0;  // rank in comm or rt::kAnySource
   int tag = 0;
   std::uint64_t post_seq = 0;
-  bool complete = false;     // written under the mailbox mutex
+  std::atomic<bool> complete{false};
   bool error = false;        // truncation, reported at the receiver's wait
   std::size_t received = 0;  // actual message size
   std::uint32_t serial = 1;
   bool in_use = false;
 };
 
-/// A message that arrived before its receive was posted (payload copied).
+/// A message parked before its receive was posted (payload owned).
 struct UnexpectedMsg {
   int src = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
-  std::size_t bytes = 0;  // logical size (payload may be empty if virtual)
+  std::size_t bytes = 0;    // logical size
+  bool has_data = false;    // false: virtual payload (or zero bytes)
+  std::unique_ptr<std::byte[]> data;  // bytes long when has_data
+
+  rt::ConstView view() const noexcept {
+    return rt::ConstView{has_data ? data.get() : nullptr, bytes};
+  }
 };
 
 /// Matching state for one rank within one communicator.
 class Mailbox {
  public:
-  std::mutex mu;
-  std::condition_variable cv;
+  Mailbox(int comm_size, const MailboxConfig& cfg);
+  ~Mailbox();
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Deliver a message from `src`: match a posted receive (copy payload,
-  /// mark complete, notify) or park it unexpected. Returns true if matched.
-  /// Caller must NOT hold the mutex. Throws on truncation.
-  bool deliver(int src, int tag, rt::ConstView payload);
+  /// Producer side, called from `src`'s rank thread: enqueue a message.
+  /// Never blocks (eager buffered semantics). Ring mode publishes into
+  /// the lane ring or, when full, the overflow list; mutex mode matches
+  /// a posted receive directly (copying payload) or parks it unexpected.
+  void send(int src, int tag, rt::ConstView payload);
 
-  /// Try to match an unexpected message for (src, tag); if found, copy into
-  /// `buf` and return true. Otherwise enqueue `r` as posted. Caller must
-  /// not hold the mutex.
+  /// Owner side: pull every visible arrival into matching state,
+  /// completing posted receives in order. No-op in mutex mode (senders
+  /// match eagerly there).
+  void drain();
+
+  /// Owner side: drain, then match `r` against an already-arrived
+  /// message (copy payload, mark complete, return true) or append it to
+  /// the posted list (return false). Throws on truncation of an
+  /// already-arrived message — the caller is the receiver.
   bool post_or_match(PostedRecv* r);
 
+  /// Owner side: wake-epoch observation for idle(); capture it *before*
+  /// checking completion flags so a completion delivered in between
+  /// cannot be slept through. Ring mode has no epoch (returns 0 — its
+  /// idle() rechecks arrivals instead).
+  std::uint64_t epoch() const;
+
+  /// Owner side: one pause of the wait loop. Spins/yields for the
+  /// configured budget, then parks on the doorbell until a sender
+  /// publishes (ring) or the epoch moves past `observed_epoch` (mutex).
+  /// `spins` is the caller's running idle-poll counter.
+  void idle(std::uint64_t observed_epoch, int& spins);
+
  private:
+  struct Lane;
+
+  Lane& lane_for_send(int src);
+  void pump_lane(int src, Lane& lane);
+  void drain_overflow();
+  /// True when a lane ring or the overflow list holds an undrained
+  /// message (the pre-sleep recheck).
+  bool arrivals_visible() const;
+  void ring_doorbell();
+  /// Enter one arrival into matching order: complete the first eligible
+  /// posted receive (true), or park it (false). `owned` transfers payload
+  /// ownership when the caller already holds a heap block.
+  bool accept(int src, int tag, rt::ConstView payload,
+              std::unique_ptr<std::byte[]> owned);
+  bool match_posted(int src, int tag, rt::ConstView payload);
+
+  struct OverflowMsg {
+    int src = 0;
+    int tag = 0;
+    std::uint64_t seq = 0;
+    std::size_t bytes = 0;
+    bool has_data = false;
+    std::unique_ptr<std::byte[]> data;
+  };
+
+  MailboxConfig cfg_;
+  int comm_size_ = 0;
+  std::size_t stride_ = 0;  // ring slot stride (header + inline, padded)
+
+  // --- ring transport ---------------------------------------------------
+  /// One lazily-created lane per source rank; the unique producer
+  /// creates it (plain check, release store), the consumer acquires.
+  std::vector<std::atomic<Lane*>> lanes_;
+  /// Full-lane fallback; count mutates only under the mutex so the
+  /// lock-free reads in drain()/arrivals_visible() can trust a zero.
+  std::mutex overflow_mu_;
+  std::deque<OverflowMsg> overflow_;
+  std::atomic<std::size_t> overflow_count_{0};
+  /// Doorbell (see file comment for the fence pairing).
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::uint64_t wake_epoch_ = 0;  // guarded by wake_mu_
+
+  // --- mutex transport --------------------------------------------------
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> mutex_epoch_{0};  // bumped under mu_
+
+  // --- matching state ---------------------------------------------------
+  /// Ring mode: owner-thread-only, no lock. Mutex mode: guarded by mu_.
   std::deque<PostedRecv*> posted_;
-  std::deque<UnexpectedMsg> unexpected_;
+  std::deque<UnexpectedMsg> arrived_;
   std::uint64_t next_post_seq_ = 0;
 };
 

@@ -5,7 +5,12 @@
 namespace mca2a::smp {
 
 SmpCluster::SmpCluster(int world_size)
-    : world_size_(world_size), epoch_(std::chrono::steady_clock::now()) {
+    : SmpCluster(world_size, MailboxConfig::from_env()) {}
+
+SmpCluster::SmpCluster(int world_size, const MailboxConfig& cfg)
+    : world_size_(world_size),
+      mailbox_cfg_(cfg),
+      epoch_(std::chrono::steady_clock::now()) {
   if (world_size < 1) {
     throw std::invalid_argument("SmpCluster: world size must be >= 1");
   }
@@ -15,7 +20,9 @@ SmpCluster::SmpCluster(int world_size)
   for (int r = 0; r < world_size; ++r) {
     world_entry.world_ranks[r] = r;
   }
-  world_entry.mailboxes.resize(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    world_entry.mailboxes.emplace_back(world_size, mailbox_cfg_);
+  }
   world_comms_.reserve(world_size);
   for (int r = 0; r < world_size; ++r) {
     world_comms_.push_back(std::make_unique<SmpComm>(*this, 0u, r, world_size));
@@ -61,7 +68,10 @@ std::uint32_t SmpCluster::intern_comm(std::vector<int> world_ranks,
   const auto id = static_cast<std::uint32_t>(comms_.size());
   CommEntry& entry = comms_.emplace_back();
   entry.world_ranks = key.first;
-  entry.mailboxes.resize(key.first.size());
+  const int comm_size = static_cast<int>(key.first.size());
+  for (int r = 0; r < comm_size; ++r) {
+    entry.mailboxes.emplace_back(comm_size, mailbox_cfg_);
+  }
   registry_.emplace(std::move(key), id);
   return id;
 }
@@ -86,7 +96,7 @@ rt::Request SmpComm::isend(rt::ConstView buf, int dst, int tag) {
   if (tag < 0) {
     throw std::invalid_argument("isend: tag must be >= 0");
   }
-  mailbox(dst).deliver(rank_, tag, buf);
+  mailbox(dst).send(rank_, tag, buf);
   // Eager buffered semantics: the send is complete on return. An invalid
   // Request denotes "already complete" and is skipped by wait_try.
   return rt::Request{};
@@ -111,6 +121,8 @@ rt::Request SmpComm::irecv(rt::MutView buf, int src, int tag) {
   op.buf = buf;
   op.src = src;
   op.tag = tag;
+  op.error = false;
+  op.received = 0;
   op.in_use = true;
   mailbox(rank_).post_or_match(&op);
   return rt::Request{slot, op.serial};
@@ -128,18 +140,27 @@ PostedRecv& SmpComm::op_checked(const rt::Request& r) {
 }
 
 bool SmpComm::wait_try(std::span<const rt::Request> reqs) {
-  // Completion flags are written under this rank's mailbox mutex.
+  // Poll loop: drain this rank's mailbox (ring arrivals complete posted
+  // receives here, on the owner thread), check the completion flags, and
+  // pause when nothing moved. The epoch is observed *before* the check so
+  // a mutex-mode delivery racing the check cannot be slept through.
   Mailbox& mb = mailbox(rank_);
-  {
-    std::unique_lock<std::mutex> lock(mb.mu);
-    mb.cv.wait(lock, [&] {
-      for (const rt::Request& r : reqs) {
-        if (r.valid() && !op_checked(r).complete) {
-          return false;
-        }
+  int spins = 0;
+  for (;;) {
+    const std::uint64_t epoch = mb.epoch();
+    mb.drain();
+    bool all = true;
+    for (const rt::Request& r : reqs) {
+      if (r.valid() &&
+          !op_checked(r).complete.load(std::memory_order_acquire)) {
+        all = false;
+        break;
       }
-      return true;
-    });
+    }
+    if (all) {
+      break;
+    }
+    mb.idle(epoch, spins);
   }
   bool truncated = false;
   for (const rt::Request& r : reqs) {

@@ -2,12 +2,13 @@
 /// \file smp_comm.hpp
 /// Shared-memory (threads-as-ranks) backend.
 ///
-/// Each rank is an OS thread; messages move through mutex-guarded mailboxes
-/// with eager (buffered) semantics: sends never block, receives block until
-/// a matching message is delivered. This is the backend a downstream user
-/// runs on a single many-core box — the actual deployment target of the
-/// paper's intra-node optimizations — and the backend all correctness tests
-/// validate byte-for-byte.
+/// Each rank is an OS thread; messages move through per-(src,dst,comm)
+/// lock-free SPSC ring mailboxes (or the mutex-guarded baseline — see
+/// mailbox.hpp and MailboxConfig) with eager (buffered) semantics: sends
+/// never block, receives block until a matching message is delivered. This
+/// is the backend a downstream user runs on a single many-core box — the
+/// actual deployment target of the paper's intra-node optimizations — and
+/// the backend all correctness tests validate byte-for-byte.
 
 #include <chrono>
 #include <cstdint>
@@ -29,7 +30,11 @@ class SmpComm;
 /// Shared state: communicator registry and mailboxes.
 class SmpCluster {
  public:
+  /// Mailbox tuning comes from the environment (MailboxConfig::from_env).
   explicit SmpCluster(int world_size);
+  /// Explicit mailbox tuning — benches and tests compare ring vs mutex
+  /// transports without mutating the environment of live rank threads.
+  SmpCluster(int world_size, const MailboxConfig& cfg);
   ~SmpCluster();
   SmpCluster(const SmpCluster&) = delete;
   SmpCluster& operator=(const SmpCluster&) = delete;
@@ -63,6 +68,7 @@ class SmpCluster {
                             int caller_world_rank);
 
   int world_size_;
+  MailboxConfig mailbox_cfg_;
   std::mutex registry_mu_;
   std::map<std::pair<std::vector<int>, std::uint32_t>, std::uint32_t>
       registry_;
@@ -94,6 +100,12 @@ class SmpComm final : public rt::Comm {
   std::string_view backend_name() const noexcept override { return "smp"; }
   rt::Buffer alloc_buffer(std::size_t bytes) const override {
     return rt::Buffer::real(bytes);
+  }
+  rt::Buffer alloc_scratch_buffer(std::size_t bytes) const override {
+    // Scratch contents are unspecified by contract; skipping the memset
+    // leaves the pages untouched so the rank thread's own first write
+    // faults them in on its NUMA node (see ScratchArena's first-touch).
+    return rt::Buffer::real_uninit(bytes);
   }
   void charge_copy(std::size_t) override {}  // real memcpy already happened
   std::unique_ptr<rt::Comm> create_subcomm(

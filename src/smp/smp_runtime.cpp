@@ -8,6 +8,9 @@ namespace mca2a::smp {
 
 SmpRuntime::SmpRuntime(int world_size) : cluster_(world_size) {}
 
+SmpRuntime::SmpRuntime(int world_size, const MailboxConfig& cfg)
+    : cluster_(world_size, cfg) {}
+
 void SmpRuntime::run(
     const std::function<rt::Task<void>(rt::Comm&)>& rank_main) {
   const int n = cluster_.world_size();
@@ -36,6 +39,12 @@ void SmpRuntime::run(
 void run_threads(int world_size,
                  const std::function<rt::Task<void>(rt::Comm&)>& rank_main) {
   SmpRuntime rt(world_size);
+  rt.run(rank_main);
+}
+
+void run_threads(int world_size, const MailboxConfig& cfg,
+                 const std::function<rt::Task<void>(rt::Comm&)>& rank_main) {
+  SmpRuntime rt(world_size, cfg);
   rt.run(rank_main);
 }
 

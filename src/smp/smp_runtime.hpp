@@ -15,6 +15,9 @@ namespace mca2a::smp {
 class SmpRuntime {
  public:
   explicit SmpRuntime(int world_size);
+  /// Explicit mailbox tuning (ring-vs-mutex comparisons; tiny rings for
+  /// backpressure tests) instead of the environment's.
+  SmpRuntime(int world_size, const MailboxConfig& cfg);
 
   int world_size() const noexcept { return cluster_.world_size(); }
   rt::Comm& world(int rank) { return cluster_.world(rank); }
@@ -29,6 +32,9 @@ class SmpRuntime {
 
 /// Convenience: run `rank_main` on `world_size` freshly-created ranks.
 void run_threads(int world_size,
+                 const std::function<rt::Task<void>(rt::Comm&)>& rank_main);
+/// Same, with explicit mailbox tuning.
+void run_threads(int world_size, const MailboxConfig& cfg,
                  const std::function<rt::Task<void>(rt::Comm&)>& rank_main);
 
 }  // namespace mca2a::smp

@@ -170,6 +170,61 @@ TEST(ExecutionProfiler, MergeCombinesProfiles) {
   EXPECT_EQ(a.samples(kb), 1u);
 }
 
+TEST(ExecutionProfiler, SnapshotSerializationIgnoresInsertionOrder) {
+  // Distinct keys fed in opposite orders must serialize to identical
+  // bytes: snapshot() sorts by key fields, and each key's statistics see
+  // the same sample sequence, so nothing order-dependent survives.
+  const topo::Machine machine = topo::generic(2, 4);
+  std::vector<ProfileKey> keys;
+  for (int algo = 0; algo < 4; ++algo) {
+    for (std::size_t block : {16ul, 256ul, 4096ul}) {
+      keys.push_back(key_for(machine, block, algo, 4));
+    }
+  }
+  const auto feed = [](ExecutionProfiler& p, const ProfileKey& k, int salt) {
+    for (int i = 0; i < 5; ++i) {
+      p.record(k, 1e-4 * (salt + 1) + 1e-6 * i);
+    }
+  };
+  ExecutionProfiler fwd;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    feed(fwd, keys[i], static_cast<int>(i));
+  }
+  ExecutionProfiler rev;
+  for (std::size_t i = keys.size(); i-- > 0;) {
+    feed(rev, keys[i], static_cast<int>(i));
+  }
+  std::ostringstream a, b;
+  autotune::write_profile_section(a, fwd);
+  autotune::write_profile_section(b, rev);
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ExecutionProfiler, CopyPreservesSnapshotBytes) {
+  const topo::Machine machine = topo::generic(2, 4);
+  ExecutionProfiler p(4);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    p.record(key_for(machine, 16ul << (rng() % 5), static_cast<int>(rng() % 3),
+                     4),
+             1e-5 * static_cast<double>(rng() % 1000 + 1));
+  }
+  const ExecutionProfiler copy(p);
+  EXPECT_EQ(copy.shard_count(), p.shard_count());
+  EXPECT_EQ(copy.revision(), p.revision());
+  std::ostringstream a, b;
+  autotune::write_profile_section(a, p);
+  autotune::write_profile_section(b, copy);
+  EXPECT_EQ(a.str(), b.str());
+
+  ExecutionProfiler assigned;
+  assigned = p;
+  std::ostringstream c;
+  autotune::write_profile_section(c, assigned);
+  EXPECT_EQ(a.str(), c.str());
+}
+
 TEST(ExecutionProfiler, KeyValidationRejectsWhitespace) {
   const topo::Machine machine = topo::generic(1, 2);
   EXPECT_THROW(key_for(machine, 64, 0, 2, "has space"),

@@ -12,6 +12,7 @@
 #include "harness/sweep.hpp"
 #include "plan/cache.hpp"
 #include "plan/plan.hpp"
+#include "plan/sharded_cache.hpp"
 #include "plan/tuning_table.hpp"
 #include "runtime/collectives.hpp"
 #include "test_util.hpp"
@@ -324,6 +325,73 @@ TEST(PlanCache, DistinguishesCommunicators) {
     cache.get_or_create(*sub, machine, net, 4, popts);
     EXPECT_EQ(cache.stats().constructions, 2u);
     EXPECT_EQ(cache.size(), 2u);
+    co_return;
+  });
+}
+
+TEST(ShardedPlanCache, SingleThreadReplayMatchesPlainCache) {
+  // One thread sticks to one shard, so a deterministic replay through a
+  // ShardedPlanCache must count exactly what a plain PlanCache of that
+  // shard's capacity counts — hits, misses, constructions, evictions and
+  // the per-op slices. This is the pre-shard/post-shard accounting pin.
+  const topo::Machine machine = topo::generic(1, 2);
+  test::run_sim(machine, [&](Comm& world) -> Task<void> {
+    plan::ShardedPlanCache sharded(3, 1);
+    plan::PlanCache plain(3);
+    plan::PlanOptions popts;
+    popts.algo = coll::Algo::kPairwiseDirect;
+    const model::NetParams net = model::test_params();
+    // A replay with re-references (hits), rotation past capacity
+    // (evictions) and re-faults of evicted keys.
+    const std::size_t script[] = {4, 8, 4, 16, 32, 8, 4, 64, 32, 4, 8};
+    for (const std::size_t block : script) {
+      sharded.get_or_create(world, machine, net, block, popts);
+      plain.get_or_create(world, machine, net, block, popts);
+    }
+    const plan::PlanCache::Stats a = sharded.stats();
+    const plan::PlanCache::Stats b = plain.stats();
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.constructions, b.constructions);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_GT(a.evictions, 0u);
+    for (std::size_t op = 0; op < coll::kNumOpKinds; ++op) {
+      EXPECT_EQ(a.per_op[op].hits, b.per_op[op].hits) << "op " << op;
+      EXPECT_EQ(a.per_op[op].misses, b.per_op[op].misses) << "op " << op;
+    }
+    EXPECT_EQ(sharded.size(), plain.size());
+    co_return;
+  });
+}
+
+TEST(ShardedPlanCache, CapacitySplitAndEviction) {
+  const topo::Machine machine = topo::generic(1, 2);
+  test::run_sim(machine, [&](Comm& world) -> Task<void> {
+    plan::ShardedPlanCache cache(8, 4);
+    EXPECT_EQ(cache.shard_count(), 4u);
+    EXPECT_EQ(cache.capacity(), 8u);  // 4 shards x 2 plans
+    // The at-least-one-plan floor: capacity 2 over 8 shards rounds up.
+    plan::ShardedPlanCache floored(2, 8);
+    EXPECT_EQ(floored.shard_count(), 8u);
+    EXPECT_EQ(floored.capacity(), 8u);
+
+    plan::PlanOptions popts;
+    popts.algo = coll::Algo::kPairwiseDirect;
+    const model::NetParams net = model::test_params();
+    // This thread's shard holds 2 plans; three rotating keys must evict,
+    // and the evicted plan's shared_ptr stays valid.
+    auto p4 = cache.get_or_create(world, machine, net, 4, popts);
+    cache.get_or_create(world, machine, net, 8, popts);
+    cache.get_or_create(world, machine, net, 16, popts);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(p4->block(), 4u);
+
+    EXPECT_EQ(cache.erase_comm(world), 2u);
+    EXPECT_EQ(cache.size(), 0u);
+    // Counters survive both erase_comm and clear.
+    cache.clear();
+    EXPECT_EQ(cache.stats().constructions, 3u);
     co_return;
   });
 }
