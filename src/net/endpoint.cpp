@@ -16,6 +16,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/env.hpp"
 
 namespace mca2a::net {
 
@@ -94,6 +95,9 @@ Endpoint::Endpoint(NetOptions opts)
     trace_session_ = rec->begin_session("net");
     tracer_ = rec->open_stream(trace_session_, opts_.rank);
     tracer_->set_clock([this] { return now(); });
+    tracer_->set_world_rank(opts_.rank);
+    sync_period_s_ =
+        rt::env::get_double("A2A_TRACE_SYNC", 0.0, 0.0, 86400.0);
   }
 
   build_mesh();
@@ -103,6 +107,9 @@ Endpoint::~Endpoint() {
   shutdown();
   if (trace_rec_ != nullptr) {
     trace_rec_->end_session(trace_session_);
+    // The clock lambda captures `this`; unbind it so nothing dangling
+    // survives into the exit-time writers.
+    tracer_->set_clock({});
   }
 }
 
@@ -114,6 +121,9 @@ double Endpoint::now() const {
 // --- bootstrap ---------------------------------------------------------------
 
 void Endpoint::build_mesh() {
+  const double t_start = now();
+  obs::Span bootstrap_sp(tracer_, "net.bootstrap", "net", 0,
+                         {{"ranks", opts_.size}, {"rails", opts_.rails}});
   peers_.resize(static_cast<std::size_t>(opts_.size));
   for (Peer& p : peers_) {
     p.conns.assign(static_cast<std::size_t>(opts_.rails), -1);
@@ -130,20 +140,30 @@ void Endpoint::build_mesh() {
   PeerInfo self;
   self.rank = opts_.rank;
   const int backlog = std::max(64, opts_.size * opts_.rails + 8);
-  if (opts_.ifaces.empty()) {
-    auto [fd, port] = listen_tcp("", 0, backlog);
-    listeners_.push_back(std::move(fd));
-    self.addrs.push_back(Address{route_source_ip(opts_.rendezvous), port});
-  } else {
-    for (const std::string& iface : opts_.ifaces) {
-      const std::string ip = resolve_ipv4(iface);
-      auto [fd, port] = listen_tcp(ip, 0, backlog);
+  {
+    obs::Span sp(tracer_, "net.listen", "net", 0);
+    if (opts_.ifaces.empty()) {
+      auto [fd, port] = listen_tcp("", 0, backlog);
       listeners_.push_back(std::move(fd));
-      self.addrs.push_back(Address{ip, port});
+      self.addrs.push_back(Address{route_source_ip(opts_.rendezvous), port});
+    } else {
+      for (const std::string& iface : opts_.ifaces) {
+        const std::string ip = resolve_ipv4(iface);
+        auto [fd, port] = listen_tcp(ip, 0, backlog);
+        listeners_.push_back(std::move(fd));
+        self.addrs.push_back(Address{ip, port});
+      }
     }
   }
 
-  const std::vector<PeerInfo> table = rendezvous_exchange(opts_, self);
+  std::vector<PeerInfo> table;
+  {
+    // Register with the rendezvous server and block for the full table —
+    // the startup phase that scales with job size and server placement.
+    obs::Span sp(tracer_, "net.rendezvous", "net", 0,
+                 {{"ranks", opts_.size}});
+    table = rendezvous_exchange(opts_, self);
+  }
   opts_.rendezvous_fd = -1;  // rendezvous_exchange owned and closed it
 
   // Connect to every lower-ranked peer (all rails), then accept from every
@@ -156,6 +176,8 @@ void Endpoint::build_mesh() {
       throw std::runtime_error("net: rank " + std::to_string(q) +
                                " missing from rendezvous table");
     }
+    obs::Span sp(tracer_, "net.connect", "net", 0,
+                 {{"peer", q}, {"rails", opts_.rails}});
     for (int r = 0; r < opts_.rails; ++r) {
       const Address& a = peer.addrs[static_cast<std::size_t>(r) %
                                     peer.addrs.size()];
@@ -172,6 +194,8 @@ void Endpoint::build_mesh() {
   }
 
   int expected = (opts_.size - 1 - opts_.rank) * opts_.rails;
+  obs::Span accept_sp(tracer_, "net.accept", "net", 0,
+                      {{"expected", expected}});
   std::vector<pollfd> pfds;
   for (const Fd& l : listeners_) {
     pfds.push_back(pollfd{l.get(), POLLIN, 0});
@@ -207,8 +231,79 @@ void Endpoint::build_mesh() {
       --expected;
     }
   }
+  accept_sp.close();
   listeners_.clear();  // the mesh is complete; nobody else will connect
   obs::metrics().counter("net.connections").add(conns_.size());
+
+  // Clock calibration against rank 0 rides the freshly built mesh; only
+  // meaningful (and only paid for) when the flight recorder is on.
+  if (tracer_ != nullptr) {
+    run_calibration();
+  }
+  bootstrap_sp.close();
+  obs::metrics()
+      .counter("net.bootstrap_micros")
+      .add(static_cast<std::uint64_t>((now() - t_start) * 1e6));
+}
+
+void Endpoint::run_calibration() {
+  last_sync_s_ = now();
+  if (opts_.size <= 1 || opts_.rank == 0 || fatal_ || shut_down_) {
+    return;
+  }
+  Peer& ref = peers_[0];
+  if (ref.dead || ref.bye_seen || ref.finished) {
+    return;
+  }
+  obs::Span sp(tracer_, "net.calibrate", "net", 0);
+  constexpr int kProbes = 16;
+  std::vector<obs::ProbeSample> samples;
+  samples.reserve(kProbes);
+  // Rank 0 serves pings reactively whenever it progresses (a wait, a
+  // shutdown drain), so a probe answers as soon as the reference rank
+  // touches the engine. If it never does — it exited, or sits in compute —
+  // bail at the deadline and keep the previous calibration.
+  const double deadline = now() + std::min(2.0, opts_.timeout_s);
+  for (int i = 0; i < kProbes; ++i) {
+    FrameHeader ping;
+    ping.kind = FrameKind::kPing;
+    ping.token = ++ping_token_;
+    pong_pending_ = true;
+    const double t_send = now();
+    enqueue(ref.conns[0], ping, rt::ConstView{}, {}, UINT32_MAX);
+    while (pong_pending_) {
+      if (fatal_ || ref.dead || ref.bye_seen || now() >= deadline) {
+        pong_pending_ = false;
+        return;
+      }
+      progress(1);
+    }
+    samples.push_back(obs::ProbeSample{t_send, pong_remote_s_, now()});
+  }
+  const obs::ClockCalibration round = obs::estimate_offset(samples);
+  if (!round.valid) {
+    return;
+  }
+  calib_rounds_.push_back(round);
+  tracer_->set_calibration(obs::fit_drift(calib_rounds_));
+}
+
+std::uint64_t Endpoint::next_tx_flow(std::uint64_t comm_key, int dst_world,
+                                     int tag) {
+  if (tracer_ == nullptr) {
+    return 0;
+  }
+  const std::uint64_t seq = flow_tx_seq_[{comm_key, dst_world, tag}]++;
+  return obs::flow_id(comm_key, opts_.rank, dst_world, tag, seq);
+}
+
+std::uint64_t Endpoint::next_rx_flow(std::uint64_t comm_key, int src_world,
+                                     int tag) {
+  if (tracer_ == nullptr) {
+    return 0;
+  }
+  const std::uint64_t seq = flow_rx_seq_[{comm_key, src_world, tag}]++;
+  return obs::flow_id(comm_key, src_world, opts_.rank, tag, seq);
 }
 
 int Endpoint::register_conn(Fd fd, int peer, int rail) {
@@ -316,7 +411,10 @@ rt::Request Endpoint::post_send(std::uint64_t comm_key,
       owned.assign(buf.ptr, buf.ptr + buf.len);
     }
     eager_tx_->add(1);
-    enqueue(peer.conns[0], h, rt::ConstView{}, std::move(owned), UINT32_MAX);
+    const std::uint64_t flow =
+        buf.len > 0 ? next_tx_flow(comm_key, dst_world, tag) : 0;
+    enqueue(peer.conns[0], h, rt::ConstView{}, std::move(owned), UINT32_MAX,
+            flow);
     return rt::Request{};  // buffered: complete on return
   }
 
@@ -325,6 +423,9 @@ rt::Request Endpoint::post_send(std::uint64_t comm_key,
   op.kind = Op::Kind::kSend;
   op.sbuf = buf;
   op.dst_world = dst_world;
+  // The RTS is the matching-relevant frame: draw the flow id now, emit the
+  // arrow source later from the first data chunk's net.send span.
+  op.flow_id = next_tx_flow(comm_key, dst_world, tag);
   FrameHeader h;
   h.kind = FrameKind::kRts;
   h.tag = tag;
@@ -370,8 +471,9 @@ rt::Request Endpoint::post_recv(std::uint64_t comm_key,
       const int peer = it->peer_world;
       const std::uint64_t token = it->sender_token;
       const std::uint64_t bytes = it->bytes;
+      const std::uint64_t flow = it->flow_id;
       cs.unexpected.erase(it);
-      start_rndv_recv(slot, peer, token, bytes);
+      start_rndv_recv(slot, peer, token, bytes, flow);
     } else {
       op.received = std::min<std::size_t>(it->bytes, buf.len);
       if (it->bytes > buf.len) {
@@ -448,7 +550,7 @@ std::uint32_t Endpoint::match_posted(CommState& cs, int src, int tag) {
 
 void Endpoint::start_rndv_recv(std::uint32_t recv_op, int peer_world,
                                std::uint64_t sender_token,
-                               std::uint64_t bytes) {
+                               std::uint64_t bytes, std::uint64_t flow) {
   Op& op = ops_[recv_op];
   Peer& peer = peers_[static_cast<std::size_t>(peer_world)];
   if (peer.dead || peer.finished) {
@@ -464,6 +566,7 @@ void Endpoint::start_rndv_recv(std::uint32_t recv_op, int peer_world,
   rr.bytes = bytes;
   rr.remaining = bytes;
   rr.peer_world = peer_world;
+  rr.flow_id = flow;
   rr.overflow = bytes > op.rbuf.len;
   rr.dest = rt::MutView{op.rbuf.ptr,
                         std::min<std::size_t>(bytes, op.rbuf.len)};
@@ -508,7 +611,8 @@ void Endpoint::send_data_frames(std::uint32_t send_op,
       h.token = recv_token;
       h.token2 = off;
       enqueue(peer.conns[static_cast<std::size_t>(rail)], h,
-              op.sbuf.sub(off, n), {}, send_op);
+              op.sbuf.sub(off, n), {}, send_op,
+              off == 0 ? op.flow_id : 0);
       off += n;
       ++rail;
     }
@@ -522,13 +626,20 @@ void Endpoint::send_data_frames(std::uint32_t send_op,
     h.token2 = 0;
     op.frames_left = 1;
     enqueue(peer.conns[static_cast<std::size_t>(rail)], h, op.sbuf, {},
-            send_op);
+            send_op, op.flow_id);
   }
 }
 
 // --- waiting -----------------------------------------------------------------
 
 void Endpoint::wait(std::span<const rt::Request> reqs) {
+  // Periodic re-sync (A2A_TRACE_SYNC): refresh the clock calibration at
+  // the first wait past the period — the engine is between frames here,
+  // and the probes ride the same progress loop the wait is about to spin.
+  if (tracer_ != nullptr && sync_period_s_ > 0.0 && opts_.rank != 0 &&
+      !shut_down_ && !fatal_ && now() - last_sync_s_ >= sync_period_s_) {
+    run_calibration();
+  }
   drive_until(
       [&] {
         for (const rt::Request& r : reqs) {
@@ -676,6 +787,7 @@ void Endpoint::on_frame(int ci) {
   c.rx_payload_got = 0;
   c.rx_dest = rt::MutView{};
   c.rx_recv_op = UINT32_MAX;
+  c.rx_flow_id = 0;
 
   switch (h.kind) {
     case FrameKind::kHello: {
@@ -719,6 +831,9 @@ void Endpoint::on_frame(int ci) {
         c.rx_dest = rt::MutView{c.rx_owned.data(), h.bytes};
       }
       c.rx_in_payload = true;
+      // Seq drawn at frame ARRIVAL, not match time: arrival order is what
+      // the sender's counter mirrors (rail-0 FIFO), match order is not.
+      c.rx_flow_id = next_rx_flow(h.comm_key, c.peer, h.tag);
       if (tracer_ != nullptr) {
         c.rx_span_open = tracer_->begin(
             "net.recv", "net", ci + 1,
@@ -730,9 +845,10 @@ void Endpoint::on_frame(int ci) {
     }
     case FrameKind::kRts: {
       CommState& cs = comm_state(h.comm_key);
+      const std::uint64_t flow = next_rx_flow(h.comm_key, c.peer, h.tag);
       const std::uint32_t opid = match_posted(cs, h.src, h.tag);
       if (opid != UINT32_MAX) {
-        start_rndv_recv(opid, c.peer, h.token, h.bytes);
+        start_rndv_recv(opid, c.peer, h.token, h.bytes, flow);
       } else {
         Unexpected u;
         u.src = h.src;
@@ -741,6 +857,7 @@ void Endpoint::on_frame(int ci) {
         u.bytes = h.bytes;
         u.peer_world = c.peer;
         u.sender_token = h.token;
+        u.flow_id = flow;
         cs.unexpected.push_back(std::move(u));
       }
       return;
@@ -782,15 +899,37 @@ void Endpoint::on_frame(int ci) {
       }
       return;
     }
+    case FrameKind::kPing: {
+      // Clock-calibration probe: echo the token with our clock reading.
+      // Served reactively (not gated on tracer_ — the prober's tracing
+      // state is what matters) unless this side already half-closed.
+      if (c.open && !c.shut_wr) {
+        FrameHeader pong;
+        pong.kind = FrameKind::kPong;
+        pong.token = h.token;
+        pong.token2 = static_cast<std::uint64_t>(now() * 1e9);
+        enqueue(ci, pong, rt::ConstView{}, {}, UINT32_MAX);
+      }
+      return;
+    }
+    case FrameKind::kPong: {
+      // Stale pongs (an abandoned earlier probe) fail the token check.
+      if (pong_pending_ && h.token == ping_token_) {
+        pong_remote_s_ = static_cast<double>(h.token2) * 1e-9;
+        pong_pending_ = false;
+      }
+      return;
+    }
   }
 }
 
 void Endpoint::finish_rx(int ci) {
   Conn& c = conns_[static_cast<std::size_t>(ci)];
   const FrameHeader& h = c.rx_frame;
-  if (c.rx_span_open) {
-    tracer_->end(ci + 1);
-    c.rx_span_open = false;
+  // Arrow head first, still inside the net.recv span (Perfetto binds the
+  // "f" event to its enclosing slice); the span closes after bookkeeping.
+  if (c.rx_span_open && h.kind == FrameKind::kEager && c.rx_flow_id != 0) {
+    tracer_->flow_end(c.rx_flow_id, ci + 1);
   }
   if (h.kind == FrameKind::kEager) {
     if (c.rx_recv_op != UINT32_MAX) {
@@ -831,21 +970,32 @@ void Endpoint::finish_rx(int ci) {
     RndvRecv& rr = it->second;
     rr.remaining -= h.bytes;
     if (rr.remaining == 0) {
+      // The completing chunk hosts the arrow head: the message is only
+      // semantically received once every stripe landed.
+      if (c.rx_span_open && rr.flow_id != 0) {
+        tracer_->flow_end(rr.flow_id, ci + 1);
+      }
       ops_[rr.op].complete = true;
       rndv_recvs_.erase(it);
     }
+  }
+  if (c.rx_span_open) {
+    tracer_->end(ci + 1);
+    c.rx_span_open = false;
   }
   c.rx_in_payload = false;
   c.rx_header_got = 0;
   c.rx_payload_got = 0;
   c.rx_dest = rt::MutView{};
   c.rx_recv_op = UINT32_MAX;
+  c.rx_flow_id = 0;
 }
 
 // --- transmit path -----------------------------------------------------------
 
 void Endpoint::enqueue(int ci, const FrameHeader& h, rt::ConstView payload,
-                       std::vector<std::byte> owned, std::uint32_t send_op) {
+                       std::vector<std::byte> owned, std::uint32_t send_op,
+                       std::uint64_t flow) {
   Conn& c = conns_[static_cast<std::size_t>(ci)];
   if (!c.open) {
     if (send_op != UINT32_MAX) {
@@ -863,6 +1013,7 @@ void Endpoint::enqueue(int ci, const FrameHeader& h, rt::ConstView payload,
   f.payload = f.owned.empty() ? payload
                               : rt::ConstView{f.owned.data(), f.owned.size()};
   f.send_op = send_op;
+  f.flow_id = flow;
   c.txq.push_back(std::move(f));
   frames_tx_->add(1);
   handle_writable(ci);  // opportunistic flush; EPOLLOUT arms on EAGAIN
@@ -879,6 +1030,10 @@ void Endpoint::handle_writable(int ci) {
           {{"bytes", static_cast<std::int64_t>(f.payload.len)},
            {"peer", c.peer},
            {"rail", c.rail}});
+      if (f.span_open && f.flow_id != 0) {
+        tracer_->flow_start(f.flow_id, ci + 1);
+        f.flow_id = 0;  // one arrow per message, even across retries
+      }
     }
     bool blocked = false;
     while (f.header_sent < kHeaderBytes) {

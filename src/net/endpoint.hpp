@@ -46,12 +46,14 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "net/bootstrap.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/clock_sync.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/comm.hpp"
 
@@ -121,6 +123,7 @@ class Endpoint {
     std::vector<std::byte> owned;
     std::uint32_t send_op = UINT32_MAX;  ///< op to credit when fully sent
     bool span_open = false;              ///< net.send span in flight
+    std::uint64_t flow_id = 0;  ///< flow arrow source, emitted on first flush
   };
 
   // One data connection (= one rail of one peer pair).
@@ -142,6 +145,7 @@ class Endpoint {
     std::vector<std::byte> rx_owned;     ///< unexpected-eager staging
     std::uint32_t rx_recv_op = UINT32_MAX;
     bool rx_span_open = false;
+    std::uint64_t rx_flow_id = 0;  ///< flow arrow head for an eager frame
   };
 
   struct Peer {
@@ -176,6 +180,7 @@ class Endpoint {
     int dst_world = -1;
     std::uint32_t frames_left = 0;  ///< rendezvous data frames unsent
     bool cts_seen = false;
+    std::uint64_t flow_id = 0;  ///< rendezvous flow, stamped on chunk 0
   };
 
   // An eager message or RTS that arrived before its receive was posted.
@@ -188,6 +193,7 @@ class Endpoint {
     std::size_t bytes = 0;
     int peer_world = -1;
     std::uint64_t sender_token = 0;
+    std::uint64_t flow_id = 0;  ///< assigned at RTS arrival (rndv only)
   };
 
   // Matching state of one communicator key (created on demand — a peer
@@ -206,11 +212,23 @@ class Endpoint {
     std::uint64_t remaining = 0;
     bool overflow = false;  ///< message larger than the posted buffer
     int peer_world = -1;
+    std::uint64_t flow_id = 0;  ///< emitted when the last chunk lands
   };
 
   // --- bootstrap -----------------------------------------------------------
   void build_mesh();
   int register_conn(Fd fd, int peer, int rail);
+
+  // --- clock calibration (obs/clock_sync.hpp) ------------------------------
+  /// Run one pingpong round against rank 0 and update the tracer's
+  /// calibration (no-op on rank 0 / size 1; bails on timeout or peer exit
+  /// keeping the previous calibration). Only called with tracing active.
+  void run_calibration();
+  /// Sender-side flow id for the next matching-relevant frame to
+  /// (dst_world, tag) on comm_key; 0 when tracing is off.
+  std::uint64_t next_tx_flow(std::uint64_t comm_key, int dst_world, int tag);
+  /// Receiver-side flow id for a matching-relevant arrival.
+  std::uint64_t next_rx_flow(std::uint64_t comm_key, int src_world, int tag);
 
   // --- progress ------------------------------------------------------------
   void progress(int timeout_ms);
@@ -220,7 +238,8 @@ class Endpoint {
   void on_frame(int ci);         ///< header complete: route by kind
   void finish_rx(int ci);        ///< payload complete
   void enqueue(int ci, const FrameHeader& h, rt::ConstView payload,
-               std::vector<std::byte> owned, std::uint32_t send_op);
+               std::vector<std::byte> owned, std::uint32_t send_op,
+               std::uint64_t flow = 0);
   void update_epoll(int ci);
   void conn_lost(int ci);
   /// Unexpected EOF/reset: the whole endpoint fails (every pending and
@@ -236,7 +255,8 @@ class Endpoint {
   void deliver_eager_local(std::uint64_t comm_key, int src, int tag,
                            rt::ConstView payload);
   void start_rndv_recv(std::uint32_t recv_op, int peer_world,
-                       std::uint64_t sender_token, std::uint64_t bytes);
+                       std::uint64_t sender_token, std::uint64_t bytes,
+                       std::uint64_t flow = 0);
   void send_data_frames(std::uint32_t send_op, std::uint64_t recv_token);
 
   std::uint32_t alloc_op();
@@ -271,6 +291,19 @@ class Endpoint {
   obs::TraceRecorder* trace_rec_ = nullptr;
   int trace_session_ = -1;
   obs::TraceBuffer* tracer_ = nullptr;
+
+  // Distributed tracing: per-(comm, peer, tag) message sequence counters —
+  // both ends count matching-relevant frames, which travel rail 0 in FIFO
+  // order, so sender and receiver derive identical flow ids. Calibration
+  // state implements the pingpong protocol of obs/clock_sync.hpp.
+  std::map<std::tuple<std::uint64_t, int, int>, std::uint64_t> flow_tx_seq_;
+  std::map<std::tuple<std::uint64_t, int, int>, std::uint64_t> flow_rx_seq_;
+  std::vector<obs::ClockCalibration> calib_rounds_;
+  double sync_period_s_ = 0.0;  ///< A2A_TRACE_SYNC (0 = bootstrap only)
+  double last_sync_s_ = 0.0;
+  std::uint64_t ping_token_ = 0;
+  bool pong_pending_ = false;
+  double pong_remote_s_ = 0.0;
 };
 
 }  // namespace mca2a::net

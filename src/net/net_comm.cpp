@@ -3,9 +3,20 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/aggregate.hpp"
+#include "obs/trace.hpp"
+#include "runtime/env.hpp"
+
 namespace mca2a::net {
 
 std::unique_ptr<NetComm> NetComm::connect_world(NetOptions opts) {
+  // Cluster metrics epoch opens BEFORE the endpoint exists, so the
+  // bootstrap's own counters (net.bootstrap_micros, net.connections)
+  // are part of the aggregated delta.
+  std::unique_ptr<obs::MetricsAggregator> agg;
+  if (rt::env::get_string("A2A_CLUSTER_METRICS")) {
+    agg = std::make_unique<obs::MetricsAggregator>();
+  }
   auto ep = std::make_shared<Endpoint>(std::move(opts));
   std::vector<int> members(static_cast<std::size_t>(ep->world_size()));
   std::iota(members.begin(), members.end(), 0);
@@ -14,6 +25,7 @@ std::unique_ptr<NetComm> NetComm::connect_world(NetOptions opts) {
   auto comm = std::unique_ptr<NetComm>(
       new NetComm(std::move(ep), key, std::move(members), rank));
   comm->is_world_ = true;
+  comm->cluster_agg_ = std::move(agg);
   return comm;
 }
 
@@ -31,7 +43,36 @@ NetComm::NetComm(std::shared_ptr<Endpoint> ep, std::uint64_t comm_key,
 
 NetComm::~NetComm() {
   if (is_world_) {
+    // Order matters: (1) the aggregation needs the mesh still up, (2) the
+    // kBye handshake ends all traffic, (3) flushing the env-configured
+    // writers here — not at atexit — guarantees this rank's trace and
+    // metrics files are complete on disk even when the world lives in a
+    // process-global static whose destructor interleaves with other
+    // exit-time machinery. The atexit hooks then rewrite identical files.
+    if (cluster_agg_ != nullptr) {
+      try {
+        aggregate_cluster_metrics();
+      } catch (...) {
+        // Teardown context: a failed aggregation (peer died mid-run) must
+        // not turn a clean exit path into a terminate().
+      }
+    }
     ep_->shutdown();
+    obs::flush_env_writers();
+  }
+}
+
+void NetComm::aggregate_cluster_metrics() {
+  std::vector<int> all(static_cast<std::size_t>(size_));
+  std::iota(all.begin(), all.end(), 0);
+  // Fresh subcomm = fresh comm key: the aggregation's fixed tags cannot
+  // collide with any application traffic, even unconsumed leftovers.
+  const std::unique_ptr<rt::Comm> sub = create_subcomm(all);
+  const obs::ClusterMetrics cm = cluster_agg_->reduce(*sub);
+  if (rank_ == 0) {
+    if (const auto path = rt::env::get_string("A2A_CLUSTER_METRICS")) {
+      obs::MetricsAggregator::write_json_file(cm, *path);
+    }
   }
 }
 

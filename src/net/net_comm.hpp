@@ -24,6 +24,10 @@
 #include "net/endpoint.hpp"
 #include "runtime/comm.hpp"
 
+namespace mca2a::obs {
+class MetricsAggregator;
+}  // namespace mca2a::obs
+
 namespace mca2a::net {
 
 class NetComm final : public rt::Comm {
@@ -61,10 +65,17 @@ class NetComm final : public rt::Comm {
   NetComm(std::shared_ptr<Endpoint> ep, std::uint64_t comm_key,
           std::vector<int> members, int rank);
 
+  /// World teardown under A2A_CLUSTER_METRICS: gather every rank's metric
+  /// deltas over a fresh subcomm; rank 0 writes the combined JSON.
+  void aggregate_cluster_metrics();
+
   std::shared_ptr<Endpoint> ep_;  ///< shared with every subcomm
   std::uint64_t comm_key_;
   std::vector<int> members_;  ///< comm rank -> world rank
   bool is_world_;
+  /// Armed by connect_world when A2A_CLUSTER_METRICS names an output file;
+  /// its construction (before the endpoint's) opens the metrics epoch.
+  std::unique_ptr<obs::MetricsAggregator> cluster_agg_;
 };
 
 }  // namespace mca2a::net

@@ -21,6 +21,10 @@
 ///  * kBye    — orderly shutdown marker; an EOF *without* a preceding Bye
 ///              means the peer died mid-run and pending operations error
 ///              out instead of hanging.
+///  * kPing   — clock-calibration probe toward rank 0 (token = probe id);
+///              served reactively whenever the reference rank progresses.
+///  * kPong   — rank 0's reply: token echoed, token2 = rank-0 clock in
+///              integer nanoseconds at service time (obs/clock_sync.hpp).
 ///
 /// All integers are little-endian on the wire. The header is 48 bytes; a
 /// magic nibble in the kind word catches stream desynchronization early.
@@ -38,6 +42,8 @@ enum class FrameKind : std::uint32_t {
   kCts = 4,
   kData = 5,
   kBye = 6,
+  kPing = 7,
+  kPong = 8,
 };
 
 /// Magic prefix in the kind word (high 20 bits) so a desynchronized or
@@ -54,6 +60,8 @@ inline constexpr std::uint32_t kKindMask = 0xFFFu;
 ///   kData:  token = receiver token, token2 = offset into the user buffer,
 ///           bytes of payload follow.
 ///   kBye:   no other fields.
+///   kPing:  token = probe id.
+///   kPong:  token = echoed probe id, token2 = serving rank's clock in ns.
 struct FrameHeader {
   FrameKind kind = FrameKind::kBye;
   std::int32_t tag = 0;
@@ -115,7 +123,7 @@ inline FrameHeader decode(const std::byte* in) {
   }
   const std::uint32_t k = kind_word & kKindMask;
   if (k < static_cast<std::uint32_t>(FrameKind::kHello) ||
-      k > static_cast<std::uint32_t>(FrameKind::kBye)) {
+      k > static_cast<std::uint32_t>(FrameKind::kPong)) {
     throw std::runtime_error("net: unknown frame kind");
   }
   FrameHeader h;

@@ -1,0 +1,283 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/comm.hpp"
+
+namespace mca2a::obs {
+
+namespace {
+
+/// Aggregation tag space. reduce() must run on a fresh sub-communicator,
+/// so plain small tags cannot collide with application traffic.
+constexpr int kTagLen = 0;
+constexpr int kTagBlob = 1;
+constexpr int kTagAck = 2;
+
+void wait_one(rt::Comm& comm, rt::Request r) {
+  const std::array<rt::Request, 1> reqs{r};
+  comm.wait_try(reqs);
+}
+
+}  // namespace
+
+const ClusterMetrics::Item* ClusterMetrics::find(
+    std::string_view name) const noexcept {
+  const auto it = std::find_if(items.begin(), items.end(),
+                               [&](const Item& i) { return i.name == name; });
+  return it == items.end() ? nullptr : &*it;
+}
+
+MetricsAggregator::MetricsAggregator(const MetricsRegistry& reg)
+    : reg_(&reg), base_(reg.snapshot()) {}
+
+void MetricsAggregator::rebase() { base_ = reg_->snapshot(); }
+
+MetricsSnapshot MetricsAggregator::delta() const {
+  const MetricsSnapshot cur = reg_->snapshot();
+  std::map<std::string, std::uint64_t> base_counters;
+  for (const auto& c : base_.counters) {
+    base_counters.emplace(c.name, c.value);
+  }
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> base_hists;
+  for (const auto& h : base_.histograms) {
+    base_hists.emplace(h.name, std::make_pair(h.count, h.sum));
+  }
+
+  MetricsSnapshot d;
+  for (const auto& c : cur.counters) {
+    const auto it = base_counters.find(c.name);
+    const std::uint64_t base = it == base_counters.end() ? 0 : it->second;
+    if (c.value != base) {
+      d.counters.push_back({c.name, c.value - base});
+    }
+  }
+  d.gauges = cur.gauges;  // last-written semantics: deltas are meaningless
+  for (const auto& h : cur.histograms) {
+    const auto it = base_hists.find(h.name);
+    const std::uint64_t bc = it == base_hists.end() ? 0 : it->second.first;
+    const std::uint64_t bs = it == base_hists.end() ? 0 : it->second.second;
+    if (h.count != bc) {
+      MetricsSnapshot::HistogramEntry e;
+      e.name = h.name;
+      e.count = h.count - bc;
+      e.sum = h.sum - bs;
+      d.histograms.push_back(std::move(e));
+    }
+  }
+  return d;
+}
+
+std::string MetricsAggregator::serialize(const MetricsSnapshot& s) {
+  std::ostringstream os;
+  for (const auto& c : s.counters) {
+    os << "c " << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : s.gauges) {
+    os << "g " << g.name << ' ' << g.value << '\n';
+  }
+  for (const auto& h : s.histograms) {
+    os << "h " << h.name << ' ' << h.count << ' ' << h.sum << '\n';
+  }
+  return os.str();
+}
+
+MetricsSnapshot MetricsAggregator::parse(const std::string& text) {
+  MetricsSnapshot s;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    char kind = 0;
+    std::string name;
+    if (!(ls >> kind >> name)) {
+      throw std::runtime_error("cluster metrics: malformed line: " + line);
+    }
+    if (kind == 'c') {
+      std::uint64_t v = 0;
+      ls >> v;
+      s.counters.push_back({name, v});
+    } else if (kind == 'g') {
+      std::int64_t v = 0;
+      ls >> v;
+      s.gauges.push_back({name, v});
+    } else if (kind == 'h') {
+      MetricsSnapshot::HistogramEntry e;
+      e.name = name;
+      ls >> e.count >> e.sum;
+      s.histograms.push_back(std::move(e));
+    } else {
+      throw std::runtime_error("cluster metrics: unknown record kind in: " +
+                               line);
+    }
+    if (ls.fail()) {
+      throw std::runtime_error("cluster metrics: malformed line: " + line);
+    }
+  }
+  return s;
+}
+
+ClusterMetrics MetricsAggregator::combine(
+    std::span<const MetricsSnapshot> per_rank) {
+  const int n = static_cast<int>(per_rank.size());
+  // name -> (kind, per-rank values); map keeps the output name-sorted.
+  std::map<std::string, std::pair<char, std::vector<double>>> acc;
+  const auto slot = [&](const std::string& name, char kind)
+      -> std::vector<double>& {
+    auto [it, inserted] =
+        acc.emplace(name, std::make_pair(kind, std::vector<double>()));
+    if (inserted) {
+      it->second.second.assign(static_cast<std::size_t>(n), 0.0);
+    }
+    return it->second.second;
+  };
+  for (int r = 0; r < n; ++r) {
+    const MetricsSnapshot& s = per_rank[static_cast<std::size_t>(r)];
+    for (const auto& c : s.counters) {
+      slot(c.name, 'c')[static_cast<std::size_t>(r)] =
+          static_cast<double>(c.value);
+    }
+    for (const auto& g : s.gauges) {
+      slot(g.name, 'g')[static_cast<std::size_t>(r)] =
+          static_cast<double>(g.value);
+    }
+    for (const auto& h : s.histograms) {
+      slot(h.name + ".count", 'h')[static_cast<std::size_t>(r)] =
+          static_cast<double>(h.count);
+      slot(h.name + ".sum", 'h')[static_cast<std::size_t>(r)] =
+          static_cast<double>(h.sum);
+    }
+  }
+
+  ClusterMetrics cm;
+  cm.ranks = n;
+  cm.items.reserve(acc.size());
+  for (auto& [name, entry] : acc) {
+    ClusterMetrics::Item item;
+    item.name = name;
+    item.kind = entry.first;
+    item.per_rank = std::move(entry.second);
+    item.min_rank = 0;
+    item.max_rank = 0;
+    for (int r = 0; r < n; ++r) {
+      const double v = item.per_rank[static_cast<std::size_t>(r)];
+      item.total += v;
+      if (r == 0 || v < item.min) {
+        item.min = v;
+        item.min_rank = r;
+      }
+      if (r == 0 || v > item.max) {
+        item.max = v;
+        item.max_rank = r;
+      }
+    }
+    item.mean = n > 0 ? item.total / n : 0.0;
+    item.imbalance = item.mean != 0.0 ? item.max / item.mean : 0.0;
+    cm.items.push_back(std::move(item));
+  }
+  return cm;
+}
+
+ClusterMetrics MetricsAggregator::reduce(rt::Comm& comm) const {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const MetricsSnapshot mine = delta();
+  if (size == 1) {
+    const std::array<MetricsSnapshot, 1> one{mine};
+    return combine(one);
+  }
+
+  if (rank != 0) {
+    const std::string blob = serialize(mine);
+    std::uint64_t len = blob.size();
+    // Both sends stay posted until waited: the length is eager-small, the
+    // blob may go rendezvous on the net backend.
+    const std::array<rt::Request, 2> reqs{
+        comm.isend(rt::ConstView{reinterpret_cast<const std::byte*>(&len),
+                                 sizeof(len)},
+                   0, kTagLen),
+        comm.isend(rt::ConstView{reinterpret_cast<const std::byte*>(
+                                     blob.data()),
+                                 blob.size()},
+                   0, kTagBlob)};
+    comm.wait_try(reqs);
+    // Barrier release half: rank 0 acks only once every blob landed, so
+    // no rank proceeds to teardown with aggregation traffic in flight.
+    std::byte ack{};
+    wait_one(comm, comm.irecv(rt::MutView{&ack, 1}, 0, kTagAck));
+    return ClusterMetrics{};
+  }
+
+  std::vector<MetricsSnapshot> per_rank(static_cast<std::size_t>(size));
+  per_rank[0] = mine;
+  for (int r = 1; r < size; ++r) {
+    std::uint64_t len = 0;
+    wait_one(comm,
+             comm.irecv(rt::MutView{reinterpret_cast<std::byte*>(&len),
+                                    sizeof(len)},
+                        r, kTagLen));
+    std::string blob(static_cast<std::size_t>(len), '\0');
+    wait_one(comm,
+             comm.irecv(rt::MutView{reinterpret_cast<std::byte*>(blob.data()),
+                                    blob.size()},
+                        r, kTagBlob));
+    per_rank[static_cast<std::size_t>(r)] = parse(blob);
+  }
+  ClusterMetrics cm = combine(per_rank);
+  for (int r = 1; r < size; ++r) {
+    const std::byte ack{};
+    wait_one(comm, comm.isend(rt::ConstView{&ack, 1}, r, kTagAck));
+  }
+  return cm;
+}
+
+void MetricsAggregator::write_json(const ClusterMetrics& cm,
+                                   std::ostream& os) {
+  os << std::setprecision(17);
+  os << "{\n  \"ranks\": " << cm.ranks << ",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& item : cm.items) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    const char* kind = item.kind == 'c'   ? "counter"
+                       : item.kind == 'g' ? "gauge"
+                                          : "histogram";
+    os << "    \"" << item.name << "\": {\"kind\": \"" << kind
+       << "\", \"total\": " << item.total << ", \"min\": " << item.min
+       << ", \"max\": " << item.max << ", \"mean\": " << item.mean
+       << ", \"min_rank\": " << item.min_rank
+       << ", \"max_rank\": " << item.max_rank
+       << ", \"imbalance\": " << item.imbalance << ", \"per_rank\": [";
+    for (std::size_t r = 0; r < item.per_rank.size(); ++r) {
+      os << (r == 0 ? "" : ", ") << item.per_rank[r];
+    }
+    os << "]}";
+  }
+  os << "\n  }\n}\n";
+}
+
+void MetricsAggregator::write_json_file(const ClusterMetrics& cm,
+                                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cluster metrics: cannot open " + path);
+  }
+  write_json(cm, os);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("cluster metrics: write failed for " + path);
+  }
+}
+
+}  // namespace mca2a::obs

@@ -1,0 +1,103 @@
+#pragma once
+/// \file aggregate.hpp
+/// Cluster-wide metrics aggregation for the multi-rank backends.
+///
+/// Every rank owns a process-local (or thread-shared) MetricsRegistry; a
+/// distributed run therefore ends with N disjoint registries and no single
+/// place to ask "how many bytes did the job move, and which rank lagged?".
+/// MetricsAggregator closes that gap over the communicator itself:
+///
+///  1. Construction snapshots the registry — the epoch baseline. Everything
+///     the job does afterwards shows up as a delta against it (counters and
+///     histograms subtract; gauges report their current value).
+///  2. reduce(comm) is a collective over a *blocking* backend (smp or net):
+///     every rank serializes its delta and sends it to rank 0, which
+///     combines them into per-metric totals, per-rank extrema and imbalance
+///     ratios. Rank 0's acknowledgement doubles as the release half of a
+///     barrier, so no rank resumes (or tears down its endpoint) while its
+///     blob is still in flight. Use a freshly created sub-communicator so
+///     the aggregation tags can never collide with application traffic.
+///  3. combine() is the pure half — tests (and the simulator, which cannot
+///     block) feed it snapshots directly.
+///
+/// The net backend arms this automatically when `A2A_CLUSTER_METRICS=path`
+/// names an output file: the world communicator's teardown runs the
+/// reduction right before the kBye handshake and rank 0 writes
+/// `cluster-metrics.json`-style output to `path`. See docs/observability.md.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mca2a::rt {
+class Comm;
+}  // namespace mca2a::rt
+
+namespace mca2a::obs {
+
+/// Combined view over every rank's snapshot delta.
+struct ClusterMetrics {
+  struct Item {
+    std::string name;
+    /// 'c' counter, 'g' gauge, 'h' histogram facet (name.count/name.sum).
+    char kind = 'c';
+    double total = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    int min_rank = 0;
+    int max_rank = 0;
+    /// max / mean (0 when mean == 0): 1.0 = perfectly balanced.
+    double imbalance = 0.0;
+    std::vector<double> per_rank;
+  };
+  int ranks = 0;
+  std::vector<Item> items;  ///< sorted by name
+
+  /// Item by name, nullptr when absent (test convenience).
+  const Item* find(std::string_view name) const noexcept;
+};
+
+class MetricsAggregator {
+ public:
+  /// Snapshot `reg` now: the epoch baseline deltas are measured against.
+  explicit MetricsAggregator(const MetricsRegistry& reg = metrics());
+
+  /// Start a new epoch: re-baseline against the registry's current state.
+  void rebase();
+
+  /// This rank's delta since the baseline. Counters and histograms with a
+  /// zero delta are dropped (absent reads as zero on the combining side);
+  /// gauges report their current value.
+  MetricsSnapshot delta() const;
+
+  /// Gather every rank's delta() to comm rank 0 and combine. Blocking
+  /// collective: every rank of `comm` must call it (smp or net backend —
+  /// the simulator's wait_try does not block). Rank 0 returns the combined
+  /// metrics; other ranks return an empty ClusterMetrics after rank 0
+  /// acknowledged receipt (barrier semantics).
+  ClusterMetrics reduce(rt::Comm& comm) const;
+
+  /// Pure combining core: `per_rank[r]` is rank r's snapshot delta.
+  static ClusterMetrics combine(std::span<const MetricsSnapshot> per_rank);
+
+  /// Compact wire form of one snapshot ("c name value" / "g name value" /
+  /// "h name count sum" lines) and its inverse.
+  static std::string serialize(const MetricsSnapshot& s);
+  static MetricsSnapshot parse(const std::string& text);
+
+  /// JSON rendering of a combined result (totals, extrema, imbalance and
+  /// the full per-rank vectors).
+  static void write_json(const ClusterMetrics& cm, std::ostream& os);
+  static void write_json_file(const ClusterMetrics& cm,
+                              const std::string& path);
+
+ private:
+  const MetricsRegistry* reg_;
+  MetricsSnapshot base_;
+};
+
+}  // namespace mca2a::obs

@@ -1,0 +1,69 @@
+#include "obs/clock_sync.hpp"
+
+namespace mca2a::obs {
+
+ClockCalibration estimate_offset(std::span<const ProbeSample> samples) {
+  ClockCalibration c;
+  const ProbeSample* best = nullptr;
+  double best_rtt = 0.0;
+  int usable = 0;
+  for (const ProbeSample& s : samples) {
+    const double rtt = s.t_recv - s.t_send;
+    if (rtt <= 0.0) {
+      continue;  // clock hiccup or wrapped probe: untrustworthy
+    }
+    ++usable;
+    if (best == nullptr || rtt < best_rtt) {
+      best = &s;
+      best_rtt = rtt;
+    }
+  }
+  if (best == nullptr) {
+    return c;
+  }
+  c.valid = true;
+  c.offset_s = (best->t_send + best->t_recv) / 2.0 - best->t_remote;
+  c.min_rtt_s = best_rtt;
+  c.base_local_s = (best->t_send + best->t_recv) / 2.0;
+  c.probes = usable;
+  return c;
+}
+
+ClockCalibration fit_drift(std::span<const ClockCalibration> rounds) {
+  ClockCalibration latest;
+  // Least squares of offset over local time: slope = drift. Accumulate in
+  // a base-shifted frame (first valid round's anchor) for conditioning.
+  double t0 = 0.0;
+  double sum_t = 0.0;
+  double sum_o = 0.0;
+  double sum_tt = 0.0;
+  double sum_to = 0.0;
+  int n = 0;
+  for (const ClockCalibration& r : rounds) {
+    if (!r.valid) {
+      continue;
+    }
+    if (n == 0) {
+      t0 = r.base_local_s;
+    }
+    const double t = r.base_local_s - t0;
+    sum_t += t;
+    sum_o += r.offset_s;
+    sum_tt += t * t;
+    sum_to += t * r.offset_s;
+    ++n;
+    latest = r;  // rounds arrive oldest-first; keep the newest anchor
+    latest.rounds = n;
+  }
+  if (n < 2) {
+    return latest;
+  }
+  const double denom = n * sum_tt - sum_t * sum_t;
+  if (denom <= 0.0) {
+    return latest;
+  }
+  latest.drift = (n * sum_to - sum_t * sum_o) / denom;
+  return latest;
+}
+
+}  // namespace mca2a::obs

@@ -1,0 +1,64 @@
+#pragma once
+/// \file clock_sync.hpp
+/// Clock calibration for cross-rank trace merging.
+///
+/// The net backend runs ranks as separate processes whose flight-recorder
+/// timestamps come from per-process steady clocks with arbitrary origins.
+/// To merge N per-rank trace files into one causally-consistent timeline,
+/// every rank estimates its offset against rank 0 (the reference timebase)
+/// with symmetric pingpong probes: rank k stamps t0, sends a ping, rank 0
+/// replies with its own clock reading t_r, rank k stamps t1 on arrival.
+///
+/// The estimator is midpoint-of-min-RTT: among all probes, the one with the
+/// smallest round trip bounds the asymmetry error tightest, and for it
+///
+///     offset = (t0 + t1)/2 - t_r        (local minus reference)
+///
+/// with |error| <= rtt/2 (exact when the two directions are symmetric).
+/// Repeated calibration rounds (A2A_TRACE_SYNC) feed a least-squares drift
+/// fit, so long runs stay aligned even when the two clocks tick at slightly
+/// different rates. The result is stamped into each trace file's metadata
+/// (see obs/trace.hpp) and applied by tools/a2atrace.py at merge time.
+
+#include <span>
+
+namespace mca2a::obs {
+
+/// One symmetric pingpong probe against the reference rank.
+struct ProbeSample {
+  double t_send = 0.0;    ///< local clock when the ping left
+  double t_remote = 0.0;  ///< reference clock when the pong was served
+  double t_recv = 0.0;    ///< local clock when the pong arrived
+};
+
+/// Offset/drift of a local clock relative to the reference timebase.
+struct ClockCalibration {
+  bool valid = false;
+  double offset_s = 0.0;     ///< local minus reference at base_local_s
+  double drift = 0.0;        ///< d(offset)/d(local second), ~0 in practice
+  double min_rtt_s = 0.0;    ///< tightest round trip among the probes
+  double base_local_s = 0.0; ///< local time the offset is anchored at
+  int probes = 0;            ///< probes behind the winning round
+  int rounds = 1;            ///< calibration rounds behind the drift fit
+
+  /// Map a local timestamp into the reference timebase.
+  double align(double local_ts) const noexcept {
+    if (!valid) {
+      return local_ts;
+    }
+    return local_ts - offset_s - drift * (local_ts - base_local_s);
+  }
+};
+
+/// Midpoint-of-min-RTT estimate over one round of probes. Probes with
+/// non-positive RTT are ignored; an empty or all-degenerate round returns
+/// an invalid calibration.
+ClockCalibration estimate_offset(std::span<const ProbeSample> samples);
+
+/// Combine successive calibration rounds into one calibration with a
+/// least-squares drift slope over (base_local_s, offset_s) pairs, anchored
+/// at the latest round. Invalid rounds are skipped; fewer than two valid
+/// rounds (or a degenerate time spread) keep drift at 0.
+ClockCalibration fit_drift(std::span<const ClockCalibration> rounds);
+
+}  // namespace mca2a::obs

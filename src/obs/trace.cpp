@@ -9,9 +9,26 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "runtime/env.hpp"
 
 namespace mca2a::obs {
+
+std::uint64_t flow_id(std::uint64_t comm_key, int src_world, int dst_world,
+                      int tag, std::uint64_t seq) noexcept {
+  const std::uint64_t parts[] = {
+      comm_key, static_cast<std::uint64_t>(static_cast<std::int64_t>(src_world)),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(dst_world)),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)), seq};
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t v : parts) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h == 0 ? 1 : h;  // 0 is the "no flow" sentinel
+}
 
 // --------------------------------------------------------------------------
 // TraceBuffer
@@ -59,6 +76,18 @@ void TraceBuffer::end(int lane) {
 void TraceBuffer::instant(std::string_view name, std::string_view cat,
                           int lane, std::initializer_list<TraceArg> args) {
   push(EventType::kInstant, name, cat, lane, args, /*force=*/false);
+}
+
+void TraceBuffer::flow_start(std::uint64_t id, int lane) {
+  if (push(EventType::kFlowStart, "msg", "flow", lane, {}, /*force=*/false)) {
+    events_.back().flow = id;
+  }
+}
+
+void TraceBuffer::flow_end(std::uint64_t id, int lane) {
+  if (push(EventType::kFlowEnd, "msg", "flow", lane, {}, /*force=*/false)) {
+    events_.back().flow = id;
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -211,8 +240,22 @@ void write_slot_json(std::ostream& os, std::string_view backend, int rank,
   os << "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\n"
      << "  \"backend\": \"" << backend << "\",\n"
      << "  \"clock_domain\": \"" << clock_domain_name(backend) << "\",\n"
-     << "  \"rank\": " << rank << ",\n"
-     << "  \"dropped_events\": " << buf.dropped() << "\n},\n"
+     << "  \"rank\": " << rank << ",\n";
+  if (buf.world_rank() >= 0) {
+    os << "  \"world_rank\": " << buf.world_rank() << ",\n";
+  }
+  const ClockCalibration& calib = buf.calibration();
+  if (calib.valid) {
+    // The merge tool maps this stream into the reference (rank 0) timebase:
+    // aligned = ts - offset - drift * (ts - base).
+    os << std::setprecision(17) << "  \"clock_offset_s\": " << calib.offset_s
+       << ",\n  \"clock_drift\": " << calib.drift
+       << ",\n  \"clock_min_rtt_s\": " << calib.min_rtt_s
+       << ",\n  \"clock_base_s\": " << calib.base_local_s
+       << ",\n  \"clock_sync_probes\": " << calib.probes
+       << ",\n  \"clock_sync_rounds\": " << calib.rounds << ",\n";
+  }
+  os << "  \"dropped_events\": " << buf.dropped() << "\n},\n"
      << "\"traceEvents\": [";
   bool first = true;
   const auto sep = [&] {
@@ -262,6 +305,25 @@ void write_slot_json(std::ostream& os, std::string_view backend, int rank,
            << ", \"tid\": " << e.lane;
         write_args(os, e);
         os << "}";
+        break;
+      case EventType::kFlowStart:
+      case EventType::kFlowEnd:
+        // Chrome flow events: both ends share name/cat/id; the finish end
+        // binds to the *enclosing* slice (bp=e) so the arrow lands on the
+        // receiving span, not the next slice to start. Ids are emitted as
+        // hex strings — 64-bit ints would lose precision in JS parsers.
+        os << "{\"ph\": \"" << (e.type == EventType::kFlowStart ? 's' : 'f')
+           << "\"";
+        if (e.type == EventType::kFlowEnd) {
+          os << ", \"bp\": \"e\"";
+        }
+        os << ", \"id\": \"0x" << std::hex << e.flow << std::dec
+           << "\", \"name\": \"";
+        write_escaped(os, e.name);
+        os << "\", \"cat\": \"";
+        write_escaped(os, e.cat);
+        os << "\", \"ts\": " << ts_us << ", \"pid\": " << e.session
+           << ", \"tid\": " << e.lane << "}";
         break;
     }
   }
@@ -353,5 +415,23 @@ TraceRecorder* active_recorder() {
 }
 
 void set_active_recorder(TraceRecorder* r) { g_override = r; }
+
+void flush_env_writers() noexcept {
+  try {
+    if (g_override == nullptr) {
+      if (TraceRecorder* r = env_recorder()) {
+        r->write_all();
+      }
+    }
+  } catch (...) {
+    // Teardown path: a failed trace write must not abort the process.
+  }
+  try {
+    if (const auto path = rt::env::get_string("A2A_METRICS")) {
+      write_metrics_files(*path);
+    }
+  } catch (...) {
+  }
+}
 
 }  // namespace mca2a::obs

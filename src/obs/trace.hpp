@@ -37,6 +37,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/clock_sync.hpp"
+
 namespace mca2a::obs {
 
 /// One integer-valued event argument. Keys must point at storage that
@@ -46,7 +48,13 @@ struct TraceArg {
   std::int64_t value = 0;
 };
 
-enum class EventType : std::uint8_t { kBegin, kEnd, kInstant };
+enum class EventType : std::uint8_t {
+  kBegin,
+  kEnd,
+  kInstant,
+  kFlowStart,  ///< Perfetto "s": source end of a sender->receiver arrow
+  kFlowEnd,    ///< Perfetto "f" (bp=e): arrow head, binds to enclosing slice
+};
 
 /// Fixed-size stored event. `name`/`cat` must be backed by static storage;
 /// the buffer never copies strings.
@@ -57,8 +65,16 @@ struct TraceEvent {
   EventType type = EventType::kInstant;
   std::string_view name{};
   std::string_view cat{};
+  std::uint64_t flow = 0;    ///< flow binding id (kFlowStart/kFlowEnd only)
   std::array<TraceArg, 4> args{};  ///< entries with empty keys are unused
 };
+
+/// Deterministic flow id for one message: both ends derive the same id from
+/// the match identity plus a per-(comm, src, dst, tag) sequence number that
+/// each side counts locally — FIFO ordering of matching-relevant traffic
+/// keeps the two counters in lockstep. Never returns 0 (0 = "no flow").
+std::uint64_t flow_id(std::uint64_t comm_key, int src_world, int dst_world,
+                      int tag, std::uint64_t seq) noexcept;
 
 /// Per-rank append-only event ring. Single writer (the owning rank);
 /// export happens only after the writing session ended.
@@ -87,6 +103,21 @@ class TraceBuffer {
   /// Zero-duration event.
   void instant(std::string_view name, std::string_view cat, int lane = 0,
                std::initializer_list<TraceArg> args = {});
+  /// Source end of a message arrow. Emit inside the span that produced the
+  /// message (Perfetto binds both ends to their enclosing slice). Droppable
+  /// like begins/instants when the ring is full.
+  void flow_start(std::uint64_t id, int lane = 0);
+  /// Arrow head; emit inside the receiving span.
+  void flow_end(std::uint64_t id, int lane = 0);
+
+  /// Clock calibration stamped into this stream's exported metadata so the
+  /// merge tool can map its timestamps into the reference timebase.
+  void set_calibration(const ClockCalibration& c) noexcept { calib_ = c; }
+  const ClockCalibration& calibration() const noexcept { return calib_; }
+  /// World rank stamped into the exported metadata (-1 = unknown; the
+  /// per-process backends set it so merged rows are labeled correctly).
+  void set_world_rank(int r) noexcept { world_rank_ = r; }
+  int world_rank() const noexcept { return world_rank_; }
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
@@ -101,6 +132,8 @@ class TraceBuffer {
   std::uint64_t dropped_ = 0;
   std::function<double()> clock_;
   std::uint32_t session_ = 0;
+  ClockCalibration calib_{};
+  int world_rank_ = -1;
 };
 
 /// RAII begin/end pair. A Span constructed with a null buffer (tracing
@@ -230,5 +263,15 @@ TraceRecorder* active_recorder();
 /// The caller keeps ownership and must keep `r` alive while any cluster
 /// created under it exists.
 void set_active_recorder(TraceRecorder* r);
+
+/// Flush the env-configured exit writers (A2A_TRACE files, A2A_METRICS
+/// dump) right now. The multi-process net backend calls this from its
+/// world teardown so a rank that exits through the normal path has its
+/// observability files on disk before process-global statics unwind —
+/// the atexit hooks then merely rewrite identical files. Never throws;
+/// a no-op when the knobs are unset or a test recorder overrides the env
+/// one (test-managed streams are not written to disk behind the test's
+/// back).
+void flush_env_writers() noexcept;
 
 }  // namespace mca2a::obs

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/env.hpp"
 
@@ -237,6 +238,22 @@ bool Mailbox::match_posted(int src, int tag, rt::ConstView payload) {
 
 bool Mailbox::accept(int src, int tag, rt::ConstView payload,
                      std::unique_ptr<std::byte[]> owned) {
+  // Receive-side stitching: the arrival enters matching order here, on the
+  // owner thread — the semantic receive point, mirroring the sender's
+  // per-(dst, tag) counter (zero-byte and self messages skip both ends).
+  obs::Span rx_span;
+  if (trace_.tracer != nullptr && payload.len > 0 && src != trace_.owner) {
+    const std::uint64_t seq = flow_rx_seq_[{src, tag}]++;
+    const std::uint64_t id = obs::flow_id(
+        trace_.comm_key, (*trace_.world_ranks)[static_cast<std::size_t>(src)],
+        (*trace_.world_ranks)[static_cast<std::size_t>(trace_.owner)], tag,
+        seq);
+    rx_span = obs::Span(trace_.tracer, "smp.recv", "smp", 0,
+                        {{"bytes", static_cast<std::int64_t>(payload.len)},
+                         {"src", src},
+                         {"tag", tag}});
+    trace_.tracer->flow_end(id, 0);
+  }
   if (match_posted(src, tag, payload)) {
     return true;
   }

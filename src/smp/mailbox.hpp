@@ -46,13 +46,31 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "runtime/buffer.hpp"
 
+namespace mca2a::obs {
+class TraceBuffer;
+}  // namespace mca2a::obs
+
 namespace mca2a::smp {
+
+/// Receiver-side distributed-tracing hook for one mailbox (ring mode
+/// only: accept() then runs exclusively on the owning rank's thread, the
+/// single writer its TraceBuffer requires — mutex mode delivers on the
+/// *sender's* thread and must stay untraced). Installed under the
+/// cluster registry lock before the communicator id is published.
+struct MailboxTraceContext {
+  obs::TraceBuffer* tracer = nullptr;  ///< the owning rank's stream
+  std::uint64_t comm_key = 0;          ///< session-salted communicator id
+  const std::vector<int>* world_ranks = nullptr;  ///< comm rank -> world
+  int owner = 0;                       ///< owning rank, in-comm
+};
 
 /// Which transport a cluster's mailboxes use.
 enum class MailboxKind : int { kRing = 0, kMutex };
@@ -142,6 +160,10 @@ class Mailbox {
   /// `spins` is the caller's running idle-poll counter.
   void idle(std::uint64_t observed_epoch, int& spins);
 
+  /// Owner side, before any traffic: enable receive-side flow stitching
+  /// (smp.recv spans + Perfetto arrow heads) for this mailbox.
+  void set_trace(const MailboxTraceContext& ctx) { trace_ = ctx; }
+
  private:
   struct Lane;
 
@@ -197,6 +219,12 @@ class Mailbox {
   std::deque<PostedRecv*> posted_;
   std::deque<UnexpectedMsg> arrived_;
   std::uint64_t next_post_seq_ = 0;
+
+  // --- distributed tracing (ring mode, owner thread only) ---------------
+  MailboxTraceContext trace_{};
+  /// Per-(src, tag) arrival counters, kept in lockstep with the sender's
+  /// per-(dst, tag) counters by the lanes' per-pair FIFO.
+  std::map<std::pair<int, int>, std::uint64_t> flow_rx_seq_;
 };
 
 }  // namespace mca2a::smp

@@ -23,14 +23,11 @@ SmpCluster::SmpCluster(int world_size, const MailboxConfig& cfg)
   for (int r = 0; r < world_size; ++r) {
     world_entry.mailboxes.emplace_back(world_size, mailbox_cfg_);
   }
-  world_comms_.reserve(world_size);
-  for (int r = 0; r < world_size; ++r) {
-    world_comms_.push_back(std::make_unique<SmpComm>(*this, 0u, r, world_size));
-  }
 
   // Flight recorder: one stream per rank thread, stamped with wall-clock
   // seconds since this cluster's epoch (a separate clock domain from the
-  // simulator's virtual time; the two never share a file).
+  // simulator's virtual time; the two never share a file). Opened before
+  // the world endpoints exist so their flow keys see the session id.
   if (obs::TraceRecorder* rec = obs::active_recorder()) {
     trace_rec_ = rec;
     trace_session_ = rec->begin_session("smp");
@@ -41,8 +38,34 @@ SmpCluster::SmpCluster(int world_size, const MailboxConfig& cfg)
         const auto d = std::chrono::steady_clock::now() - epoch_;
         return std::chrono::duration<double>(d).count();
       });
+      tb->set_world_rank(r);
       tracers_[static_cast<std::size_t>(r)] = tb;
     }
+  }
+  install_trace(world_entry, 0u);
+
+  world_comms_.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    world_comms_.push_back(std::make_unique<SmpComm>(*this, 0u, r, world_size));
+  }
+}
+
+void SmpCluster::install_trace(CommEntry& entry, std::uint32_t comm_id) {
+  if (tracers_.empty() || mailbox_cfg_.kind != MailboxKind::kRing) {
+    return;  // mutex mode delivers on sender threads: no stitching
+  }
+  // Session-salted key: sequential clusters in one process must not reuse
+  // flow ids (+1 keeps the key nonzero even for session 0, comm 0).
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(trace_session_ + 1) << 32) | comm_id;
+  for (std::size_t r = 0; r < entry.world_ranks.size(); ++r) {
+    MailboxTraceContext ctx;
+    ctx.tracer =
+        tracers_[static_cast<std::size_t>(entry.world_ranks[r])];
+    ctx.comm_key = key;
+    ctx.world_ranks = &entry.world_ranks;
+    ctx.owner = static_cast<int>(r);
+    entry.mailboxes[r].set_trace(ctx);
   }
 }
 
@@ -72,6 +95,9 @@ std::uint32_t SmpCluster::intern_comm(std::vector<int> world_ranks,
   for (int r = 0; r < comm_size; ++r) {
     entry.mailboxes.emplace_back(comm_size, mailbox_cfg_);
   }
+  // Stitching contexts land before the id is published (we still hold
+  // registry_mu_): no rank can send through an uninstrumented mailbox.
+  install_trace(entry, id);
   registry_.emplace(std::move(key), id);
   return id;
 }
@@ -83,6 +109,13 @@ SmpComm::SmpComm(SmpCluster& cluster, std::uint32_t comm_id, int rank,
   // appends under; afterwards the message path never touches comms_.
   std::lock_guard<std::mutex> lock(cluster.registry_mu_);
   entry_ = &cluster.comms_[comm_id];
+  if (!cluster.tracers_.empty() &&
+      cluster.mailbox_cfg_.kind == MailboxKind::kRing) {
+    // Must match SmpCluster::install_trace's salt formula exactly.
+    flow_comm_key_ =
+        (static_cast<std::uint64_t>(cluster.trace_session_ + 1) << 32) |
+        comm_id;
+  }
 }
 
 Mailbox& SmpComm::mailbox(int rank_in_comm) const {
@@ -95,6 +128,22 @@ rt::Request SmpComm::isend(rt::ConstView buf, int dst, int tag) {
   }
   if (tag < 0) {
     throw std::invalid_argument("isend: tag must be >= 0");
+  }
+  if (flow_comm_key_ != 0 && buf.len > 0 && dst != rank_) {
+    // Arrow source inside an smp.send span; the receiving mailbox derives
+    // the identical id at accept() time from its mirrored counter.
+    const std::uint64_t seq = flow_tx_seq_[{dst, tag}]++;
+    const std::uint64_t id = obs::flow_id(
+        flow_comm_key_, world_rank(),
+        entry_->world_ranks[static_cast<std::size_t>(dst)], tag, seq);
+    obs::TraceBuffer* tb = tracer();
+    obs::Span sp(tb, "smp.send", "smp", 0,
+                 {{"bytes", static_cast<std::int64_t>(buf.len)},
+                  {"dst", dst},
+                  {"tag", tag}});
+    tb->flow_start(id, 0);
+    mailbox(dst).send(rank_, tag, buf);
+    return rt::Request{};
   }
   mailbox(dst).send(rank_, tag, buf);
   // Eager buffered semantics: the send is complete on return. An invalid

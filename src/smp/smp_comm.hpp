@@ -59,6 +59,11 @@ class SmpCluster {
     std::deque<Mailbox> mailboxes;  // stable addresses, one per member
   };
 
+  /// Enable flow stitching on `entry`'s mailboxes (ring mode with tracing
+  /// on; no-op otherwise). Must run before the communicator id is
+  /// published — callers hold registry_mu_ or are the constructor.
+  void install_trace(CommEntry& entry, std::uint32_t comm_id);
+
   /// Find or create the caller's next communicator over `world_ranks`
   /// (thread-safe). Every creation by a rank counts as a fresh context:
   /// the caller's k-th creation with a given member list joins the k-th
@@ -134,6 +139,12 @@ class SmpComm final : public rt::Comm {
   // addresses stable while mailboxes hold PostedRecv pointers.
   std::deque<PostedRecv> ops_;
   std::vector<std::uint32_t> free_ops_;
+
+  // Sender-side flow stitching (ring mode with tracing on): the same
+  // session-salted comm key the receiving mailbox derives arrow ids from,
+  // plus per-(dst, tag) send counters. 0 == stitching off.
+  std::uint64_t flow_comm_key_ = 0;
+  std::map<std::pair<int, int>, std::uint64_t> flow_tx_seq_;
 };
 
 }  // namespace mca2a::smp

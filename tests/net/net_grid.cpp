@@ -4,6 +4,8 @@
 ///   a2arun -n 8 ./build/tests/net_grid grid       full equivalence grid
 ///   a2arun -n 4 ./build/tests/net_grid teardown   socket-loss semantics
 ///   a2arun -n 4 ./build/tests/net_grid harness    run_sim(backend = "net")
+///   a2arun -n 4 ./build/tests/net_grid teardown_trace DIR
+///                                                 exit-order file integrity
 ///
 /// `grid` runs the cross-backend equivalence matrix over real sockets:
 /// point-to-point matching semantics, every alltoall algorithm (direct and
@@ -23,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -531,6 +534,115 @@ int run_teardown() {
   return g_failures == 0 ? 0 : 1;
 }
 
+// --- teardown_trace: exit-order file integrity -------------------------------
+
+std::string g_trace_dir;
+
+bool file_is_complete_json(const std::string& path,
+                           const std::vector<std::string>& must_contain) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "net_grid[rank %d] FAIL: missing %s\n", g_rank,
+                 path.c_str());
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == ' ' || text.back() == '\t')) {
+    text.pop_back();
+  }
+  if (text.empty() || text.back() != '}') {
+    std::fprintf(stderr, "net_grid[rank %d] FAIL: %s is torn (no closing "
+                 "brace)\n", g_rank, path.c_str());
+    return false;
+  }
+  for (const std::string& needle : must_contain) {
+    if (text.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "net_grid[rank %d] FAIL: %s lacks %s\n", g_rank,
+                   path.c_str(), needle.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Registered FIRST in teardown_trace mode, so it runs LAST at exit —
+/// after the world's static destructor flushed the trace/metrics writers
+/// and after the recorder's own atexit hook re-ran them. Whatever the
+/// interleaving, the files on disk must be complete by now.
+void check_trace_files_at_exit() {
+  char name[64];
+  std::snprintf(name, sizeof(name), "net-rank%05d.trace.json", g_rank);
+  std::vector<std::string> wants = {"\"traceEvents\"", "net.bootstrap",
+                                    "\"dropped_events\""};
+  if (g_rank != 0) {
+    // Non-reference ranks calibrated against rank 0 at bootstrap.
+    wants.push_back("\"clock_offset_s\"");
+  }
+  bool ok = file_is_complete_json(g_trace_dir + "/" + name, wants);
+  ok = file_is_complete_json(g_trace_dir + "/metrics-rank" +
+                                 std::to_string(g_rank) + ".json",
+                             {}) &&
+       ok;
+  if (g_rank == 0) {
+    ok = file_is_complete_json(g_trace_dir + "/cluster-metrics.json",
+                               {"net.bootstrap_micros", "\"imbalance\""}) &&
+         ok;
+  }
+  if (!ok) {
+    std::_Exit(1);
+  }
+  std::fprintf(stderr, "net_grid[rank %d]: exit-order trace files OK\n",
+               g_rank);
+}
+
+/// Normal-path exit with a *static* world: its destructor runs during
+/// static/exit unwinding, interleaved with the trace recorder's atexit
+/// writer — the ordering hazard the world teardown's explicit
+/// obs::flush_env_writers() call defends against. The checker above then
+/// verifies no file ended up torn.
+int run_teardown_trace(const std::string& out_dir) {
+  const mca2a::net::NetOptions opts = mca2a::net::options_from_env();
+  g_rank = opts.rank;
+  g_trace_dir = out_dir;
+  // The cluster-metrics writer runs before the trace writer's own
+  // create_directories; make sure the destination exists up front.
+  std::filesystem::create_directories(out_dir);
+  setenv("A2A_TRACE", out_dir.c_str(), 1);
+  setenv("A2A_METRICS",
+         (out_dir + "/metrics-rank" + std::to_string(opts.rank)).c_str(), 1);
+  setenv("A2A_CLUSTER_METRICS",
+         (out_dir + "/cluster-metrics.json").c_str(), 1);
+  std::atexit(&check_trace_files_at_exit);
+
+  // Function-local static: constructed after the atexit registration
+  // above, so it is destroyed before the checker runs.
+  static std::unique_ptr<mca2a::net::NetComm> world =
+      mca2a::net::NetComm::connect_world(opts);
+  const int p = world->size();
+  const int me = world->rank();
+
+  // Enough traffic to cross the eager and rendezvous paths, so the trace
+  // carries flow arrows in both directions on every rank.
+  auto traffic = [&]() -> Task<void> {
+    const int right = (me + 1) % p;
+    const int left = (me + p - 1) % p;
+    for (std::size_t bytes : {std::size_t{64}, std::size_t{64} << 10}) {
+      Buffer s = Buffer::real(bytes);
+      Buffer r = Buffer::real(bytes);
+      co_await world->sendrecv(s.view(), right, 9, r.view(), left, 9);
+    }
+  };
+  mca2a::rt::sync_wait(traffic());
+  return g_failures == 0 ? 0 : 1;
+}
+
 // --- harness: run_sim(backend = "net") ---------------------------------------
 
 /// The figure-bench entry point driving real sockets: every rank process
@@ -594,6 +706,13 @@ int main(int argc, char** argv) {
     }
     if (mode == "harness") {
       return run_harness();
+    }
+    if (mode == "teardown_trace") {
+      if (argc < 3) {
+        std::fprintf(stderr, "net_grid: teardown_trace needs an output dir\n");
+        return 2;
+      }
+      return run_teardown_trace(argv[2]);
     }
     std::fprintf(stderr, "net_grid: unknown mode '%s'\n", mode.c_str());
     return 2;

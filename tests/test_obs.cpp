@@ -286,6 +286,19 @@ void validate_trace_json(const std::string& text) {
     if (ph == "M") {
       continue;
     }
+    if (ph == "s" || ph == "f") {
+      // Flow arrows: both ends carry an id; the finish binds to its
+      // enclosing slice. Their timestamps live inside the surrounding
+      // span, so they are exempt from the lane depth accounting.
+      ASSERT_NE(ev.object.find("id"), ev.object.end());
+      ASSERT_NE(ev.object.find("name"), ev.object.end());
+      if (ph == "f") {
+        const auto bp_it = ev.object.find("bp");
+        ASSERT_NE(bp_it, ev.object.end());
+        EXPECT_EQ(bp_it->second.str, "e");
+      }
+      continue;
+    }
     ASSERT_TRUE(ph == "B" || ph == "E" || ph == "i") << "ph=" << ph;
     const auto pid_it = ev.object.find("pid");
     const auto tid_it = ev.object.find("tid");

@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Merge per-rank mca2a trace files into one clock-aligned Perfetto session.
+
+Usage:
+    tools/a2atrace.py [-o MERGED.trace.json] [--strict] [--quiet] \
+                      FILE_OR_DIR [FILE_OR_DIR ...]
+
+Every rank of a distributed run (A2A_TRACE=dir on the net backend) writes its
+own `<backend>-rankNNNNN.trace.json` in its *local* clock domain. This tool:
+
+  * applies each file's embedded clock calibration (`clock_offset_s`,
+    `clock_drift`, `clock_base_s` in `otherData`, estimated against rank 0
+    by midpoint-of-min-RTT pingpong probes at bootstrap) so all timestamps
+    land in rank 0's timebase:  aligned = ts - offset - drift*(ts - base);
+  * emits one Perfetto *process* row per rank (pid = world rank) with the
+    original (session, lane) streams preserved as named threads
+    (tid = session*1000 + lane);
+  * passes message-flow arrows (`s`/`f` events) through, so Perfetto draws
+    every cross-rank message from its net.send span to its net.recv span;
+  * validates flow pairing: every flow id must have exactly one start and
+    one finish, and no receive may finish before its matching send began
+    (minus `flow_slack_us`: each endpoint's offset error is bounded by
+    half its calibration min-RTT, and a message between two non-reference
+    ranks accumulates both, so the slack is the worst min-RTT);
+  * prints an analysis report: per-collective wall time and critical path
+    (backward walk over flow arrows from the latest-finishing rank),
+    per-phase time breakdown, and rank busy-time imbalance.
+
+The merged file records `"merged": true` and `"flow_slack_us"` in
+`otherData`; tools/check_trace.py uses both to enable its cross-rank
+ordering checks. Exit status: 0 on success, 1 when --strict and a flow
+invariant fails. Stdlib only, so CI can run it anywhere.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DISPATCH_CATS = ("coll.alltoall", "coll.op")
+
+
+def iter_trace_files(paths):
+    for p in paths:
+        if os.path.isdir(p):
+            for name in sorted(os.listdir(p)):
+                if name.endswith(".trace.json"):
+                    yield os.path.join(p, name)
+        else:
+            yield p
+
+
+def load_rank_file(path):
+    """Returns (meta, events) or raises ValueError."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("no traceEvents array")
+    other = doc.get("otherData") or {}
+    if other.get("merged"):
+        return None, None  # a previous merge output: skip, never re-merge
+    rank = other.get("world_rank", other.get("rank", 0))
+    meta = {
+        "path": path,
+        "rank": int(rank),
+        "backend": other.get("backend", "?"),
+        "offset_s": float(other.get("clock_offset_s", 0.0)),
+        "drift": float(other.get("clock_drift", 0.0)),
+        "base_s": float(other.get("clock_base_s", 0.0)),
+        "min_rtt_s": float(other.get("clock_min_rtt_s", 0.0)),
+        "dropped": int(other.get("dropped_events", 0) or 0),
+    }
+    return meta, events
+
+
+def align_us(ts_us, meta):
+    """Map a local-clock microsecond timestamp into rank 0's timebase."""
+    ts_s = ts_us * 1e-6
+    correction_s = meta["offset_s"] + meta["drift"] * (ts_s - meta["base_s"])
+    return ts_us - correction_s * 1e6
+
+
+class Slice(object):
+    __slots__ = ("rank", "tid", "name", "cat", "begin", "end")
+
+    def __init__(self, rank, tid, name, cat, begin):
+        self.rank = rank
+        self.tid = tid
+        self.name = name
+        self.cat = cat
+        self.begin = begin
+        self.end = None
+
+
+def merge(ranks):
+    """ranks: list of (meta, events). Returns (merged_doc, slices, flows).
+
+    slices: completed Slice objects (aligned times).
+    flows: id -> {"s": [(rank, ts)], "f": [(rank, ts)]}.
+    """
+    out_events = []
+    slices = []
+    flows = {}
+    total_dropped = 0
+    for meta, events in ranks:
+        rank = meta["rank"]
+        total_dropped += meta["dropped"]
+        out_events.append({
+            "ph": "M", "name": "process_name", "pid": rank, "tid": 0,
+            "args": {"name": "rank %d (%s)" % (rank, meta["backend"])}})
+        seen_tids = set()
+        stacks = {}  # merged tid -> open Slice stack
+        for ev in events:
+            ph = ev.get("ph")
+            if ph == "M":
+                continue  # regenerated below from observed lanes
+            tid = int(ev.get("pid", 0)) * 1000 + int(ev.get("tid", 0))
+            ts = align_us(float(ev.get("ts", 0.0)), meta)
+            out = dict(ev)
+            out["pid"] = rank
+            out["tid"] = tid
+            out["ts"] = ts
+            out_events.append(out)
+            seen_tids.add((tid, ev.get("pid", 0), ev.get("tid", 0)))
+            if ph == "B":
+                stacks.setdefault(tid, []).append(Slice(
+                    rank, tid, ev.get("name", "?"), ev.get("cat", ""), ts))
+            elif ph == "E":
+                stack = stacks.get(tid)
+                if stack:
+                    s = stack.pop()
+                    s.end = ts
+                    slices.append(s)
+            elif ph in ("s", "f"):
+                rec = flows.setdefault(ev.get("id"), {"s": [], "f": []})
+                rec[ph].append((rank, ts))
+        for tid, session, lane in sorted(seen_tids):
+            name = "rank %d" % rank
+            if session:
+                name += " session %s" % session
+            if lane:
+                name += " stream %s" % lane
+            out_events.append({
+                "ph": "M", "name": "thread_name", "pid": rank, "tid": tid,
+                "args": {"name": name}})
+    slack_us = max([m["min_rtt_s"] for m, _ in ranks] or [0.0]) * 1e6
+    doc = {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "merged": True,
+            "ranks": len(ranks),
+            "flow_slack_us": slack_us,
+            "dropped_events": total_dropped,
+        },
+        "traceEvents": out_events,
+    }
+    return doc, slices, flows
+
+
+def check_flows(flows, slack_us, dropped):
+    """Returns (errors, notes) about flow pairing and causal order."""
+    problems = []
+    for fid, rec in sorted(flows.items()):
+        ns, nf = len(rec["s"]), len(rec["f"])
+        if ns != 1 or nf != 1:
+            problems.append("flow %s: %d start(s), %d finish(es) "
+                            "(want exactly 1+1)" % (fid, ns, nf))
+            continue
+        (src, t_send), (dst, t_recv) = rec["s"][0], rec["f"][0]
+        if t_recv < t_send - slack_us:
+            problems.append(
+                "flow %s: recv on rank %d at %.3fus precedes send on rank "
+                "%d at %.3fus beyond the %.3fus calibration slack"
+                % (fid, dst, t_recv, src, t_send, slack_us))
+    if dropped:
+        # A full ring drops events wholesale; a missing arrow endpoint is
+        # then expected, not a stitching bug.
+        return [], ["(demoted, %d dropped events) %s" % (dropped, p)
+                    for p in problems]
+    return problems, []
+
+
+def collectives(slices):
+    """Group dispatch slices into per-collective buckets.
+
+    The k-th dispatch span on each rank belongs to collective k (collective
+    calls are ordered identically on every rank — that is what makes them
+    collectives). Returns a list of dicts with name, per-rank slices.
+    """
+    per_rank = {}
+    for s in slices:
+        if s.cat in DISPATCH_CATS and s.end is not None:
+            per_rank.setdefault(s.rank, []).append(s)
+    for spans in per_rank.values():
+        spans.sort(key=lambda s: s.begin)
+    if not per_rank:
+        return []
+    count = min(len(v) for v in per_rank.values())
+    out = []
+    for k in range(count):
+        members = {r: per_rank[r][k] for r in per_rank}
+        any_slice = next(iter(members.values()))
+        out.append({"index": k, "name": any_slice.name, "members": members})
+    return out
+
+
+def critical_path(coll, flows):
+    """Backward walk from the latest-finishing rank along flow arrows.
+
+    Returns a list of (rank, enter_us, leave_us) segments, earliest first.
+    """
+    members = coll["members"]
+    window_lo = min(s.begin for s in members.values())
+    window_hi = max(s.end for s in members.values())
+    # Arrows inside this collective's window, grouped by receiving rank.
+    inbound = {}
+    for rec in flows.values():
+        if len(rec["s"]) == 1 and len(rec["f"]) == 1:
+            (src, t_send), (dst, t_recv) = rec["s"][0], rec["f"][0]
+            if src != dst and window_lo <= t_send and t_recv <= window_hi:
+                inbound.setdefault(dst, []).append((t_recv, src, t_send))
+    for arrows in inbound.values():
+        arrows.sort()
+    cur_rank = max(members, key=lambda r: members[r].end)
+    cur_time = members[cur_rank].end
+    segments = []
+    for _ in range(8 * len(members) + 8):  # cycle guard
+        arrows = inbound.get(cur_rank, [])
+        best = None
+        for t_recv, src, t_send in reversed(arrows):
+            if t_recv <= cur_time and t_send < cur_time:
+                best = (t_recv, src, t_send)
+                break
+        if best is None:
+            segments.append((cur_rank, members[cur_rank].begin, cur_time))
+            break
+        t_recv, src, t_send = best
+        segments.append((cur_rank, t_recv, cur_time))
+        cur_rank, cur_time = src, t_send
+    segments.reverse()
+    return segments
+
+
+def report(out, ranks, slices, flows, slack_us):
+    colls = collectives(slices)
+    print("merged %d rank(s)" % len(ranks), file=out)
+    for meta, _ in ranks:
+        line = "  rank %d (%s)" % (meta["rank"], meta["backend"])
+        if meta["offset_s"] or meta["drift"]:
+            line += ": offset %+.1fus, drift %+.3gppm, min RTT %.1fus" % (
+                meta["offset_s"] * 1e6, meta["drift"] * 1e6,
+                meta["min_rtt_s"] * 1e6)
+        print(line, file=out)
+    paired = sum(1 for r in flows.values()
+                 if len(r["s"]) == 1 and len(r["f"]) == 1)
+    print("flows: %d total, %d paired; causal slack %.1fus"
+          % (len(flows), paired, slack_us), file=out)
+
+    if colls:
+        print("\nper-collective critical path:", file=out)
+    for coll in colls:
+        members = coll["members"]
+        begin = min(s.begin for s in members.values())
+        end = max(s.end for s in members.values())
+        durs = sorted(s.end - s.begin for s in members.values())
+        mean = sum(durs) / len(durs)
+        print("  #%d %s: wall %.1fus, rank span mean %.1fus max %.1fus "
+              "(imbalance %.2f)"
+              % (coll["index"], coll["name"], end - begin, mean, durs[-1],
+                 durs[-1] / mean if mean else 0.0), file=out)
+        for rank, enter, leave in critical_path(coll, flows):
+            print("    rank %d: %.1fus .. %.1fus (%.1fus)"
+                  % (rank, enter - begin, leave - begin, leave - enter),
+                  file=out)
+
+    phases = {}
+    for s in slices:
+        if s.cat == "phase" and s.end is not None:
+            agg = phases.setdefault(s.name, [0.0, 0])
+            agg[0] += s.end - s.begin
+            agg[1] += 1
+    if phases:
+        print("\nper-phase breakdown (inclusive, all ranks):", file=out)
+        for name, (total, count) in sorted(phases.items(),
+                                           key=lambda kv: -kv[1][0]):
+            print("  %-16s %10.1fus in %d span(s)" % (name, total, count),
+                  file=out)
+
+    busy = {}
+    for s in slices:
+        if s.cat in DISPATCH_CATS and s.end is not None:
+            busy[s.rank] = busy.get(s.rank, 0.0) + (s.end - s.begin)
+    if len(busy) > 1:
+        mean = sum(busy.values()) / len(busy)
+        worst = max(busy, key=lambda r: busy[r])
+        print("\nrank busy-time imbalance: max/mean %.2f (rank %d, %.1fus "
+              "vs mean %.1fus)"
+              % (busy[worst] / mean if mean else 0.0, worst, busy[worst],
+                 mean), file=out)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="a2atrace.py",
+        description="merge per-rank mca2a traces into one aligned session")
+    ap.add_argument("paths", nargs="+", metavar="FILE_OR_DIR")
+    ap.add_argument("-o", "--output", metavar="OUT",
+                    help="merged trace destination "
+                         "(default: merged.trace.json next to the input)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when a flow invariant fails")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the analysis report")
+    args = ap.parse_args(argv[1:])
+
+    ranks = []
+    for path in iter_trace_files(args.paths):
+        try:
+            meta, events = load_rank_file(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print("a2atrace: %s: %s" % (path, e), file=sys.stderr)
+            return 1
+        if meta is None:
+            print("a2atrace: note: skipping already-merged %s" % path)
+            continue
+        ranks.append((meta, events))
+    if not ranks:
+        print("a2atrace: no *.trace.json inputs found", file=sys.stderr)
+        return 1
+    ranks.sort(key=lambda rf: rf[0]["rank"])
+
+    doc, slices, flows = merge(ranks)
+    slack_us = doc["otherData"]["flow_slack_us"]
+    errors, notes = check_flows(flows, slack_us,
+                                doc["otherData"]["dropped_events"])
+    for n in notes:
+        print("a2atrace: note: %s" % n, file=sys.stderr)
+    for e in errors:
+        print("a2atrace: FLOW ERROR: %s" % e, file=sys.stderr)
+
+    out_path = args.output
+    if not out_path:
+        first = args.paths[0]
+        base = first if os.path.isdir(first) else os.path.dirname(first) or "."
+        out_path = os.path.join(base, "merged.trace.json")
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=None, separators=(",", ": "))
+        f.write("\n")
+    print("wrote %s (%d events)" % (out_path, len(doc["traceEvents"])))
+
+    if not args.quiet:
+        report(sys.stdout, ranks, slices, flows, slack_us)
+    if errors and args.strict:
+        print("a2atrace: %d flow invariant violation(s)" % len(errors),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,13 +8,25 @@ For every `*.trace.json` argument (directories are scanned for them), check:
 
   * the file parses as JSON and has a `traceEvents` array;
   * every event carries the required keys for its phase type
-    (B/E: name on B, ts/pid/tid on both; i: name/ts/s; M: name/args);
+    (B/E: name on B, ts/pid/tid on both; i: name/ts/s; M: name/args;
+    s/f: id/name/ts/pid/tid, and f must bind to the enclosing slice
+    with `"bp": "e"`);
   * begin/end events balance per (pid, tid) lane — never more E than B,
     and every B closed by the end of the lane;
   * timestamps are monotonically non-decreasing per (pid, tid) lane,
     in file order (the recorder appends in time order per lane);
-  * `otherData.dropped_events`, when present, is reported (dropped begins
-    are legal — the ring bounds memory — but worth surfacing).
+  * message flows pair up *across the whole invocation*: every flow id
+    must appear exactly once as a start (`s`, inside the sending span)
+    and once as a finish (`f`, inside the receiving span). Per-rank
+    files carry only their half of each arrow, so pass the entire trace
+    directory in one invocation, the way tools/a2atrace.py consumes it;
+  * in a merged file (`otherData.merged`, written by tools/a2atrace.py)
+    a finish may not precede its start by more than the recorded
+    `flow_slack_us` — receives never happen before their sends once the
+    clocks are aligned, up to the calibration error bound;
+  * `otherData.dropped_events`, when present, is reported, and flow
+    pairing errors are demoted to notes — dropped begins are legal (the
+    ring bounds memory) and take arrow endpoints with them.
 
 Exit status: 0 when every file passes, 1 otherwise. Stdlib only, so CI can
 run it anywhere.
@@ -35,27 +47,38 @@ def iter_trace_files(paths):
             yield p
 
 
-def check_file(path):
-    """Returns a list of error strings (empty = pass)."""
+def check_file(path, flow_reg):
+    """Returns (errors, dropped_count); accumulates flows into flow_reg.
+
+    flow_reg: flow id -> {"s": [(path, ts)], "f": [(path, ts)]}.
+    """
     errors = []
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        return ["unreadable or invalid JSON: %s" % e]
+        return ["unreadable or invalid JSON: %s" % e], 0
 
     events = doc.get("traceEvents")
     if not isinstance(events, list):
-        return ["no traceEvents array"]
+        return ["no traceEvents array"], 0
+
+    other = doc.get("otherData") or {}
+    merged = bool(other.get("merged"))
+    try:
+        slack = float(other.get("flow_slack_us", 0.0) or 0.0)
+    except (TypeError, ValueError):
+        slack = 0.0
 
     depth = {}    # (pid, tid) -> open-span depth
     last_ts = {}  # (pid, tid) -> last timestamp seen
+    local_flows = {}  # id -> {"s": [...], "f": [...]} for the merged check
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             errors.append("event %d: not an object" % i)
             continue
         ph = ev.get("ph")
-        if ph not in ("B", "E", "i", "M"):
+        if ph not in ("B", "E", "i", "M", "s", "f"):
             errors.append("event %d: unknown ph %r" % (i, ph))
             continue
         if ph == "M":
@@ -65,10 +88,30 @@ def check_file(path):
         for key in ("ts", "pid", "tid"):
             if key not in ev:
                 errors.append("event %d (%s): missing %r" % (i, ph, key))
-        if ph in ("B", "i") and "name" not in ev:
+        if ph in ("B", "i", "s", "f") and "name" not in ev:
             errors.append("event %d (%s): missing name" % (i, ph))
         if ph == "i" and ev.get("s") not in ("t", "p", "g"):
             errors.append("event %d: instant without a valid scope" % i)
+        if ph in ("s", "f"):
+            fid = ev.get("id")
+            if fid is None:
+                errors.append("event %d (%s): flow event without id" % (i, ph))
+                continue
+            if ph == "f" and ev.get("bp") != "e":
+                errors.append(
+                    "event %d: flow finish must bind to its enclosing "
+                    "slice (bp: \"e\")" % i)
+            ts = ev.get("ts")
+            if not merged:
+                # Per-rank files carry only their half of each arrow; the
+                # other half lives in a peer's file, so pairing is checked
+                # invocation-globally. A merged file is self-contained and
+                # pairs locally instead (keeping a directory that holds
+                # both the per-rank files and their merge double-free).
+                flow_reg.setdefault(fid,
+                                    {"s": [], "f": []})[ph].append((path, ts))
+            local_flows.setdefault(fid, {"s": [], "f": []})[ph].append(ts)
+            continue  # flow ts is the enclosing span's clock, not the lane's
         lane = (ev.get("pid"), ev.get("tid"))
         ts = ev.get("ts")
         if isinstance(ts, (int, float)):
@@ -91,7 +134,7 @@ def check_file(path):
         if d != 0:
             errors.append("lane %r: %d unclosed span(s)" % (lane, d))
 
-    dropped = (doc.get("otherData") or {}).get("dropped_events")
+    dropped = other.get("dropped_events")
     try:
         dropped = int(dropped or 0)
     except (TypeError, ValueError):
@@ -99,6 +142,47 @@ def check_file(path):
     if dropped:
         print("%s: note: %s dropped event(s) (ring was full)"
               % (path, dropped))
+
+    if merged:
+        # Self-contained file: every arrow must pair up inside it, and —
+        # clocks now aligned — a receive must not precede its send beyond
+        # the calibration slack. Per-rank files stay exempt from the order
+        # check: their clocks are raw and the skew is exactly what
+        # a2atrace.py corrects.
+        flow_problems = []
+        for fid, rec in sorted(local_flows.items()):
+            ns, nf = len(rec["s"]), len(rec["f"])
+            if ns != 1 or nf != 1:
+                flow_problems.append(
+                    "flow %s: %d start(s), %d finish(es) in merged file "
+                    "(want exactly 1+1)" % (fid, ns, nf))
+                continue
+            t_send, t_recv = rec["s"][0], rec["f"][0]
+            if (isinstance(t_send, (int, float))
+                    and isinstance(t_recv, (int, float))
+                    and t_recv < t_send - slack):
+                flow_problems.append(
+                    "flow %s: finish ts %r precedes start ts %r beyond "
+                    "the %gus slack" % (fid, t_recv, t_send, slack))
+        if flow_problems and dropped:
+            for p in flow_problems:
+                print("%s: note (ring dropped events): %s" % (path, p))
+        else:
+            errors.extend(flow_problems)
+    return errors, dropped
+
+
+def check_flow_pairing(flow_reg):
+    """Invocation-global check: each id pairs exactly one s with one f."""
+    errors = []
+    for fid, rec in sorted(flow_reg.items()):
+        ns, nf = len(rec["s"]), len(rec["f"])
+        if ns == 1 and nf == 1:
+            continue
+        where = sorted({os.path.basename(p)
+                        for p, _ in rec["s"] + rec["f"]})
+        errors.append("flow %s: %d start(s), %d finish(es) in %s "
+                      "(want exactly 1+1)" % (fid, ns, nf, ", ".join(where)))
     return errors
 
 
@@ -111,17 +195,29 @@ def main(argv):
         print("check_trace: no *.trace.json files found", file=sys.stderr)
         return 1
     failed = 0
+    flow_reg = {}
+    total_dropped = 0
     for path in files:
-        errors = check_file(path)
+        errors, dropped = check_file(path, flow_reg)
+        total_dropped += dropped
         if errors:
             failed += 1
             for e in errors:
                 print("%s: FAIL: %s" % (path, e), file=sys.stderr)
         else:
             print("%s: OK" % path)
+    pairing = check_flow_pairing(flow_reg)
+    if pairing and total_dropped:
+        for e in pairing:
+            print("check_trace: note (ring dropped %d events): %s"
+                  % (total_dropped, e))
+    elif pairing:
+        failed += 1
+        for e in pairing:
+            print("check_trace: FAIL: %s" % e, file=sys.stderr)
     if failed:
-        print("check_trace: %d/%d file(s) failed" % (failed, len(files)),
-              file=sys.stderr)
+        print("check_trace: %d/%d file(s)/check(s) failed"
+              % (failed, len(files)), file=sys.stderr)
         return 1
     return 0
 
